@@ -1,0 +1,50 @@
+/// Size of the symbolic formulation (variables/clauses emitted into the
+/// reasoning engine) as a function of circuit length and strategy — the
+/// quantity the Sec. 4 search-space arithmetic (2^(n·m·|G|) vs.
+/// 2^(n²·|G|) vs. 2^(n·m·(|G'|+1))) is really about.
+
+#include <benchmark/benchmark.h>
+
+#include "arch/architectures.hpp"
+#include "arch/swap_costs.hpp"
+#include "bench_circuits/generators.hpp"
+#include "exact/encoder.hpp"
+#include "exact/strategies.hpp"
+#include "reason/cdcl_engine.hpp"
+
+namespace {
+
+using namespace qxmap;
+
+void BM_EncodingSize(benchmark::State& state) {
+  const int num_cnots = static_cast<int>(state.range(0));
+  const auto strategy = static_cast<exact::PermutationStrategy>(state.range(1));
+  const Circuit circuit = bench::random_circuit(4, 0, num_cnots, 11, "enc");
+  std::vector<Gate> cnots;
+  for (const auto& g : circuit) {
+    if (g.is_cnot()) cnots.push_back(g);
+  }
+  const auto cm = arch::ibm_qx4();
+  const arch::SwapCostTable table(cm);
+  const auto points = exact::permutation_points(cnots, strategy, cm);
+  exact::CostModel costs;
+  costs.swap_cost = 7;
+
+  std::size_t vars = 0;
+  std::size_t clauses = 0;
+  for (auto _ : state) {
+    reason::CdclEngine engine;
+    const exact::Encoding enc(engine, cnots, 4, cm, table, points, costs);
+    vars = enc.num_variables();
+    clauses = enc.num_clauses();
+    benchmark::DoNotOptimize(enc);
+  }
+  state.counters["vars"] = static_cast<double>(vars);
+  state.counters["clauses"] = static_cast<double>(clauses);
+  state.SetLabel(exact::to_string(strategy));
+}
+BENCHMARK(BM_EncodingSize)
+    ->ArgsProduct({{5, 10, 20, 40}, {0, 1, 2, 3}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,72 @@
+/// Throughput of the heuristic baselines on Table-1-shaped workloads and
+/// on the larger architectures where the exact method is out of reach.
+
+#include <benchmark/benchmark.h>
+
+#include "arch/architectures.hpp"
+#include "bench_circuits/generators.hpp"
+#include "bench_circuits/table1_suite.hpp"
+#include "heuristic/astar_mapper.hpp"
+#include "heuristic/stochastic_swap.hpp"
+
+namespace {
+
+using namespace qxmap;
+
+void BM_StochasticSwapTable1(benchmark::State& state) {
+  const auto& b = bench::table1_benchmarks()[static_cast<std::size_t>(state.range(0))];
+  const Circuit circuit = b.build();
+  heuristic::StochasticSwapOptions opt;
+  opt.runs = 5;
+  opt.verify = false;
+  long long cost = 0;
+  for (auto _ : state) {
+    const auto res = heuristic::map_stochastic_swap(circuit, arch::ibm_qx4(), opt);
+    cost = res.cost_f;
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["F"] = static_cast<double>(cost);
+  state.SetLabel(b.name);
+}
+BENCHMARK(BM_StochasticSwapTable1)->Arg(0)->Arg(9)->Arg(18)->Arg(24)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AStarTable1(benchmark::State& state) {
+  const auto& b = bench::table1_benchmarks()[static_cast<std::size_t>(state.range(0))];
+  const Circuit circuit = b.build();
+  heuristic::AStarOptions opt;
+  opt.verify = false;
+  long long cost = 0;
+  for (auto _ : state) {
+    const auto res = heuristic::map_astar(circuit, arch::ibm_qx4(), opt);
+    cost = res.cost_f;
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["F"] = static_cast<double>(cost);
+  state.SetLabel(b.name);
+}
+BENCHMARK(BM_AStarTable1)->Arg(0)->Arg(9)->Arg(18)->Arg(24)->Unit(benchmark::kMillisecond);
+
+void BM_StochasticSwapQx5(benchmark::State& state) {
+  const int cnots = static_cast<int>(state.range(0));
+  const Circuit circuit = bench::random_circuit(16, cnots / 2, cnots, 5, "qx5");
+  heuristic::StochasticSwapOptions opt;
+  opt.verify = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(heuristic::map_stochastic_swap(circuit, arch::ibm_qx5(), opt));
+  }
+}
+BENCHMARK(BM_StochasticSwapQx5)->Arg(25)->Arg(50)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_AStarTokyo(benchmark::State& state) {
+  const int cnots = static_cast<int>(state.range(0));
+  const Circuit circuit = bench::random_circuit(20, cnots / 2, cnots, 5, "tokyo");
+  heuristic::AStarOptions opt;
+  opt.verify = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(heuristic::map_astar(circuit, arch::ibm_tokyo(), opt));
+  }
+}
+BENCHMARK(BM_AStarTokyo)->Arg(25)->Arg(50)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,56 @@
+/// Post-mapping peephole optimizer: throughput and achieved gate/fidelity
+/// reduction on mapped Table-1 workloads (the extension the paper scopes
+/// out in footnote 2).
+
+#include <benchmark/benchmark.h>
+
+#include "arch/architectures.hpp"
+#include "bench_circuits/table1_suite.hpp"
+#include "heuristic/stochastic_swap.hpp"
+#include "opt/peephole.hpp"
+#include "sim/fidelity.hpp"
+
+namespace {
+
+using namespace qxmap;
+
+void BM_PeepholeOnMappedCircuit(benchmark::State& state) {
+  const auto& b = bench::table1_benchmarks()[static_cast<std::size_t>(state.range(0))];
+  const auto cm = arch::ibm_qx4();
+  heuristic::StochasticSwapOptions sopt;
+  sopt.verify = false;
+  const auto mapped = heuristic::map_stochastic_swap(b.build(), cm, sopt).mapped;
+
+  std::size_t before = mapped.size();
+  std::size_t after = before;
+  double fidelity_gain = 1.0;
+  for (auto _ : state) {
+    const Circuit optimized = opt::optimize(mapped, cm);
+    after = optimized.size();
+    fidelity_gain = sim::fidelity_ratio(optimized, mapped);
+    benchmark::DoNotOptimize(optimized);
+  }
+  state.counters["gates_before"] = static_cast<double>(before);
+  state.counters["gates_after"] = static_cast<double>(after);
+  state.counters["fidelity_x"] = fidelity_gain;
+  state.SetLabel(b.name);
+}
+BENCHMARK(BM_PeepholeOnMappedCircuit)->Arg(0)->Arg(5)->Arg(9)->Arg(18)->Arg(24)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_PeepholeFixpointIterations(benchmark::State& state) {
+  // Worst-ish case: long alternating self-inverse chains.
+  Circuit c(4, "chain");
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    c.h(i % 4);
+    c.h(i % 4);
+    c.cnot(i % 4, (i + 1) % 4);
+    c.cnot(i % 4, (i + 1) % 4);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt::optimize(c));
+  }
+}
+BENCHMARK(BM_PeepholeFixpointIterations)->Arg(50)->Arg(200)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -1,0 +1,54 @@
+/// Ablation bench for the Sec. 4.2 permutation-point strategies: runtime
+/// and result cost per strategy on representative Table-1 workloads. The
+/// paper's qualitative finding: runtime correlates with |G'|; triangle is
+/// fastest but least accurate, disjoint preserves the minimum.
+
+#include <benchmark/benchmark.h>
+
+#include "arch/architectures.hpp"
+#include "bench_circuits/table1_suite.hpp"
+#include "exact/exact_mapper.hpp"
+
+namespace {
+
+using namespace qxmap;
+
+const char* kBenchmarks[] = {"ex-1_166", "ham3_102", "4gt11_84", "4mod5-v0_20"};
+
+exact::PermutationStrategy strategy_of(int idx) {
+  switch (idx) {
+    case 0: return exact::PermutationStrategy::All;
+    case 1: return exact::PermutationStrategy::DisjointQubits;
+    case 2: return exact::PermutationStrategy::OddGates;
+    default: return exact::PermutationStrategy::QubitTriangle;
+  }
+}
+
+void BM_Strategy(benchmark::State& state) {
+  const auto& b = bench::table1_benchmark(kBenchmarks[state.range(0)]);
+  const Circuit circuit = b.build();
+  exact::ExactOptions opt;
+  opt.engine = reason::EngineKind::Z3;
+  opt.strategy = strategy_of(static_cast<int>(state.range(1)));
+  opt.use_subsets = true;
+  opt.budget = std::chrono::milliseconds(20000);
+  opt.verify = false;
+  long long cost = -1;
+  int points = 0;
+  for (auto _ : state) {
+    const auto res = exact::map_exact(circuit, arch::ibm_qx4(), opt);
+    cost = res.cost_f;
+    points = res.permutation_points;
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["F"] = static_cast<double>(cost);
+  state.counters["points"] = points;
+  state.SetLabel(std::string(kBenchmarks[state.range(0)]) + "/" +
+                 exact::to_string(opt.strategy));
+}
+BENCHMARK(BM_Strategy)
+    ->ArgsProduct({{0, 1, 2, 3}, {0, 1, 2, 3}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace

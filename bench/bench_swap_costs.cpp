@@ -1,0 +1,77 @@
+/// Micro-benchmarks for the swaps(π) machinery (Eq. 5 preprocessing):
+/// exhaustive table construction per architecture, sequence reconstruction,
+/// and the token-swapping fallback on the large machines.
+
+#include <benchmark/benchmark.h>
+
+#include "arch/architectures.hpp"
+#include "arch/swap_costs.hpp"
+
+namespace {
+
+using namespace qxmap;
+
+void BM_TableConstructionQx4(benchmark::State& state) {
+  const auto cm = arch::ibm_qx4();
+  for (auto _ : state) {
+    arch::SwapCostTable table(cm);
+    benchmark::DoNotOptimize(table.max_swaps());
+  }
+}
+BENCHMARK(BM_TableConstructionQx4)->Unit(benchmark::kMillisecond);
+
+void BM_TableConstructionLinear(benchmark::State& state) {
+  const auto cm = arch::linear(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    arch::SwapCostTable table(cm);
+    benchmark::DoNotOptimize(table.max_swaps());
+  }
+}
+BENCHMARK(BM_TableConstructionLinear)->Arg(4)->Arg(5)->Arg(6)->Arg(7)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SwapLookup(benchmark::State& state) {
+  const arch::SwapCostTable table(arch::ibm_qx4());
+  const auto perms = Permutation::all(5);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.swaps(perms[i % perms.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_SwapLookup);
+
+void BM_SwapSequenceReconstruction(benchmark::State& state) {
+  const arch::SwapCostTable table(arch::ibm_qx4());
+  const auto perms = Permutation::all(5);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.swap_sequence(perms[i % perms.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_SwapSequenceReconstruction);
+
+void BM_GreedyTokenSwapQx5(benchmark::State& state) {
+  const auto cm = arch::ibm_qx5();
+  std::vector<int> images(16);
+  for (int i = 0; i < 16; ++i) images[static_cast<std::size_t>(i)] = (i + 5) % 16;
+  const Permutation pi(images);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arch::greedy_swap_sequence(cm, pi));
+  }
+}
+BENCHMARK(BM_GreedyTokenSwapQx5);
+
+void BM_GreedyTokenSwapTokyo(benchmark::State& state) {
+  const auto cm = arch::ibm_tokyo();
+  std::vector<int> images(20);
+  for (int i = 0; i < 20; ++i) images[static_cast<std::size_t>(i)] = (i + 7) % 20;
+  const Permutation pi(images);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arch::greedy_swap_sequence(cm, pi));
+  }
+}
+BENCHMARK(BM_GreedyTokenSwapTokyo);
+
+}  // namespace

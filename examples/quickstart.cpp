@@ -1,0 +1,58 @@
+/// Quickstart: parse a QASM circuit, map it to IBM QX4 with the exact
+/// (minimal SWAP/H) method, and print the result.
+///
+///   $ ./quickstart            # uses a built-in 3-qubit circuit
+///   $ ./quickstart file.qasm  # maps your own circuit
+
+#include <iostream>
+
+#include "api/qxmap.hpp"
+
+namespace {
+
+constexpr const char* kDefaultQasm = R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q[0];
+cx q[0], q[1];
+cx q[1], q[2];
+t q[2];
+cx q[0], q[2];
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace qxmap;
+
+  const Circuit circuit =
+      argc > 1 ? qasm::parse_file(argv[1]) : qasm::parse(kDefaultQasm, "quickstart");
+  const auto architecture = arch::ibm_qx4();
+
+  std::cout << "Input circuit (" << circuit.num_qubits() << " qubits, " << circuit.size()
+            << " gates):\n"
+            << circuit.to_string() << '\n';
+
+  MapOptions options;
+  options.exact.budget = std::chrono::milliseconds(30000);
+  const auto result = map(circuit, architecture, options);
+
+  if (result.status != reason::Status::Optimal &&
+      result.status != reason::Status::Feasible) {
+    std::cerr << "mapping failed\n";
+    return 1;
+  }
+
+  std::cout << "Mapped to " << architecture.name() << " with added cost F = " << result.cost_f
+            << " (" << result.swaps_inserted << " SWAPs, " << result.cnots_reversed
+            << " reversed CNOTs)\n";
+  std::cout << "Initial layout (logical -> physical): ";
+  for (std::size_t j = 0; j < result.initial_layout.size(); ++j) {
+    std::cout << 'q' << j << "->p" << result.initial_layout[j] << ' ';
+  }
+  std::cout << "\nVerification: " << result.verify_message << "\n\n";
+  std::cout << "Mapped circuit as OpenQASM:\n" << qasm::write(result.mapped);
+  return 0;
+}

@@ -1,0 +1,58 @@
+/// \file qxmap.hpp
+/// Public facade of the library: one include, one entry point.
+///
+/// ```cpp
+/// #include "api/qxmap.hpp"
+///
+/// auto circuit = qxmap::qasm::parse_file("circuit.qasm");
+/// auto arch    = qxmap::arch::ibm_qx4();
+/// auto result  = qxmap::map(circuit, arch);      // exact, minimal SWAP/H
+/// std::cout << qxmap::qasm::write(result.mapped);
+/// ```
+///
+/// `map()` dispatches between the paper's exact method (default), the
+/// Sec. 4 performance-optimised variants (via MapOptions::exact), and the
+/// two heuristic baselines.
+
+#pragma once
+
+#include "arch/architectures.hpp"
+#include "arch/coupling_map.hpp"
+#include "exact/exact_mapper.hpp"
+#include "exact/types.hpp"
+#include "heuristic/astar_mapper.hpp"
+#include "heuristic/sabre_mapper.hpp"
+#include "heuristic/stochastic_swap.hpp"
+#include "ir/circuit.hpp"
+#include "qasm/parser.hpp"
+#include "qasm/writer.hpp"
+
+namespace qxmap {
+
+/// Mapping algorithm selector.
+enum class Method {
+  Exact,           ///< Secs. 3-4: symbolic formulation + reasoning engine
+  StochasticSwap,  ///< Qiskit 0.4-style randomized baseline ("IBM [12]")
+  AStar,           ///< Zulehner-style layer A* baseline ([22])
+  Sabre,           ///< SABRE-style lookahead baseline ([13])
+};
+
+/// Combined options; only the block matching `method` is consulted.
+struct MapOptions {
+  Method method = Method::Exact;
+  exact::ExactOptions exact;
+  heuristic::StochasticSwapOptions stochastic;
+  heuristic::AStarOptions astar;
+  heuristic::SabreOptions sabre;
+};
+
+/// Maps `circuit` onto `architecture`. See exact::MappingResult for the
+/// returned artefacts (mapped circuit, layouts, cost F, verification).
+[[nodiscard]] exact::MappingResult map(const Circuit& circuit,
+                                       const arch::CouplingMap& architecture,
+                                       const MapOptions& options = {});
+
+/// Library version string ("major.minor.patch").
+[[nodiscard]] const char* version();
+
+}  // namespace qxmap

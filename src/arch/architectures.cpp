@@ -1,0 +1,114 @@
+#include "arch/architectures.hpp"
+
+#include <stdexcept>
+
+#include "common/strings.hpp"
+
+namespace qxmap::arch {
+
+CouplingMap ibm_qx2() {
+  return CouplingMap(5,
+                     {{0, 1}, {0, 2}, {1, 2}, {3, 2}, {3, 4}, {4, 2}},
+                     "ibmqx2");
+}
+
+CouplingMap ibm_qx4() {
+  // Fig. 2 (1-based): (p2,p1) (p3,p1) (p3,p2) (p4,p3) (p4,p5) (p5,p3).
+  return CouplingMap(5,
+                     {{1, 0}, {2, 0}, {2, 1}, {3, 2}, {3, 4}, {4, 2}},
+                     "ibmqx4");
+}
+
+CouplingMap ibm_qx5() {
+  return CouplingMap(16,
+                     {{1, 0},  {1, 2},   {2, 3},   {3, 4},   {3, 14},  {5, 4},
+                      {6, 5},  {6, 7},   {6, 11},  {7, 10},  {8, 7},   {9, 8},
+                      {9, 10}, {11, 10}, {12, 5},  {12, 11}, {12, 13}, {13, 4},
+                      {13, 14}, {15, 0}, {15, 2},  {15, 14}},
+                     "ibmqx5");
+}
+
+CouplingMap ibm_tokyo() {
+  // Bidirected: emit both directions for every undirected coupling.
+  const std::vector<std::pair<int, int>> und = {
+      {0, 1},   {1, 2},   {2, 3},   {3, 4},   {0, 5},   {1, 6},   {1, 7},   {2, 6},
+      {2, 7},   {3, 8},   {3, 9},   {4, 8},   {4, 9},   {5, 6},   {6, 7},   {7, 8},
+      {8, 9},   {5, 10},  {5, 11},  {6, 10},  {6, 11},  {7, 12},  {7, 13},  {8, 12},
+      {8, 13},  {9, 14},  {10, 11}, {11, 12}, {12, 13}, {13, 14}, {10, 15}, {11, 16},
+      {11, 17}, {12, 16}, {12, 17}, {13, 18}, {13, 19}, {14, 18}, {14, 19}, {15, 16},
+      {16, 17}, {17, 18}, {18, 19}};
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(und.size() * 2);
+  for (const auto& [a, b] : und) {
+    edges.emplace_back(a, b);
+    edges.emplace_back(b, a);
+  }
+  return CouplingMap(20, std::move(edges), "ibmq_tokyo");
+}
+
+CouplingMap linear(int m) {
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i + 1 < m; ++i) edges.emplace_back(i, i + 1);
+  return CouplingMap(m, std::move(edges), "linear" + std::to_string(m));
+}
+
+CouplingMap ring(int m) {
+  if (m < 3) throw std::invalid_argument("ring: need at least 3 qubits");
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < m; ++i) edges.emplace_back(i, (i + 1) % m);
+  return CouplingMap(m, std::move(edges), "ring" + std::to_string(m));
+}
+
+CouplingMap grid(int rows, int cols) {
+  if (rows <= 0 || cols <= 0) throw std::invalid_argument("grid: dimensions must be positive");
+  std::vector<std::pair<int, int>> edges;
+  const auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        edges.emplace_back(id(r, c), id(r, c + 1));
+        edges.emplace_back(id(r, c + 1), id(r, c));
+      }
+      if (r + 1 < rows) {
+        edges.emplace_back(id(r, c), id(r + 1, c));
+        edges.emplace_back(id(r + 1, c), id(r, c));
+      }
+    }
+  }
+  return CouplingMap(rows * cols,
+                     std::move(edges),
+                     "grid" + std::to_string(rows) + 'x' + std::to_string(cols));
+}
+
+CouplingMap clique(int m) {
+  std::vector<std::pair<int, int>> edges;
+  for (int a = 0; a < m; ++a) {
+    for (int b = 0; b < m; ++b) {
+      if (a != b) edges.emplace_back(a, b);
+    }
+  }
+  return CouplingMap(m, std::move(edges), "clique" + std::to_string(m));
+}
+
+CouplingMap by_name(const std::string& name) {
+  const std::string n = to_lower(name);
+  if (n == "qx2" || n == "ibmqx2") return ibm_qx2();
+  if (n == "qx4" || n == "ibmqx4" || n == "tenerife") return ibm_qx4();
+  if (n == "qx5" || n == "ibmqx5" || n == "rueschlikon") return ibm_qx5();
+  if (n == "tokyo" || n == "ibmq_tokyo") return ibm_tokyo();
+  for (const auto& [prefix, maker] :
+       std::vector<std::pair<std::string, CouplingMap (*)(int)>>{
+           {"linear", &linear}, {"ring", &ring}, {"clique", &clique}}) {
+    if (n.starts_with(prefix) && n.size() > prefix.size()) {
+      const std::string num = n.substr(prefix.size());
+      if (num.find_first_not_of("0123456789") == std::string::npos) {
+        return maker(std::stoi(num));
+      }
+    }
+  }
+  throw std::invalid_argument("unknown architecture: " + name);
+}
+
+std::vector<std::string> known_names() { return {"qx2", "qx4", "qx5", "tokyo"}; }
+
+}  // namespace qxmap::arch

@@ -1,0 +1,50 @@
+/// \file architectures.hpp
+/// Registry of IBM QX coupling maps and synthetic topology generators.
+///
+/// Qubit numbering is 0-based throughout the library; the paper's Fig. 2
+/// uses 1-based labels p1 … p5, so its QX4 edge (p2, p1) appears here as
+/// (1, 0).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/coupling_map.hpp"
+
+namespace qxmap::arch {
+
+/// IBM QX2 "Yorktown" (5 qubits).
+[[nodiscard]] CouplingMap ibm_qx2();
+
+/// IBM QX4 "Tenerife" (5 qubits) — the architecture of the paper's
+/// evaluation (Fig. 2): CM = {(1,0), (2,0), (2,1), (3,2), (3,4), (4,2)}.
+[[nodiscard]] CouplingMap ibm_qx4();
+
+/// IBM QX5 "Rueschlikon" (16 qubits).
+[[nodiscard]] CouplingMap ibm_qx5();
+
+/// IBM Q20 "Tokyo" (20 qubits, bidirected couplings).
+[[nodiscard]] CouplingMap ibm_tokyo();
+
+/// Directed line 0 -> 1 -> … -> m-1.
+[[nodiscard]] CouplingMap linear(int m);
+
+/// Directed ring 0 -> 1 -> … -> m-1 -> 0.
+[[nodiscard]] CouplingMap ring(int m);
+
+/// Bidirected rows x cols grid.
+[[nodiscard]] CouplingMap grid(int rows, int cols);
+
+/// Fully bidirected clique on m qubits (useful as an idealised baseline).
+[[nodiscard]] CouplingMap clique(int m);
+
+/// Looks up an architecture by name ("qx2", "qx4", "qx5", "tokyo",
+/// "linear<m>", "ring<m>", "clique<m>"). \throws std::invalid_argument for
+/// unknown names.
+[[nodiscard]] CouplingMap by_name(const std::string& name);
+
+/// Names accepted by by_name for the fixed architectures.
+[[nodiscard]] std::vector<std::string> known_names();
+
+}  // namespace qxmap::arch

@@ -1,0 +1,68 @@
+/// \file coupling_map.hpp
+/// Directed coupling maps of IBM QX architectures (Def. 2).
+///
+/// An entry (pi, pj) means a CNOT with control pi and target pj is natively
+/// executable. A CNOT in the opposite direction costs 4 extra H gates; a
+/// CNOT between uncoupled qubits requires SWAPs (7 gates each).
+
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qxmap::arch {
+
+/// Immutable directed graph over `num_physical()` qubits.
+class CouplingMap {
+ public:
+  /// \param num_physical number of physical qubits m
+  /// \param edges directed (control, target) pairs; duplicates are removed
+  /// \param name architecture name for reports
+  /// \throws std::invalid_argument on out-of-range endpoints or self-loops.
+  CouplingMap(int num_physical, std::vector<std::pair<int, int>> edges, std::string name = {});
+
+  [[nodiscard]] int num_physical() const noexcept { return m_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Directed query: CNOT(control → target) natively executable?
+  [[nodiscard]] bool allows(int control, int target) const;
+
+  /// Undirected query: any CNOT orientation executable between a and b?
+  [[nodiscard]] bool coupled(int a, int b) const;
+
+  /// All directed edges, sorted.
+  [[nodiscard]] const std::vector<std::pair<int, int>>& edges() const noexcept { return edges_; }
+
+  /// Undirected edge set with a < b, deduplicated, sorted.
+  [[nodiscard]] const std::vector<std::pair<int, int>>& undirected_edges() const noexcept {
+    return undirected_;
+  }
+
+  /// Undirected neighbours of qubit `p`.
+  [[nodiscard]] const std::vector<int>& neighbours(int p) const;
+
+  /// True iff the undirected graph on all m qubits is connected.
+  [[nodiscard]] bool is_connected() const;
+
+  /// True iff the undirected subgraph induced by `subset` is connected.
+  /// An empty subset counts as connected.
+  [[nodiscard]] bool subset_connected(const std::vector<int>& subset) const;
+
+  /// True iff the undirected graph contains a 3-clique (needed for the
+  /// paper's *qubit triangle* strategy, Sec. 4.2).
+  [[nodiscard]] bool has_triangle() const;
+
+  /// Coupling map induced by `subset` (sorted, distinct), with qubits
+  /// renumbered 0 … subset.size()-1 in subset order. Directions preserved.
+  [[nodiscard]] CouplingMap induced(const std::vector<int>& subset) const;
+
+ private:
+  int m_;
+  std::string name_;
+  std::vector<std::pair<int, int>> edges_;
+  std::vector<std::pair<int, int>> undirected_;
+  std::vector<std::vector<int>> neighbours_;
+};
+
+}  // namespace qxmap::arch

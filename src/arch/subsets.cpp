@@ -1,0 +1,37 @@
+#include "arch/subsets.hpp"
+
+#include <stdexcept>
+
+namespace qxmap::arch {
+
+std::vector<std::vector<int>> all_subsets(int m, int n) {
+  if (n < 0 || n > m) throw std::invalid_argument("all_subsets: need 0 <= n <= m");
+  std::vector<std::vector<int>> out;
+  std::vector<int> cur;
+  cur.reserve(static_cast<std::size_t>(n));
+  // Iterative combination enumeration in lexicographic order.
+  const auto recurse = [&](auto&& self, int next) -> void {
+    if (static_cast<int>(cur.size()) == n) {
+      out.push_back(cur);
+      return;
+    }
+    const int remaining = n - static_cast<int>(cur.size());
+    for (int v = next; v <= m - remaining; ++v) {
+      cur.push_back(v);
+      self(self, v + 1);
+      cur.pop_back();
+    }
+  };
+  recurse(recurse, 0);
+  return out;
+}
+
+std::vector<std::vector<int>> connected_subsets(const CouplingMap& cm, int n) {
+  std::vector<std::vector<int>> out;
+  for (auto& s : all_subsets(cm.num_physical(), n)) {
+    if (cm.subset_connected(s)) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace qxmap::arch

@@ -1,0 +1,27 @@
+/// \file subsets.hpp
+/// Enumeration of connected physical-qubit subsets (Sec. 4.1).
+///
+/// When a circuit uses n < m logical qubits, the exact mapper may restrict
+/// itself to an n-element subset of the physical qubits, solving one
+/// (smaller) instance per subset. Only subsets whose induced coupling
+/// subgraph is connected can host a mapping that brings arbitrary pairs
+/// together (Example 9: every useful 4-subset of QX4 contains p3), so
+/// disconnected subsets are pruned here instead of burning solver time.
+
+#pragma once
+
+#include <vector>
+
+#include "arch/coupling_map.hpp"
+
+namespace qxmap::arch {
+
+/// All size-n subsets of {0, …, m-1}, in lexicographic order.
+/// \throws std::invalid_argument if n < 0 or n > m.
+[[nodiscard]] std::vector<std::vector<int>> all_subsets(int m, int n);
+
+/// The size-n subsets whose induced undirected coupling graph is connected,
+/// in lexicographic order. This is the instance list of Sec. 4.1.
+[[nodiscard]] std::vector<std::vector<int>> connected_subsets(const CouplingMap& cm, int n);
+
+}  // namespace qxmap::arch

@@ -1,0 +1,191 @@
+#include "arch/swap_costs.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace qxmap::arch {
+
+SwapCostTable::SwapCostTable(const CouplingMap& cm)
+    : m_(cm.num_physical()), generators_(cm.undirected_edges()) {
+  if (m_ > 8) {
+    throw std::invalid_argument("SwapCostTable: m > 8 would tabulate more than 8! permutations; "
+                                "use greedy_swap_sequence instead");
+  }
+  if (!cm.is_connected()) {
+    throw std::invalid_argument("SwapCostTable: coupling graph must be connected");
+  }
+  const auto total = static_cast<std::size_t>(Permutation::factorial(static_cast<std::size_t>(m_)));
+  constexpr std::uint8_t kUnseen = 0xff;
+  cost_.assign(total, kUnseen);
+  pred_edge_.assign(total, -1);
+
+  const Permutation identity(static_cast<std::size_t>(m_));
+  std::deque<Permutation> queue;
+  cost_[identity.rank()] = 0;
+  queue.push_back(identity);
+
+  while (!queue.empty()) {
+    const Permutation cur = std::move(queue.front());
+    queue.pop_front();
+    const auto cur_cost = cost_[cur.rank()];
+    for (std::size_t e = 0; e < generators_.size(); ++e) {
+      const auto [a, b] = generators_[e];
+      Permutation nxt = cur.with_transposition(a, b);
+      const auto r = nxt.rank();
+      if (cost_[r] == kUnseen) {
+        cost_[r] = static_cast<std::uint8_t>(cur_cost + 1);
+        pred_edge_[r] = static_cast<std::int32_t>(e);
+        max_swaps_ = std::max(max_swaps_, static_cast<int>(cur_cost) + 1);
+        queue.push_back(std::move(nxt));
+      }
+    }
+  }
+}
+
+int SwapCostTable::swaps(const Permutation& pi) const {
+  if (static_cast<int>(pi.size()) != m_) {
+    throw std::invalid_argument("SwapCostTable::swaps: permutation size mismatch");
+  }
+  return static_cast<int>(cost_[pi.rank()]);
+}
+
+std::vector<std::pair<int, int>> SwapCostTable::swap_sequence(const Permutation& pi) const {
+  if (static_cast<int>(pi.size()) != m_) {
+    throw std::invalid_argument("SwapCostTable::swap_sequence: permutation size mismatch");
+  }
+  std::vector<std::pair<int, int>> reversed;
+  Permutation cur = pi;
+  while (!cur.is_identity()) {
+    const auto e = pred_edge_[cur.rank()];
+    const auto [a, b] = generators_[static_cast<std::size_t>(e)];
+    reversed.emplace_back(a, b);
+    // Transpositions are involutions: undo the last swap to reach the
+    // predecessor on the BFS tree.
+    cur = cur.with_transposition(a, b);
+  }
+  std::reverse(reversed.begin(), reversed.end());
+  return reversed;
+}
+
+std::vector<std::pair<int, int>> greedy_swap_sequence(const CouplingMap& cm,
+                                                      const Permutation& pi) {
+  const int m = cm.num_physical();
+  if (static_cast<int>(pi.size()) != m) {
+    throw std::invalid_argument("greedy_swap_sequence: permutation size mismatch");
+  }
+  if (!cm.is_connected()) {
+    throw std::invalid_argument("greedy_swap_sequence: coupling graph must be connected");
+  }
+
+  // BFS spanning tree rooted at 0.
+  std::vector<int> parent(static_cast<std::size_t>(m), -1);
+  std::vector<std::vector<int>> children(static_cast<std::size_t>(m));
+  std::vector<bool> seen(static_cast<std::size_t>(m), false);
+  std::deque<int> bfs{0};
+  seen[0] = true;
+  while (!bfs.empty()) {
+    const int v = bfs.front();
+    bfs.pop_front();
+    for (const int nb : cm.neighbours(v)) {
+      if (!seen[static_cast<std::size_t>(nb)]) {
+        seen[static_cast<std::size_t>(nb)] = true;
+        parent[static_cast<std::size_t>(nb)] = v;
+        children[static_cast<std::size_t>(v)].push_back(nb);
+        bfs.push_back(nb);
+      }
+    }
+  }
+
+  // Leaf-removal order: repeatedly strip leaves of the remaining tree.
+  std::vector<int> degree(static_cast<std::size_t>(m), 0);
+  for (int v = 0; v < m; ++v) {
+    if (parent[static_cast<std::size_t>(v)] >= 0) {
+      ++degree[static_cast<std::size_t>(v)];
+      ++degree[static_cast<std::size_t>(parent[static_cast<std::size_t>(v)])];
+    }
+  }
+  std::vector<int> order;
+  std::vector<bool> removed(static_cast<std::size_t>(m), false);
+  std::deque<int> leaves;
+  for (int v = 0; v < m; ++v) {
+    if (degree[static_cast<std::size_t>(v)] <= 1) leaves.push_back(v);
+  }
+  while (!leaves.empty()) {
+    const int v = leaves.front();
+    leaves.pop_front();
+    if (removed[static_cast<std::size_t>(v)]) continue;
+    removed[static_cast<std::size_t>(v)] = true;
+    order.push_back(v);
+    const int p = parent[static_cast<std::size_t>(v)];
+    if (p >= 0 && !removed[static_cast<std::size_t>(p)]) {
+      if (--degree[static_cast<std::size_t>(p)] <= 1) leaves.push_back(p);
+    }
+    for (const int c : children[static_cast<std::size_t>(v)]) {
+      if (!removed[static_cast<std::size_t>(c)]) {
+        if (--degree[static_cast<std::size_t>(c)] <= 1) leaves.push_back(c);
+      }
+    }
+  }
+
+  // Token state: token originating at i must reach pi(i).
+  std::vector<int> token_at(static_cast<std::size_t>(m));   // vertex -> token
+  std::vector<int> pos_of(static_cast<std::size_t>(m));     // token -> vertex
+  for (int i = 0; i < m; ++i) {
+    token_at[static_cast<std::size_t>(i)] = i;
+    pos_of[static_cast<std::size_t>(i)] = i;
+  }
+  std::vector<bool> settled(static_cast<std::size_t>(m), false);
+  std::vector<std::pair<int, int>> swaps;
+
+  const auto tree_path = [&](int from, int to) {
+    // Path in the spanning tree avoiding settled vertices (both endpoints
+    // unsettled; the tree restricted to unsettled vertices stays connected
+    // because we settle in leaf-removal order). Simple BFS over tree edges.
+    std::vector<int> prev(static_cast<std::size_t>(m), -2);
+    std::deque<int> q{from};
+    prev[static_cast<std::size_t>(from)] = -1;
+    while (!q.empty()) {
+      const int v = q.front();
+      q.pop_front();
+      if (v == to) break;
+      std::vector<int> adj = children[static_cast<std::size_t>(v)];
+      if (parent[static_cast<std::size_t>(v)] >= 0) adj.push_back(parent[static_cast<std::size_t>(v)]);
+      for (const int nb : adj) {
+        if (prev[static_cast<std::size_t>(nb)] == -2 && !settled[static_cast<std::size_t>(nb)]) {
+          prev[static_cast<std::size_t>(nb)] = v;
+          q.push_back(nb);
+        }
+      }
+    }
+    std::vector<int> path;
+    for (int v = to; v != -1; v = prev[static_cast<std::size_t>(v)]) path.push_back(v);
+    std::reverse(path.begin(), path.end());
+    return path;  // from … to
+  };
+
+  for (const int v : order) {
+    // Find the token destined for v and walk it there.
+    int wanted = -1;
+    for (int t = 0; t < m; ++t) {
+      if (pi.at(static_cast<std::size_t>(t)) == v) {
+        wanted = t;
+        break;
+      }
+    }
+    const int start = pos_of[static_cast<std::size_t>(wanted)];
+    const auto path = tree_path(start, v);
+    for (std::size_t s = 0; s + 1 < path.size(); ++s) {
+      const int a = path[s];
+      const int b = path[s + 1];
+      swaps.emplace_back(a, b);
+      std::swap(token_at[static_cast<std::size_t>(a)], token_at[static_cast<std::size_t>(b)]);
+      pos_of[static_cast<std::size_t>(token_at[static_cast<std::size_t>(a)])] = a;
+      pos_of[static_cast<std::size_t>(token_at[static_cast<std::size_t>(b)])] = b;
+    }
+    settled[static_cast<std::size_t>(v)] = true;
+  }
+  return swaps;
+}
+
+}  // namespace qxmap::arch

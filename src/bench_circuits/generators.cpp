@@ -1,0 +1,152 @@
+#include "bench_circuits/generators.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace qxmap::bench {
+
+namespace {
+const OpKind kSingleKinds[] = {OpKind::X, OpKind::H, OpKind::S,
+                               OpKind::Sdg, OpKind::T, OpKind::Tdg};
+}
+
+Circuit random_circuit(int num_qubits, int num_single, int num_cnot, std::uint64_t seed,
+                       std::string name) {
+  if (num_qubits < 2 && num_cnot > 0) {
+    throw std::invalid_argument("random_circuit: CNOTs need at least 2 qubits");
+  }
+  if (num_single < 0 || num_cnot < 0) {
+    throw std::invalid_argument("random_circuit: negative gate count");
+  }
+  Rng rng(seed);
+  // Random interleaving: a shuffled tag vector (true = CNOT slot).
+  std::vector<bool> is_cnot(static_cast<std::size_t>(num_single + num_cnot), false);
+  std::fill(is_cnot.begin(), is_cnot.begin() + num_cnot, true);
+  rng.shuffle(is_cnot);
+
+  Circuit c(num_qubits, std::move(name));
+  for (const bool cnot_slot : is_cnot) {
+    if (cnot_slot) {
+      const int control = rng.next_int(0, num_qubits - 1);
+      int target = rng.next_int(0, num_qubits - 2);
+      if (target >= control) ++target;
+      c.cnot(control, target);
+    } else {
+      const OpKind kind = kSingleKinds[rng.next_below(std::size(kSingleKinds))];
+      c.append(Gate::single(kind, rng.next_int(0, num_qubits - 1)));
+    }
+  }
+  return c;
+}
+
+Circuit random_cnot_circuit(int num_qubits, int num_cnot, std::uint64_t seed, std::string name) {
+  return random_circuit(num_qubits, 0, num_cnot, seed, std::move(name));
+}
+
+Circuit structured_circuit(int num_qubits, int num_single, int num_cnot, std::uint64_t seed,
+                           std::string name) {
+  if (num_qubits < 2 && num_cnot > 0) {
+    throw std::invalid_argument("structured_circuit: CNOTs need at least 2 qubits");
+  }
+  if (num_single < 0 || num_cnot < 0) {
+    throw std::invalid_argument("structured_circuit: negative gate count");
+  }
+  Rng rng(seed);
+
+  // A "unit" is an uninterruptible CNOT-bearing fragment: either one
+  // Toffoli-style block (6 CNOTs + 9 singles on a triple) or one CNOT.
+  std::vector<std::vector<Gate>> units;
+  int cx_left = num_cnot;
+  int oneq_left = num_single;
+
+  const int max_blocks = num_qubits >= 3 ? std::min(num_cnot / 6, num_single / 9) : 0;
+  const int blocks =
+      max_blocks > 0 ? static_cast<int>(rng.next_below(static_cast<std::uint64_t>(max_blocks) + 1))
+                     : 0;
+  for (int blk = 0; blk < blocks; ++blk) {
+    // Random distinct triple (c1, c2, t).
+    const int c1 = rng.next_int(0, num_qubits - 1);
+    int c2 = rng.next_int(0, num_qubits - 2);
+    if (c2 >= c1) ++c2;
+    int t = rng.next_int(0, num_qubits - 3);
+    for (const int used : {std::min(c1, c2), std::max(c1, c2)}) {
+      if (t >= used) ++t;
+    }
+    std::vector<Gate> block;
+    block.push_back(Gate::single(OpKind::H, t));
+    block.push_back(Gate::cnot(c2, t));
+    block.push_back(Gate::single(OpKind::Tdg, t));
+    block.push_back(Gate::cnot(c1, t));
+    block.push_back(Gate::single(OpKind::T, t));
+    block.push_back(Gate::cnot(c2, t));
+    block.push_back(Gate::single(OpKind::Tdg, t));
+    block.push_back(Gate::cnot(c1, t));
+    block.push_back(Gate::single(OpKind::T, c2));
+    block.push_back(Gate::single(OpKind::T, t));
+    block.push_back(Gate::cnot(c1, c2));
+    block.push_back(Gate::single(OpKind::H, t));
+    block.push_back(Gate::single(OpKind::T, c1));
+    block.push_back(Gate::single(OpKind::Tdg, c2));
+    block.push_back(Gate::cnot(c1, c2));
+    units.push_back(std::move(block));
+    cx_left -= 6;
+    oneq_left -= 9;
+  }
+
+  // Leftover CNOTs with locality bias: reuse a qubit of the previous pair
+  // with high probability, as consecutive reversible gates tend to.
+  int prev_a = -1;
+  int prev_b = -1;
+  for (int g = 0; g < cx_left; ++g) {
+    int a;
+    if (prev_a >= 0 && rng.next_bool(0.6)) {
+      a = rng.next_bool(0.5) ? prev_a : prev_b;
+    } else {
+      a = rng.next_int(0, num_qubits - 1);
+    }
+    int b = rng.next_int(0, num_qubits - 2);
+    if (b >= a) ++b;
+    units.push_back({rng.next_bool(0.5) ? Gate::cnot(a, b) : Gate::cnot(b, a)});
+    prev_a = a;
+    prev_b = b;
+  }
+  rng.shuffle(units);
+
+  // Sprinkle the leftover single-qubit gates at random unit boundaries.
+  std::vector<std::size_t> insert_before(static_cast<std::size_t>(oneq_left));
+  for (auto& pos : insert_before) pos = rng.next_below(units.size() + 1);
+
+  Circuit c(num_qubits, std::move(name));
+  for (std::size_t u = 0; u <= units.size(); ++u) {
+    for (const auto pos : insert_before) {
+      if (pos == u) {
+        const OpKind kind = kSingleKinds[rng.next_below(std::size(kSingleKinds))];
+        c.append(Gate::single(kind, rng.next_int(0, num_qubits - 1)));
+      }
+    }
+    if (u < units.size()) {
+      for (const auto& g : units[u]) c.append(g);
+    }
+  }
+  return c;
+}
+
+Circuit layered_cnot_circuit(int num_qubits, int num_layers, std::uint64_t seed,
+                             std::string name) {
+  if (num_qubits < 2) throw std::invalid_argument("layered_cnot_circuit: need >= 2 qubits");
+  Rng rng(seed);
+  Circuit c(num_qubits, std::move(name));
+  std::vector<int> order(static_cast<std::size_t>(num_qubits));
+  for (int q = 0; q < num_qubits; ++q) order[static_cast<std::size_t>(q)] = q;
+  for (int layer = 0; layer < num_layers; ++layer) {
+    rng.shuffle(order);
+    for (int p = 0; p + 1 < num_qubits; p += 2) {
+      c.cnot(order[static_cast<std::size_t>(p)], order[static_cast<std::size_t>(p + 1)]);
+    }
+  }
+  return c;
+}
+
+}  // namespace qxmap::bench

@@ -1,0 +1,40 @@
+/// \file generators.hpp
+/// Deterministic random-circuit generators used for the synthetic Table-1
+/// instances, the scaling benchmarks, and the property-based tests.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/circuit.hpp"
+
+namespace qxmap::bench {
+
+/// A circuit with exactly `num_single` single-qubit gates (kinds drawn from
+/// {X, H, S, Sdg, T, Tdg}) and `num_cnot` CNOTs on uniformly random distinct
+/// pairs, interleaved uniformly at random. Deterministic per seed.
+[[nodiscard]] Circuit random_circuit(int num_qubits, int num_single, int num_cnot,
+                                     std::uint64_t seed, std::string name = {});
+
+/// CNOT-only variant (the mapping problem's essential core).
+[[nodiscard]] Circuit random_cnot_circuit(int num_qubits, int num_cnot, std::uint64_t seed,
+                                          std::string name = {});
+
+/// `num_layers` layers, each containing floor(num_qubits/2) CNOTs on a
+/// random perfect matching of the qubits — the dense-layer workload used by
+/// the scaling benchmark.
+[[nodiscard]] Circuit layered_cnot_circuit(int num_qubits, int num_layers, std::uint64_t seed,
+                                           std::string name = {});
+
+/// Reversible-netlist-shaped circuit with exactly `num_single` single-qubit
+/// gates and `num_cnot` CNOTs: as much of the budget as a random draw
+/// allows is spent on Toffoli-style blocks (the 15-gate CCX network: 6
+/// CNOTs + 9 single-qubit gates on a random qubit triple) and the rest on
+/// locality-biased CNOTs / random single-qubit gates. This mirrors the
+/// structure of the RevLib circuits behind Table 1 far better than uniform
+/// pair sampling — real netlists hammer few qubit pairs repeatedly.
+[[nodiscard]] Circuit structured_circuit(int num_qubits, int num_single, int num_cnot,
+                                         std::uint64_t seed, std::string name = {});
+
+}  // namespace qxmap::bench

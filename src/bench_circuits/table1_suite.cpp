@@ -1,0 +1,67 @@
+#include "bench_circuits/table1_suite.hpp"
+
+#include <stdexcept>
+
+#include "bench_circuits/generators.hpp"
+#include "common/rng.hpp"
+
+namespace qxmap::bench {
+
+Circuit Table1Benchmark::build() const {
+  return structured_circuit(n, single_qubit, cnot, Rng::seed_from_string(name), name);
+}
+
+const std::vector<Table1Benchmark>& table1_benchmarks() {
+  // name, n, #1q, #CNOT, paper c_min, paper IBM-Qiskit c.
+  static const std::vector<Table1Benchmark> kSuite = {
+      {"3_17_13", 3, 19, 17, 59, 80},
+      {"ex-1_166", 3, 10, 9, 31, 39},
+      {"ham3_102", 3, 9, 11, 36, 48},
+      {"miller_11", 3, 27, 23, 82, 82},
+      {"4gt11_84", 4, 9, 9, 34, 37},
+      {"rd32-v0_66", 4, 18, 16, 63, 101},
+      {"rd32-v1_68", 4, 20, 16, 65, 99},
+      {"4gt11_82", 5, 9, 18, 62, 77},
+      {"4gt11_83", 5, 9, 14, 49, 65},
+      {"4gt13_92", 5, 36, 30, 109, 126},
+      {"4mod5-v0_19", 5, 19, 16, 64, 109},
+      {"4mod5-v0_20", 5, 10, 10, 35, 64},
+      {"4mod5-v1_22", 5, 10, 11, 40, 52},
+      {"4mod5-v1_24", 5, 20, 16, 63, 98},
+      {"alu-v0_27", 5, 19, 17, 63, 101},
+      {"alu-v1_28", 5, 19, 18, 64, 123},
+      {"alu-v1_29", 5, 20, 17, 64, 104},
+      {"alu-v2_33", 5, 20, 17, 64, 99},
+      {"alu-v3_34", 5, 28, 24, 90, 178},
+      {"alu-v3_35", 5, 19, 18, 64, 121},
+      {"alu-v4_37", 5, 19, 18, 64, 110},
+      {"mod5d1_63", 5, 9, 13, 48, 98},
+      {"mod5mils_65", 5, 19, 16, 64, 108},
+      {"qe_q_4", 5, 44, 27, 94, 115},
+      {"qe_q_5", 5, 69, 38, 135, 163},
+  };
+  return kSuite;
+}
+
+const Table1Benchmark& table1_benchmark(const std::string& name) {
+  for (const auto& b : table1_benchmarks()) {
+    if (b.name == name) return b;
+  }
+  throw std::invalid_argument("unknown Table-1 benchmark: " + name);
+}
+
+Circuit paper_example_circuit() {
+  // Fig. 1a with the paper's 1-based qubits q1..q4 as 0-based 0..3.
+  Circuit c(4, "fig1a");
+  c.h(2);        // H q3
+  c.cnot(2, 3);  // g1: CX(q3, q4)
+  c.h(1);        // H q2
+  c.cnot(0, 1);  // g2: CX(q1, q2)
+  c.t(0);        // T q1
+  c.cnot(1, 2);  // g3: CX(q2, q3)
+  c.cnot(0, 1);  // g4: CX(q1, q2)
+  c.cnot(2, 1);  // g5: CX(q3, q2)
+  return c;
+}
+
+}  // namespace qxmap::bench

@@ -1,0 +1,129 @@
+#include "common/gf2.hpp"
+
+#include <stdexcept>
+
+#include "common/permutation.hpp"
+
+namespace qxmap {
+
+Gf2Matrix::Gf2Matrix(std::size_t n) : n_(n), bits_(n * ((n + 63) / 64), 0) {}
+
+Gf2Matrix Gf2Matrix::identity(std::size_t n) {
+  Gf2Matrix m(n);
+  for (std::size_t i = 0; i < n; ++i) m.set(i, i, true);
+  return m;
+}
+
+Gf2Matrix Gf2Matrix::from_permutation(const Permutation& pi) {
+  Gf2Matrix m(pi.size());
+  for (std::size_t i = 0; i < pi.size(); ++i) {
+    m.set(static_cast<std::size_t>(pi.at(i)), i, true);
+  }
+  return m;
+}
+
+bool Gf2Matrix::get(std::size_t row, std::size_t col) const {
+  if (row >= n_ || col >= n_) throw std::out_of_range("Gf2Matrix::get");
+  return (bits_[row * words_per_row() + col / 64] >> (col % 64)) & 1ULL;
+}
+
+void Gf2Matrix::set(std::size_t row, std::size_t col, bool value) {
+  if (row >= n_ || col >= n_) throw std::out_of_range("Gf2Matrix::set");
+  auto& word = bits_[row * words_per_row() + col / 64];
+  const std::uint64_t mask = 1ULL << (col % 64);
+  if (value) {
+    word |= mask;
+  } else {
+    word &= ~mask;
+  }
+}
+
+void Gf2Matrix::xor_row(std::size_t target, std::size_t source) {
+  if (target >= n_ || source >= n_) throw std::out_of_range("Gf2Matrix::xor_row");
+  const std::size_t w = words_per_row();
+  for (std::size_t k = 0; k < w; ++k) {
+    bits_[target * w + k] ^= bits_[source * w + k];
+  }
+}
+
+void Gf2Matrix::swap_rows(std::size_t a, std::size_t b) {
+  if (a >= n_ || b >= n_) throw std::out_of_range("Gf2Matrix::swap_rows");
+  const std::size_t w = words_per_row();
+  for (std::size_t k = 0; k < w; ++k) {
+    std::swap(bits_[a * w + k], bits_[b * w + k]);
+  }
+}
+
+Gf2Matrix Gf2Matrix::multiply(const Gf2Matrix& rhs) const {
+  if (rhs.n_ != n_) throw std::invalid_argument("Gf2Matrix::multiply: size mismatch");
+  Gf2Matrix out(n_);
+  const std::size_t w = words_per_row();
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (!get(i, j)) continue;
+      // out.row(i) ^= rhs.row(j)
+      for (std::size_t k = 0; k < w; ++k) {
+        out.bits_[i * w + k] ^= rhs.bits_[j * w + k];
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t Gf2Matrix::rank() const {
+  Gf2Matrix m = *this;
+  const std::size_t w = words_per_row();
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < n_ && rank < n_; ++col) {
+    std::size_t pivot = rank;
+    while (pivot < n_ && !m.get(pivot, col)) ++pivot;
+    if (pivot == n_) continue;
+    m.swap_rows(rank, pivot);
+    for (std::size_t r = 0; r < n_; ++r) {
+      if (r != rank && m.get(r, col)) {
+        for (std::size_t k = 0; k < w; ++k) {
+          m.bits_[r * w + k] ^= m.bits_[rank * w + k];
+        }
+      }
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+bool Gf2Matrix::invertible() const { return rank() == n_; }
+
+Gf2Matrix Gf2Matrix::inverse() const {
+  Gf2Matrix m = *this;
+  Gf2Matrix inv = identity(n_);
+  const std::size_t w = words_per_row();
+  for (std::size_t col = 0; col < n_; ++col) {
+    std::size_t pivot = col;
+    while (pivot < n_ && !m.get(pivot, col)) ++pivot;
+    if (pivot == n_) throw std::domain_error("Gf2Matrix::inverse: singular matrix");
+    m.swap_rows(col, pivot);
+    inv.swap_rows(col, pivot);
+    for (std::size_t r = 0; r < n_; ++r) {
+      if (r != col && m.get(r, col)) {
+        for (std::size_t k = 0; k < w; ++k) {
+          m.bits_[r * w + k] ^= m.bits_[col * w + k];
+          inv.bits_[r * w + k] ^= inv.bits_[col * w + k];
+        }
+      }
+    }
+  }
+  return inv;
+}
+
+std::string Gf2Matrix::to_string() const {
+  std::string s;
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      s += get(i, j) ? '1' : '0';
+    }
+    s += '\n';
+  }
+  return s;
+}
+
+}  // namespace qxmap

@@ -1,0 +1,73 @@
+/// \file gf2.hpp
+/// Dense linear algebra over GF(2), rows packed into 64-bit words.
+///
+/// A circuit consisting only of CNOT (and SWAP) gates computes an invertible
+/// linear map on basis-state indices over GF(2). The equivalence checker
+/// (sim/linear_reversible) uses this to verify, for circuits of *any* size,
+/// that a mapped circuit realises the original CNOT skeleton up to the
+/// input/output qubit placements chosen by the mapper.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qxmap {
+
+class Permutation;
+
+/// Square boolean matrix over GF(2). Row-major; bit j of row i is entry
+/// (i, j). Dimensions up to a few thousand are fine; the mapper uses n <= 20.
+class Gf2Matrix {
+ public:
+  /// Zero matrix of size n x n.
+  explicit Gf2Matrix(std::size_t n);
+
+  /// Identity matrix of size n x n.
+  [[nodiscard]] static Gf2Matrix identity(std::size_t n);
+
+  /// Permutation matrix: maps unit vector e_i to e_{pi(i)}.
+  [[nodiscard]] static Gf2Matrix from_permutation(const Permutation& pi);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  /// Entry (row, col).
+  [[nodiscard]] bool get(std::size_t row, std::size_t col) const;
+  void set(std::size_t row, std::size_t col, bool value);
+
+  /// In-place row update: row[target] ^= row[source]. This is exactly the
+  /// action of CNOT(control=source, target=target) on the phase-space
+  /// representation used by linear_reversible.
+  void xor_row(std::size_t target, std::size_t source);
+
+  /// Swap two rows (action of a SWAP gate).
+  void swap_rows(std::size_t a, std::size_t b);
+
+  /// Matrix product (this * rhs) over GF(2).
+  [[nodiscard]] Gf2Matrix multiply(const Gf2Matrix& rhs) const;
+
+  /// Rank via Gaussian elimination (does not modify *this).
+  [[nodiscard]] std::size_t rank() const;
+
+  /// True iff invertible (rank == n).
+  [[nodiscard]] bool invertible() const;
+
+  /// Inverse via Gauss–Jordan.
+  /// \throws std::domain_error if singular.
+  [[nodiscard]] Gf2Matrix inverse() const;
+
+  /// Multi-line 0/1 rendering for diagnostics.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Gf2Matrix& a, const Gf2Matrix& b) = default;
+
+ private:
+  [[nodiscard]] std::size_t words_per_row() const noexcept { return (n_ + 63) / 64; }
+
+  std::size_t n_;
+  std::vector<std::uint64_t> bits_;  // rows concatenated
+};
+
+}  // namespace qxmap

@@ -1,0 +1,148 @@
+#include "common/permutation.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace qxmap {
+
+Permutation::Permutation(std::size_t m) : images_(m) {
+  std::iota(images_.begin(), images_.end(), 0);
+}
+
+Permutation::Permutation(std::vector<int> images) : images_(std::move(images)) {
+  std::vector<bool> seen(images_.size(), false);
+  for (const int v : images_) {
+    if (v < 0 || static_cast<std::size_t>(v) >= images_.size() || seen[static_cast<std::size_t>(v)]) {
+      throw std::invalid_argument("Permutation: image vector is not a bijection");
+    }
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+}
+
+bool Permutation::is_identity() const noexcept {
+  for (std::size_t i = 0; i < images_.size(); ++i) {
+    if (images_[i] != static_cast<int>(i)) return false;
+  }
+  return true;
+}
+
+Permutation Permutation::then(const Permutation& b) const {
+  if (b.size() != size()) throw std::invalid_argument("Permutation::then: size mismatch");
+  std::vector<int> out(size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    out[i] = b.images_[static_cast<std::size_t>(images_[i])];
+  }
+  return Permutation(std::move(out));
+}
+
+Permutation Permutation::inverse() const {
+  std::vector<int> out(size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    out[static_cast<std::size_t>(images_[i])] = static_cast<int>(i);
+  }
+  return Permutation(std::move(out));
+}
+
+Permutation Permutation::with_transposition(int a, int b) const {
+  if (a < 0 || b < 0 || static_cast<std::size_t>(a) >= size() || static_cast<std::size_t>(b) >= size()) {
+    throw std::out_of_range("Permutation::with_transposition: index out of range");
+  }
+  std::vector<int> out = images_;
+  // The transposition acts on the *targets*: states currently at a and b swap.
+  for (auto& v : out) {
+    if (v == a) {
+      v = b;
+    } else if (v == b) {
+      v = a;
+    }
+  }
+  return Permutation(std::move(out));
+}
+
+std::uint64_t Permutation::rank() const {
+  // Lehmer code: for each position, count smaller elements to the right.
+  const std::size_t m = size();
+  std::uint64_t r = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    std::uint64_t smaller = 0;
+    for (std::size_t j = i + 1; j < m; ++j) {
+      if (images_[j] < images_[i]) ++smaller;
+    }
+    r += smaller * factorial(m - i - 1);
+  }
+  return r;
+}
+
+Permutation Permutation::from_rank(std::size_t m, std::uint64_t r) {
+  if (r >= factorial(m)) throw std::out_of_range("Permutation::from_rank: rank out of range");
+  std::vector<int> pool(m);
+  std::iota(pool.begin(), pool.end(), 0);
+  std::vector<int> out;
+  out.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::uint64_t f = factorial(m - i - 1);
+    const auto idx = static_cast<std::size_t>(r / f);
+    r %= f;
+    out.push_back(pool[idx]);
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(idx));
+  }
+  return Permutation(std::move(out));
+}
+
+std::vector<Permutation> Permutation::all(std::size_t m) {
+  std::vector<int> v(m);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<Permutation> out;
+  out.reserve(static_cast<std::size_t>(factorial(m)));
+  do {
+    out.emplace_back(v);
+  } while (std::next_permutation(v.begin(), v.end()));
+  return out;
+}
+
+std::uint64_t Permutation::factorial(std::size_t m) {
+  if (m > 20) throw std::out_of_range("Permutation::factorial: m > 20 overflows 64 bits");
+  std::uint64_t f = 1;
+  for (std::size_t i = 2; i <= m; ++i) f *= i;
+  return f;
+}
+
+std::vector<std::vector<int>> Permutation::nontrivial_cycles() const {
+  std::vector<std::vector<int>> cycles;
+  std::vector<bool> seen(size(), false);
+  for (std::size_t start = 0; start < size(); ++start) {
+    if (seen[start] || images_[start] == static_cast<int>(start)) continue;
+    std::vector<int> cycle;
+    auto cur = static_cast<int>(start);
+    while (!seen[static_cast<std::size_t>(cur)]) {
+      seen[static_cast<std::size_t>(cur)] = true;
+      cycle.push_back(cur);
+      cur = images_[static_cast<std::size_t>(cur)];
+    }
+    cycles.push_back(std::move(cycle));
+  }
+  return cycles;
+}
+
+int Permutation::min_transpositions() const {
+  int moved = 0;
+  int cycles = 0;
+  for (const auto& c : nontrivial_cycles()) {
+    moved += static_cast<int>(c.size());
+    ++cycles;
+  }
+  return moved - cycles;
+}
+
+std::string Permutation::to_string() const {
+  std::string s = "[";
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (i > 0) s += ' ';
+    s += std::to_string(images_[i]);
+  }
+  s += ']';
+  return s;
+}
+
+}  // namespace qxmap

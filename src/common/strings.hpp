@@ -1,0 +1,34 @@
+/// \file strings.hpp
+/// Small string utilities shared by the QASM/RevLib front-ends and the
+/// table-printing benchmark harnesses.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qxmap {
+
+/// Removes leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept;
+
+/// Splits on `sep`, dropping empty pieces.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// Splits on any ASCII whitespace, dropping empty pieces.
+[[nodiscard]] std::vector<std::string> split_whitespace(std::string_view s);
+
+/// Lower-cases ASCII letters.
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// Fixed-point rendering with the given number of decimals (no locale).
+[[nodiscard]] std::string format_fixed(double value, int decimals);
+
+/// Left-pads `s` with spaces to at least `width` characters.
+[[nodiscard]] std::string pad_left(std::string_view s, std::size_t width);
+
+/// Right-pads `s` with spaces to at least `width` characters.
+[[nodiscard]] std::string pad_right(std::string_view s, std::size_t width);
+
+}  // namespace qxmap

@@ -1,0 +1,190 @@
+#include "exact/encoder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qxmap::exact {
+
+namespace {
+/// Positive literal of engine variable v (DIMACS-like convention).
+constexpr int lit(int v) { return v + 1; }
+}  // namespace
+
+Encoding::Encoding(reason::ReasoningEngine& engine, const std::vector<Gate>& cnots,
+                   int num_logical, const arch::CouplingMap& cm,
+                   const arch::SwapCostTable& table, const std::vector<std::size_t>& perm_points,
+                   const CostModel& costs)
+    : engine_(engine),
+      num_gates_(static_cast<int>(cnots.size())),
+      m_(cm.num_physical()),
+      n_(num_logical),
+      costs_(costs),
+      perm_points_(perm_points) {
+  if (cnots.empty()) throw std::invalid_argument("Encoding: empty CNOT skeleton");
+  if (n_ > m_) throw std::invalid_argument("Encoding: more logical than physical qubits");
+  if (costs_.swap_cost <= 0 || costs_.reverse_cost <= 0) {
+    throw std::invalid_argument("Encoding: cost weights must be resolved and positive");
+  }
+  for (const auto& g : cnots) {
+    if (!g.is_cnot()) throw std::invalid_argument("Encoding: skeleton must contain only CNOTs");
+    if (g.control >= n_ || g.target >= n_) {
+      throw std::invalid_argument("Encoding: gate uses logical qubit beyond num_logical");
+    }
+  }
+  for (const std::size_t k : perm_points_) {
+    if (k == 0 || k >= static_cast<std::size_t>(num_gates_)) {
+      throw std::invalid_argument("Encoding: permutation point out of range");
+    }
+  }
+  std::sort(perm_points_.begin(), perm_points_.end());
+
+  // Precompute Π and swaps(π).
+  perms_ = Permutation::all(static_cast<std::size_t>(m_));
+  perm_swaps_.reserve(perms_.size());
+  for (const auto& pi : perms_) perm_swaps_.push_back(table.swaps(pi));
+
+  // --- mapping variables x^k_ij (Def. 4) -------------------------------
+  x_.resize(static_cast<std::size_t>(num_gates_) * static_cast<std::size_t>(m_) *
+            static_cast<std::size_t>(n_));
+  for (auto& v : x_) {
+    v = engine_.new_bool();
+    ++var_count_;
+  }
+
+  // --- Eq. (1): well-defined mapping per gate ---------------------------
+  for (int k = 0; k < num_gates_; ++k) {
+    for (int j = 0; j < n_; ++j) {
+      std::vector<int> lits;
+      lits.reserve(static_cast<std::size_t>(m_));
+      for (int i = 0; i < m_; ++i) lits.push_back(lit(x_var(k, i, j)));
+      engine_.add_exactly_one(lits);
+      clause_count_ += 1 + static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_ - 1) / 2;
+    }
+    for (int i = 0; i < m_; ++i) {
+      std::vector<int> lits;
+      lits.reserve(static_cast<std::size_t>(n_));
+      for (int j = 0; j < n_; ++j) lits.push_back(lit(x_var(k, i, j)));
+      engine_.add_at_most_one(lits);
+      clause_count_ += static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_ - 1) / 2;
+    }
+  }
+
+  // --- Eqs. (2) and (4): coupling satisfaction + direction switches -----
+  z_.resize(static_cast<std::size_t>(num_gates_));
+  for (int k = 0; k < num_gates_; ++k) {
+    const int qc = cnots[static_cast<std::size_t>(k)].control;
+    const int qt = cnots[static_cast<std::size_t>(k)].target;
+    std::vector<int> forward_terms;
+    std::vector<int> reverse_terms;
+    for (const auto& [pi, pj] : cm.edges()) {
+      // Forward: control on p_i, target on p_j (edge direction matches).
+      forward_terms.push_back(
+          lit(engine_.make_and(lit(x_var(k, pi, qc)), lit(x_var(k, pj, qt)))));
+      // Reverse: target on p_i, control on p_j (needs 4 H gates).
+      reverse_terms.push_back(
+          lit(engine_.make_and(lit(x_var(k, pi, qt)), lit(x_var(k, pj, qc)))));
+      clause_count_ += 6;
+      var_count_ += 2;
+    }
+    // Eq. (2): some orientation must be executable.
+    std::vector<int> any;
+    any.reserve(forward_terms.size() + reverse_terms.size());
+    any.insert(any.end(), forward_terms.begin(), forward_terms.end());
+    any.insert(any.end(), reverse_terms.begin(), reverse_terms.end());
+    engine_.add_at_least_one(any);
+    ++clause_count_;
+
+    // Eq. (4), strengthened: z^k ↔ reverse-only placement.
+    const int fwd_or = engine_.make_or(forward_terms);
+    const int rev_or = engine_.make_or(reverse_terms);
+    z_[static_cast<std::size_t>(k)] = engine_.make_and(lit(rev_or), -lit(fwd_or));
+    var_count_ += 3;
+    clause_count_ += 2 * (forward_terms.size() + 1) + 3;
+    engine_.add_cost(z_[static_cast<std::size_t>(k)], costs_.reverse_cost);
+  }
+
+  // --- Eq. (3): mapping changes only at permutation points --------------
+  y_.resize(perm_points_.size());
+  std::size_t point_idx = 0;
+  for (int k = 1; k < num_gates_; ++k) {
+    const bool is_point = point_idx < perm_points_.size() &&
+                          perm_points_[point_idx] == static_cast<std::size_t>(k);
+    if (!is_point) {
+      // Hard equality x^{k-1} = x^k (no permutation allowed here, Sec. 4.2).
+      for (int i = 0; i < m_; ++i) {
+        for (int j = 0; j < n_; ++j) {
+          engine_.add_equal_lits(lit(x_var(k - 1, i, j)), lit(x_var(k, i, j)));
+          clause_count_ += 2;
+        }
+      }
+      continue;
+    }
+    auto& ys = y_[point_idx];
+    ys.reserve(perms_.size());
+    std::vector<int> y_lits;
+    y_lits.reserve(perms_.size());
+    for (std::size_t p = 0; p < perms_.size(); ++p) {
+      const int yv = engine_.new_bool();
+      ++var_count_;
+      ys.push_back(yv);
+      y_lits.push_back(lit(yv));
+      // y^k_π → ∧_{i,j} (x^{k-1}_ij = x^k_{π(i)j})
+      const Permutation& pi = perms_[p];
+      for (int i = 0; i < m_; ++i) {
+        for (int j = 0; j < n_; ++j) {
+          engine_.add_implies_equal(lit(yv), lit(x_var(k - 1, i, j)),
+                                    lit(x_var(k, pi.at(static_cast<std::size_t>(i)), j)));
+          clause_count_ += 2;
+        }
+      }
+      // Eq. (5) contribution: 7·swaps(π) when this permutation is applied.
+      const int sw = perm_swaps_[p];
+      if (sw > 0) engine_.add_cost(yv, static_cast<long long>(costs_.swap_cost) * sw);
+    }
+    engine_.add_exactly_one(y_lits);
+    clause_count_ += 1 + 3 * perms_.size();
+    ++point_idx;
+  }
+}
+
+Encoding::Solution Encoding::decode() const {
+  Solution sol;
+  sol.layouts.assign(static_cast<std::size_t>(num_gates_),
+                     std::vector<int>(static_cast<std::size_t>(n_), -1));
+  for (int k = 0; k < num_gates_; ++k) {
+    for (int j = 0; j < n_; ++j) {
+      for (int i = 0; i < m_; ++i) {
+        if (engine_.value(x_var(k, i, j))) {
+          if (sol.layouts[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)] != -1) {
+            throw std::logic_error("Encoding::decode: logical qubit mapped twice");
+          }
+          sol.layouts[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)] = i;
+        }
+      }
+      if (sol.layouts[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)] == -1) {
+        throw std::logic_error("Encoding::decode: logical qubit unmapped");
+      }
+    }
+  }
+  sol.reversed.resize(static_cast<std::size_t>(num_gates_));
+  for (int k = 0; k < num_gates_; ++k) {
+    sol.reversed[static_cast<std::size_t>(k)] = engine_.value(z_[static_cast<std::size_t>(k)]);
+    if (sol.reversed[static_cast<std::size_t>(k)]) sol.cost_f += costs_.reverse_cost;
+  }
+  for (std::size_t p = 0; p < perm_points_.size(); ++p) {
+    int chosen = -1;
+    for (std::size_t q = 0; q < perms_.size(); ++q) {
+      if (engine_.value(y_[p][q])) {
+        if (chosen != -1) throw std::logic_error("Encoding::decode: two permutations chosen");
+        chosen = static_cast<int>(q);
+      }
+    }
+    if (chosen == -1) throw std::logic_error("Encoding::decode: no permutation chosen at point");
+    sol.point_perms.push_back(perms_[static_cast<std::size_t>(chosen)]);
+    sol.cost_f += static_cast<long long>(costs_.swap_cost) *
+                  perm_swaps_[static_cast<std::size_t>(chosen)];
+  }
+  return sol;
+}
+
+}  // namespace qxmap::exact

@@ -1,0 +1,93 @@
+/// \file encoder.hpp
+/// The symbolic formulation of Sec. 3.2: variables x^k_ij, y^k_π, z^k and
+/// constraints Eqs. (1)–(4) with the objective Eq. (5), emitted into a
+/// ReasoningEngine.
+///
+/// Conventions (all 0-based):
+///  * k indexes the CNOT gates of the skeleton, 0 … K-1; x^k describes the
+///    logical→physical mapping *before* gate k.
+///  * A "permutation point" k (k >= 1) allows the mapping to change between
+///    gates k-1 and k; the initial mapping (before gate 0) is always free.
+///  * Eq. (3) is encoded in the footnote-5 form that is correct for both
+///    n = m and n < m: exactly-one over the y^k_π plus the left implication
+///    y^k_π → ∧ (x^{k-1}_ij = x^k_{π(i)j}). With n = m the consistent π is
+///    unique, so this degenerates to the equivalence of Eq. (3); with n < m
+///    the objective makes the engine pick the cheapest consistent π.
+///  * Eq. (4) is strengthened to z^k ↔ (reverse placement ∧ ¬forward
+///    placement) so that bidirected couplings do not pay the 4-H penalty;
+///    on the antisymmetric QX coupling maps this is exactly Eq. (4).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "arch/coupling_map.hpp"
+#include "arch/swap_costs.hpp"
+#include "common/permutation.hpp"
+#include "exact/types.hpp"
+#include "ir/gate.hpp"
+#include "reason/engine.hpp"
+
+namespace qxmap::exact {
+
+/// Variable bookkeeping plus the data needed to decode a model.
+class Encoding {
+ public:
+  /// Builds the full formulation into `engine`.
+  ///
+  /// \param engine the reasoning engine receiving clauses and costs
+  /// \param cnots the CNOT skeleton (logical qubit pairs), non-empty
+  /// \param num_logical n (> largest qubit index used by `cnots`)
+  /// \param cm coupling map with m >= n physical qubits
+  /// \param table swaps(π) for this coupling map
+  /// \param perm_points G' (0-based ks, each >= 1)
+  /// \param costs SWAP / direction-switch weights (resolved, not -1)
+  Encoding(reason::ReasoningEngine& engine, const std::vector<Gate>& cnots, int num_logical,
+           const arch::CouplingMap& cm, const arch::SwapCostTable& table,
+           const std::vector<std::size_t>& perm_points, const CostModel& costs);
+
+  /// A decoded model.
+  struct Solution {
+    /// layouts[k][j] = physical qubit of logical j before gate k.
+    std::vector<std::vector<int>> layouts;
+    /// reversed[k] = gate k executed against the edge direction (z^k).
+    std::vector<bool> reversed;
+    /// Permutation chosen at each permutation point, aligned with the
+    /// perm_points vector passed to the constructor.
+    std::vector<Permutation> point_perms;
+    /// Objective value recomputed from the model (Eq. 5).
+    long long cost_f = 0;
+  };
+
+  /// Reads the model back from the engine (call after a successful
+  /// minimize()).
+  [[nodiscard]] Solution decode() const;
+
+  [[nodiscard]] int num_gates() const noexcept { return num_gates_; }
+  [[nodiscard]] int num_logical() const noexcept { return n_; }
+  [[nodiscard]] int num_physical() const noexcept { return m_; }
+  [[nodiscard]] std::size_t num_variables() const noexcept { return var_count_; }
+  [[nodiscard]] std::size_t num_clauses() const noexcept { return clause_count_; }
+
+ private:
+  [[nodiscard]] int x_var(int k, int i, int j) const {
+    return x_[static_cast<std::size_t>((k * m_ + i) * n_ + j)];
+  }
+
+  reason::ReasoningEngine& engine_;
+  int num_gates_;
+  int m_;
+  int n_;
+  CostModel costs_;
+  std::vector<std::size_t> perm_points_;
+  std::vector<Permutation> perms_;
+  std::vector<int> perm_swaps_;
+  std::vector<int> x_;                   // (k*m + i)*n + j
+  std::vector<std::vector<int>> y_;      // [point index][perm index]
+  std::vector<int> z_;                   // [k]
+  std::size_t var_count_ = 0;
+  std::size_t clause_count_ = 0;
+};
+
+}  // namespace qxmap::exact

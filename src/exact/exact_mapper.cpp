@@ -1,0 +1,252 @@
+#include "exact/exact_mapper.hpp"
+
+#include <chrono>
+#include <optional>
+#include <stdexcept>
+
+#include "arch/subsets.hpp"
+#include "arch/swap_costs.hpp"
+#include "exact/encoder.hpp"
+#include "exact/strategies.hpp"
+#include "exact/swap_synthesis.hpp"
+#include "sim/equivalence.hpp"
+#include "sim/linear_reversible.hpp"
+
+namespace qxmap::exact {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Best instance found across subsets.
+struct InstanceSolution {
+  Encoding::Solution solution;
+  std::vector<int> subset;  // local physical index -> global physical qubit
+  arch::SwapCostTable table;
+  reason::Status status;
+};
+
+/// Rebuilds the physical circuit and the routing skeleton from a decoded
+/// model. Returns {mapped, skeleton, initial, final, swaps, reversed}.
+struct Reconstruction {
+  Circuit mapped;
+  Circuit skeleton;
+  std::vector<int> initial_layout;
+  std::vector<int> final_layout;
+  int swaps = 0;
+  int reversed = 0;
+};
+
+Reconstruction reconstruct(const Circuit& original, const arch::CouplingMap& cm,
+                           const InstanceSolution& best,
+                           const std::vector<std::size_t>& points) {
+  const int n = original.num_qubits();
+  const int m = cm.num_physical();
+  Reconstruction out{Circuit(m, original.name() + "/mapped"),
+                     Circuit(m, original.name() + "/routed-skeleton"),
+                     {},
+                     {},
+                     0,
+                     0};
+
+  const auto& subset = best.subset;
+  const auto& layouts = best.solution.layouts;
+
+  // Current layout: logical j -> global physical qubit.
+  std::vector<int> cur(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    cur[static_cast<std::size_t>(j)] =
+        subset[static_cast<std::size_t>(layouts[0][static_cast<std::size_t>(j)])];
+  }
+  out.initial_layout = cur;
+
+  std::size_t k = 0;          // CNOT index
+  std::size_t point_idx = 0;  // index into points / point_perms
+  for (const auto& g : original) {
+    if (g.kind == OpKind::Barrier) {
+      out.mapped.append(g);
+      continue;
+    }
+    if (g.kind == OpKind::Measure) {
+      out.mapped.append(Gate::measure(cur[static_cast<std::size_t>(g.target)]));
+      continue;
+    }
+    if (g.is_single_qubit()) {
+      out.mapped.append(Gate::single(g.kind, cur[static_cast<std::size_t>(g.target)], g.params));
+      continue;
+    }
+    // CNOT: first apply the permutation scheduled before this gate, if any.
+    if (point_idx < points.size() && points[point_idx] == k) {
+      const Permutation& pi = best.solution.point_perms[point_idx];
+      for (const auto& [a, b] : best.table.swap_sequence(pi)) {
+        const int ga = subset[static_cast<std::size_t>(a)];
+        const int gb = subset[static_cast<std::size_t>(b)];
+        append_swap_realisation(out.mapped, cm, ga, gb);
+        out.skeleton.swap(ga, gb);
+        ++out.swaps;
+        for (auto& p : cur) {
+          if (p == ga) {
+            p = gb;
+          } else if (p == gb) {
+            p = ga;
+          }
+        }
+      }
+      ++point_idx;
+    }
+    // Cross-check the walked layout against the model's x variables.
+    for (int j = 0; j < n; ++j) {
+      const int expected =
+          subset[static_cast<std::size_t>(layouts[k][static_cast<std::size_t>(j)])];
+      if (cur[static_cast<std::size_t>(j)] != expected) {
+        throw std::logic_error("map_exact: reconstructed layout diverges from model");
+      }
+    }
+    const int pc = cur[static_cast<std::size_t>(g.control)];
+    const int pt = cur[static_cast<std::size_t>(g.target)];
+    out.skeleton.cnot(pc, pt);
+    if (!cm.allows(pc, pt)) ++out.reversed;
+    append_cnot_realisation(out.mapped, cm, pc, pt);
+    ++k;
+  }
+  out.final_layout = cur;
+  return out;
+}
+
+/// Trivial result for circuits without CNOTs: identity placement.
+MappingResult map_without_cnots(const Circuit& circuit, const arch::CouplingMap& cm) {
+  MappingResult res;
+  res.mapped = Circuit(cm.num_physical(), circuit.name() + "/mapped");
+  res.routed_skeleton = Circuit(cm.num_physical(), circuit.name() + "/routed-skeleton");
+  for (const auto& g : circuit) res.mapped.append(g);
+  for (int j = 0; j < circuit.num_qubits(); ++j) {
+    res.initial_layout.push_back(j);
+    res.final_layout.push_back(j);
+  }
+  res.status = reason::Status::Optimal;
+  res.cost_f = 0;
+  res.permutation_points = 1;
+  res.verified = true;
+  res.verify_message = "no CNOT constraints to satisfy";
+  return res;
+}
+
+}  // namespace
+
+MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
+                        const ExactOptions& options) {
+  const auto start = Clock::now();
+  const int n = circuit.num_qubits();
+  const int m = cm.num_physical();
+  if (n > m) {
+    throw std::invalid_argument("map_exact: circuit needs more qubits than the architecture has");
+  }
+  if (circuit.counts().swap > 0) {
+    throw std::invalid_argument("map_exact: decompose SWAP pseudo-gates before mapping");
+  }
+
+  // CNOT skeleton.
+  std::vector<Gate> cnots;
+  for (const auto& g : circuit) {
+    if (g.is_cnot()) cnots.push_back(g);
+  }
+  if (cnots.empty()) return map_without_cnots(circuit, cm);
+
+  CostModel costs = options.costs;
+  if (costs.swap_cost <= 0) costs.swap_cost = swap_gate_cost(cm);
+
+  const auto points = permutation_points(cnots, options.strategy, cm);
+
+  // Instance list (Sec. 4.1).
+  std::vector<std::vector<int>> instances;
+  if (options.use_subsets && n < m) {
+    instances = arch::connected_subsets(cm, n);
+    if (instances.empty()) {
+      throw std::invalid_argument("map_exact: no connected subset of the required size");
+    }
+  } else {
+    if (m > 8) {
+      throw std::invalid_argument(
+          "map_exact: architectures with m > 8 require use_subsets (Π enumeration)");
+    }
+    std::vector<int> all(static_cast<std::size_t>(m));
+    for (int i = 0; i < m; ++i) all[static_cast<std::size_t>(i)] = i;
+    instances.push_back(std::move(all));
+  }
+
+  const auto per_instance_budget =
+      std::chrono::milliseconds(std::max<long long>(1, options.budget.count() /
+                                                           static_cast<long long>(instances.size())));
+
+  MappingResult res;
+  res.engine_name = reason::to_string(options.engine);
+  res.permutation_points = static_cast<int>(points.size()) + 1;
+
+  std::optional<InstanceSolution> best;
+  bool any_feasible_not_optimal = false;
+  bool any_unknown = false;
+
+  for (const auto& subset : instances) {
+    const arch::CouplingMap induced = cm.induced(subset);
+    arch::SwapCostTable table(induced);
+    auto engine = reason::make_engine(options.engine);
+    const Encoding enc(*engine, cnots, n, induced, table, points, costs);
+    const reason::Outcome outcome = engine->minimize(per_instance_budget);
+    ++res.instances_solved;
+
+    if (outcome.status == reason::Status::Unsat) continue;
+    if (outcome.status == reason::Status::Unknown) {
+      any_unknown = true;
+      continue;
+    }
+    if (outcome.status == reason::Status::Feasible) any_feasible_not_optimal = true;
+
+    Encoding::Solution sol = enc.decode();
+    if (!best || sol.cost_f < best->solution.cost_f) {
+      best = InstanceSolution{std::move(sol), subset, std::move(table), outcome.status};
+    }
+  }
+
+  if (!best) {
+    res.status = any_unknown ? reason::Status::Unknown : reason::Status::Unsat;
+    res.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+    return res;
+  }
+
+  Reconstruction rec = reconstruct(circuit, cm, *best, points);
+  res.mapped = std::move(rec.mapped);
+  res.routed_skeleton = std::move(rec.skeleton);
+  res.initial_layout = std::move(rec.initial_layout);
+  res.final_layout = std::move(rec.final_layout);
+  res.swaps_inserted = rec.swaps;
+  res.cnots_reversed = rec.reversed;
+  res.cost_f = static_cast<long long>(res.mapped.size()) - static_cast<long long>(circuit.size());
+  res.status = (any_feasible_not_optimal || any_unknown) ? reason::Status::Feasible
+                                                         : reason::Status::Optimal;
+
+  // Consistency: the emitted overhead must equal the model's objective.
+  if (res.cost_f != best->solution.cost_f) {
+    throw std::logic_error("map_exact: emitted gate overhead disagrees with model cost");
+  }
+
+  if (options.verify) {
+    const Circuit skeleton_logical = circuit.cnot_skeleton();
+    const bool gf2_ok = sim::implements_skeleton(skeleton_logical, res.routed_skeleton,
+                                                 res.initial_layout, res.final_layout);
+    bool deep_ok = true;
+    std::string deep_msg = "statevector check skipped (architecture too large)";
+    if (m <= options.deep_verify_max_qubits) {
+      const auto eq = sim::check_mapped_circuit(circuit, res.mapped, res.initial_layout,
+                                                res.final_layout);
+      deep_ok = eq.equivalent;
+      deep_msg = eq.message;
+    }
+    res.verified = gf2_ok && deep_ok;
+    res.verify_message = std::string("gf2: ") + (gf2_ok ? "ok" : "FAILED") + "; " + deep_msg;
+  }
+
+  res.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  return res;
+}
+
+}  // namespace qxmap::exact

@@ -1,0 +1,132 @@
+#include "exact/reference_search.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "common/permutation.hpp"
+
+namespace qxmap::exact {
+
+namespace {
+
+constexpr long long kInf = std::numeric_limits<long long>::max() / 4;
+
+/// All injective placements logical → physical as vectors of length n.
+std::vector<std::vector<int>> all_placements(int m, int n) {
+  std::set<std::vector<int>> dedup;
+  for (const auto& pi : Permutation::all(static_cast<std::size_t>(m))) {
+    std::vector<int> placement(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) placement[static_cast<std::size_t>(j)] = pi.at(static_cast<std::size_t>(j));
+    dedup.insert(std::move(placement));
+  }
+  return {dedup.begin(), dedup.end()};
+}
+
+}  // namespace
+
+ReferenceResult minimal_cost_reference(const std::vector<Gate>& cnots, int num_logical,
+                                       const arch::CouplingMap& cm,
+                                       const arch::SwapCostTable& table,
+                                       const std::vector<std::size_t>& perm_points,
+                                       const CostModel& costs) {
+  const int m = cm.num_physical();
+  const int n = num_logical;
+  if (m > 8) throw std::invalid_argument("minimal_cost_reference: m > 8 not supported");
+  if (n > m) throw std::invalid_argument("minimal_cost_reference: n > m");
+  if (cnots.empty()) return {true, 0};
+  if (costs.swap_cost <= 0) throw std::invalid_argument("minimal_cost_reference: unresolved costs");
+
+  const auto placements = all_placements(m, n);
+  const auto S = placements.size();
+  const std::set<std::size_t> points(perm_points.begin(), perm_points.end());
+
+  // Transition costs: minimal SWAPs turning placement s into placement s'
+  // = min over full permutations π consistent with both (π maps s[j] to
+  // s'[j]; the m-n free positions may permute arbitrarily).
+  std::map<std::pair<std::size_t, std::size_t>, int> min_swaps_cache;
+  const auto transition_swaps = [&](std::size_t s, std::size_t sp) -> int {
+    const auto key = std::make_pair(s, sp);
+    if (const auto it = min_swaps_cache.find(key); it != min_swaps_cache.end()) return it->second;
+    const auto& a = placements[s];
+    const auto& b = placements[sp];
+    // Free positions (not used by a / b respectively).
+    std::vector<int> free_a;
+    std::vector<int> free_b;
+    std::vector<bool> used_a(static_cast<std::size_t>(m), false);
+    std::vector<bool> used_b(static_cast<std::size_t>(m), false);
+    for (int j = 0; j < n; ++j) {
+      used_a[static_cast<std::size_t>(a[static_cast<std::size_t>(j)])] = true;
+      used_b[static_cast<std::size_t>(b[static_cast<std::size_t>(j)])] = true;
+    }
+    for (int i = 0; i < m; ++i) {
+      if (!used_a[static_cast<std::size_t>(i)]) free_a.push_back(i);
+      if (!used_b[static_cast<std::size_t>(i)]) free_b.push_back(i);
+    }
+    int best = std::numeric_limits<int>::max();
+    // Enumerate bijections free_a → free_b via permutations of indices.
+    std::vector<int> idx(free_a.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<int>(i);
+    do {
+      std::vector<int> images(static_cast<std::size_t>(m), -1);
+      for (int j = 0; j < n; ++j) {
+        images[static_cast<std::size_t>(a[static_cast<std::size_t>(j)])] =
+            b[static_cast<std::size_t>(j)];
+      }
+      for (std::size_t f = 0; f < free_a.size(); ++f) {
+        images[static_cast<std::size_t>(free_a[f])] = free_b[static_cast<std::size_t>(idx[f])];
+      }
+      best = std::min(best, table.swaps(Permutation(std::move(images))));
+    } while (std::next_permutation(idx.begin(), idx.end()));
+    min_swaps_cache.emplace(key, best);
+    return best;
+  };
+
+  // Per-gate execution penalty at a placement (or -1 if not executable).
+  const auto exec_penalty = [&](std::size_t s, const Gate& g) -> int {
+    const int pc = placements[s][static_cast<std::size_t>(g.control)];
+    const int pt = placements[s][static_cast<std::size_t>(g.target)];
+    if (cm.allows(pc, pt)) return 0;
+    if (cm.allows(pt, pc)) return costs.reverse_cost;
+    return -1;
+  };
+
+  // DP over "placement before gate k".
+  std::vector<long long> dp(S, 0);  // dp before gate 0: initial mapping is free
+  for (std::size_t k = 0; k < cnots.size(); ++k) {
+    std::vector<long long> done(S, kInf);  // cost after executing gate k at placement s
+    for (std::size_t s = 0; s < S; ++s) {
+      if (dp[s] >= kInf) continue;
+      const int pen = exec_penalty(s, cnots[k]);
+      if (pen < 0) continue;
+      done[s] = dp[s] + pen;
+    }
+    if (k + 1 == cnots.size()) {
+      dp = std::move(done);
+      break;
+    }
+    // Move to the placement before gate k+1.
+    std::vector<long long> next(S, kInf);
+    if (!points.contains(k + 1)) {
+      next = done;  // no permutation allowed: placement must stay
+    } else {
+      for (std::size_t s = 0; s < S; ++s) {
+        if (done[s] >= kInf) continue;
+        for (std::size_t sp = 0; sp < S; ++sp) {
+          const long long c =
+              done[s] + static_cast<long long>(costs.swap_cost) * transition_swaps(s, sp);
+          next[sp] = std::min(next[sp], c);
+        }
+      }
+    }
+    dp = std::move(next);
+  }
+
+  const long long best = *std::min_element(dp.begin(), dp.end());
+  if (best >= kInf) return {false, 0};
+  return {true, best};
+}
+
+}  // namespace qxmap::exact

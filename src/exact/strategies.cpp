@@ -1,0 +1,43 @@
+#include "exact/strategies.hpp"
+
+#include <stdexcept>
+
+#include "ir/layers.hpp"
+
+namespace qxmap::exact {
+
+std::string to_string(PermutationStrategy s) {
+  switch (s) {
+    case PermutationStrategy::All: return "all";
+    case PermutationStrategy::DisjointQubits: return "disjoint";
+    case PermutationStrategy::OddGates: return "odd";
+    case PermutationStrategy::QubitTriangle: return "triangle";
+  }
+  throw std::invalid_argument("to_string: bad PermutationStrategy");
+}
+
+std::vector<std::size_t> permutation_points(const std::vector<Gate>& cnots,
+                                            PermutationStrategy strategy,
+                                            const arch::CouplingMap& cm) {
+  std::vector<std::size_t> points;
+  switch (strategy) {
+    case PermutationStrategy::All:
+      for (std::size_t k = 1; k < cnots.size(); ++k) points.push_back(k);
+      return points;
+    case PermutationStrategy::DisjointQubits:
+      return disjoint_cluster_starts(cnots);
+    case PermutationStrategy::OddGates:
+      // Gates with odd 1-based index, except g_1 itself: 0-based 2, 4, ….
+      for (std::size_t k = 2; k < cnots.size(); k += 2) points.push_back(k);
+      return points;
+    case PermutationStrategy::QubitTriangle:
+      if (!cm.has_triangle()) {
+        throw std::invalid_argument(
+            "qubit-triangle strategy requires a triangle in the coupling graph");
+      }
+      return bounded_qubit_cluster_starts(cnots, 3);
+  }
+  throw std::invalid_argument("permutation_points: bad strategy");
+}
+
+}  // namespace qxmap::exact

@@ -1,0 +1,26 @@
+/// \file strategies.hpp
+/// Selection of permutation points G' ⊆ G \ {g_1} (Sec. 4.2).
+///
+/// Indices returned are 0-based positions into the CNOT gate sequence; an
+/// index k means "a permutation of the mapping may happen between gate k-1
+/// and gate k". Index 0 never appears: the initial mapping before gate 0 is
+/// always free (it is chosen by the x^1 variables directly).
+
+#pragma once
+
+#include <vector>
+
+#include "arch/coupling_map.hpp"
+#include "exact/types.hpp"
+#include "ir/gate.hpp"
+
+namespace qxmap::exact {
+
+/// Computes G' for `strategy` over the CNOT gate list `cnots`.
+/// \throws std::invalid_argument for QubitTriangle when the architecture has
+/// no triangle in its coupling graph (the strategy's premise, Sec. 4.2).
+[[nodiscard]] std::vector<std::size_t> permutation_points(const std::vector<Gate>& cnots,
+                                                          PermutationStrategy strategy,
+                                                          const arch::CouplingMap& cm);
+
+}  // namespace qxmap::exact

@@ -1,0 +1,60 @@
+#include "exact/swap_synthesis.hpp"
+
+#include <stdexcept>
+
+namespace qxmap::exact {
+
+void append_swap_realisation(Circuit& c, const arch::CouplingMap& cm, int a, int b) {
+  if (!cm.coupled(a, b)) {
+    throw std::invalid_argument("append_swap_realisation: qubits not coupled");
+  }
+  if (cm.allows(a, b) && cm.allows(b, a)) {
+    c.cnot(a, b);
+    c.cnot(b, a);
+    c.cnot(a, b);
+    return;
+  }
+  // Orient so that (u → v) is the allowed direction.
+  const int u = cm.allows(a, b) ? a : b;
+  const int v = cm.allows(a, b) ? b : a;
+  c.cnot(u, v);
+  c.h(u);
+  c.h(v);
+  c.cnot(u, v);
+  c.h(u);
+  c.h(v);
+  c.cnot(u, v);
+}
+
+void append_cnot_realisation(Circuit& c, const arch::CouplingMap& cm, int control, int target) {
+  if (cm.allows(control, target)) {
+    c.cnot(control, target);
+    return;
+  }
+  if (cm.allows(target, control)) {
+    c.h(control);
+    c.h(target);
+    c.cnot(target, control);
+    c.h(control);
+    c.h(target);
+    return;
+  }
+  throw std::invalid_argument("append_cnot_realisation: qubits not coupled");
+}
+
+int swap_gate_cost(const arch::CouplingMap& cm) {
+  for (const auto& [a, b] : cm.undirected_edges()) {
+    if (!cm.allows(a, b) || !cm.allows(b, a)) return 7;
+  }
+  return 3;
+}
+
+bool satisfies_coupling(const Circuit& c, const arch::CouplingMap& cm) {
+  for (const auto& g : c) {
+    if (g.is_swap()) return false;
+    if (g.is_cnot() && !cm.allows(g.control, g.target)) return false;
+  }
+  return true;
+}
+
+}  // namespace qxmap::exact

@@ -1,0 +1,33 @@
+/// \file swap_synthesis.hpp
+/// Emission of coupling-legal gate sequences for SWAPs and CNOTs (Fig. 3).
+
+#pragma once
+
+#include "arch/coupling_map.hpp"
+#include "ir/circuit.hpp"
+
+namespace qxmap::exact {
+
+/// Appends a SWAP between coupled physical qubits a, b:
+///  * both directions in CM: CX(a,b) CX(b,a) CX(a,b) — 3 gates;
+///  * one direction (say a→b): CX(a,b), H a, H b, CX(a,b), H a, H b,
+///    CX(a,b) — the 7-operation form of Fig. 3.
+/// \throws std::invalid_argument if a and b are not coupled.
+void append_swap_realisation(Circuit& c, const arch::CouplingMap& cm, int a, int b);
+
+/// Appends CNOT(control → target) on coupled qubits, H-conjugating when only
+/// the reverse edge exists (4 extra H gates).
+/// \throws std::invalid_argument if the qubits are not coupled.
+void append_cnot_realisation(Circuit& c, const arch::CouplingMap& cm, int control, int target);
+
+/// The per-SWAP gate cost on this architecture: 7 if any coupling is
+/// one-directional, 3 if every coupling is bidirected. This is the weight of
+/// swaps(π) in Eq. 5 (the paper's architectures are all one-directional,
+/// hence the constant 7 there).
+[[nodiscard]] int swap_gate_cost(const arch::CouplingMap& cm);
+
+/// True iff every CNOT in `c` lies on a directed coupling edge and no SWAP
+/// pseudo-gates remain — i.e. the circuit is executable on the architecture.
+[[nodiscard]] bool satisfies_coupling(const Circuit& c, const arch::CouplingMap& cm);
+
+}  // namespace qxmap::exact

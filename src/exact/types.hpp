@@ -1,0 +1,73 @@
+/// \file types.hpp
+/// Shared option/result types of the exact mapper.
+
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "ir/circuit.hpp"
+#include "reason/engine.hpp"
+
+namespace qxmap::exact {
+
+/// Where re-mapping permutations are allowed (Sec. 4.2).
+enum class PermutationStrategy {
+  All,           ///< before every gate — guarantees minimality (Sec. 3)
+  DisjointQubits,///< before each cluster of gates on disjoint qubit sets
+  OddGates,      ///< before gates with odd (1-based) index
+  QubitTriangle, ///< before each cluster acting on <= 3 qubits
+};
+
+[[nodiscard]] std::string to_string(PermutationStrategy s);
+
+/// Cost model of Sec. 2.2 (Fig. 3): SWAP = 7 elementary operations,
+/// direction switch = 4 H gates. `swap_cost` defaults to -1, meaning
+/// "derive from the architecture" (7 when any coupling is one-directional,
+/// 3 when every coupling is bidirected and SWAP decomposes into 3 CNOTs).
+struct CostModel {
+  int swap_cost = -1;
+  int reverse_cost = 4;
+};
+
+/// Options for the exact mapper.
+struct ExactOptions {
+  reason::EngineKind engine = reason::EngineKind::Z3;
+  PermutationStrategy strategy = PermutationStrategy::All;
+  /// Sec. 4.1: solve one instance per connected n-subset of physical qubits
+  /// instead of one instance over all m.
+  bool use_subsets = false;
+  /// Total solver budget, split evenly across subset instances.
+  std::chrono::milliseconds budget{10000};
+  CostModel costs;
+  /// Verify the result (GF(2) skeleton always; statevector when the
+  /// architecture has at most `deep_verify_max_qubits` qubits).
+  bool verify = true;
+  int deep_verify_max_qubits = 8;
+};
+
+/// Outcome of a mapping run.
+struct MappingResult {
+  /// Fully expanded physical circuit: single-qubit gates + CNOTs on allowed
+  /// edges only (SWAPs expanded per Fig. 3, reversed CNOTs H-conjugated).
+  Circuit mapped;
+  /// Routing skeleton: the original CNOTs (logical orientation) on physical
+  /// qubits plus SWAP pseudo-gates — input for GF(2) verification.
+  Circuit routed_skeleton;
+  std::vector<int> initial_layout;  ///< logical j -> physical qubit before gate 1
+  std::vector<int> final_layout;    ///< logical j -> physical qubit at the end
+  long long cost_f = 0;             ///< added cost F (Eq. 5) = |mapped| - |original|
+  int swaps_inserted = 0;
+  int cnots_reversed = 0;
+  reason::Status status = reason::Status::Unknown;
+  double seconds = 0.0;
+  int instances_solved = 0;         ///< subset instances attempted (Sec. 4.1)
+  int permutation_points = 0;       ///< |G'| + 1 (the paper's |G'| column counts
+                                    ///< the free initial mapping too)
+  std::string engine_name;
+  bool verified = false;
+  std::string verify_message;
+};
+
+}  // namespace qxmap::exact

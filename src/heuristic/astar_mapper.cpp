@@ -1,0 +1,169 @@
+#include "heuristic/astar_mapper.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <stdexcept>
+
+#include "arch/distances.hpp"
+#include "exact/swap_synthesis.hpp"
+#include "ir/layers.hpp"
+#include "sim/equivalence.hpp"
+#include "sim/linear_reversible.hpp"
+
+namespace qxmap::heuristic {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// A* search for the cheapest SWAP sequence making all `pairs` executable.
+std::vector<std::pair<int, int>> astar_route(const std::vector<std::pair<int, int>>& pairs,
+                                             const std::vector<int>& start_layout,
+                                             const arch::CouplingMap& cm,
+                                             const arch::DistanceMatrix& dist, int max_expansions) {
+  struct Node {
+    long long f;
+    long long g;
+    std::vector<int> layout;
+    std::vector<std::pair<int, int>> swaps;
+    bool operator>(const Node& o) const { return f > o.f; }
+  };
+
+  const auto heuristic = [&](const std::vector<int>& lay) {
+    long long h = 0;
+    for (const auto& [qc, qt] : pairs) {
+      const int pc = lay[static_cast<std::size_t>(qc)];
+      const int pt = lay[static_cast<std::size_t>(qt)];
+      if (!cm.coupled(pc, pt)) {
+        h += 7LL * (dist.hops(pc, pt) - 1);
+      }
+    }
+    return h;
+  };
+  const auto is_goal = [&](const std::vector<int>& lay) {
+    return std::all_of(pairs.begin(), pairs.end(), [&](const auto& pr) {
+      return cm.coupled(lay[static_cast<std::size_t>(pr.first)],
+                        lay[static_cast<std::size_t>(pr.second)]);
+    });
+  };
+
+  std::priority_queue<Node, std::vector<Node>, std::greater<>> open;
+  std::map<std::vector<int>, long long> best_g;
+  open.push({heuristic(start_layout), 0, start_layout, {}});
+  best_g[start_layout] = 0;
+
+  int expansions = 0;
+  while (!open.empty()) {
+    Node cur = open.top();
+    open.pop();
+    if (const auto it = best_g.find(cur.layout); it != best_g.end() && it->second < cur.g) {
+      continue;  // stale entry
+    }
+    if (is_goal(cur.layout)) return cur.swaps;
+    if (++expansions > max_expansions) break;
+    for (const auto& [a, b] : cm.undirected_edges()) {
+      Node next = cur;
+      next.g += 7;
+      for (auto& p : next.layout) {
+        if (p == a) {
+          p = b;
+        } else if (p == b) {
+          p = a;
+        }
+      }
+      const auto it = best_g.find(next.layout);
+      if (it != best_g.end() && it->second <= next.g) continue;
+      best_g[next.layout] = next.g;
+      next.swaps.push_back({a, b});
+      next.f = next.g + heuristic(next.layout);
+      open.push(std::move(next));
+    }
+  }
+  throw std::invalid_argument("map_astar: search budget exhausted for a layer");
+}
+
+}  // namespace
+
+exact::MappingResult map_astar(const Circuit& circuit, const arch::CouplingMap& cm,
+                               const AStarOptions& options) {
+  const auto start = Clock::now();
+  const int n = circuit.num_qubits();
+  const int m = cm.num_physical();
+  if (n > m) throw std::invalid_argument("map_astar: circuit larger than architecture");
+  if (!cm.is_connected()) {
+    throw std::invalid_argument("map_astar: coupling graph must be connected");
+  }
+  if (circuit.counts().swap > 0) {
+    throw std::invalid_argument("map_astar: decompose SWAPs before mapping");
+  }
+
+  const arch::DistanceMatrix dist(cm);
+
+  exact::MappingResult res;
+  res.engine_name = "astar";
+  res.status = reason::Status::Feasible;
+  res.mapped = Circuit(m, circuit.name() + "/mapped");
+  res.routed_skeleton = Circuit(m, circuit.name() + "/routed-skeleton");
+
+  std::vector<int> layout(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) layout[static_cast<std::size_t>(j)] = j;
+  res.initial_layout = layout;
+
+  for (const auto& layer : asap_layers(circuit)) {
+    std::vector<std::pair<int, int>> pairs;
+    for (const std::size_t gi : layer) {
+      const Gate& g = circuit.gate(gi);
+      if (g.is_cnot()) pairs.emplace_back(g.control, g.target);
+    }
+    if (!pairs.empty()) {
+      for (const auto& [a, b] :
+           astar_route(pairs, layout, cm, dist, options.max_expansions)) {
+        exact::append_swap_realisation(res.mapped, cm, a, b);
+        res.routed_skeleton.swap(a, b);
+        ++res.swaps_inserted;
+        for (auto& p : layout) {
+          if (p == a) {
+            p = b;
+          } else if (p == b) {
+            p = a;
+          }
+        }
+      }
+    }
+    for (const std::size_t gi : layer) {
+      const Gate& g = circuit.gate(gi);
+      if (g.kind == OpKind::Barrier) {
+        res.mapped.append(g);
+        continue;
+      }
+      if (g.kind == OpKind::Measure) {
+        res.mapped.append(Gate::measure(layout[static_cast<std::size_t>(g.target)]));
+        continue;
+      }
+      if (g.is_single_qubit()) {
+        res.mapped.append(
+            Gate::single(g.kind, layout[static_cast<std::size_t>(g.target)], g.params));
+        continue;
+      }
+      const int pc = layout[static_cast<std::size_t>(g.control)];
+      const int pt = layout[static_cast<std::size_t>(g.target)];
+      res.routed_skeleton.cnot(pc, pt);
+      if (!cm.allows(pc, pt)) ++res.cnots_reversed;
+      exact::append_cnot_realisation(res.mapped, cm, pc, pt);
+    }
+  }
+  res.final_layout = layout;
+  res.cost_f = static_cast<long long>(res.mapped.size()) - static_cast<long long>(circuit.size());
+
+  if (options.verify) {
+    const bool gf2_ok = sim::implements_skeleton(circuit.cnot_skeleton(), res.routed_skeleton,
+                                                 res.initial_layout, res.final_layout);
+    res.verified = gf2_ok;
+    res.verify_message = std::string("gf2: ") + (gf2_ok ? "ok" : "FAILED");
+  }
+  res.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  return res;
+}
+
+}  // namespace qxmap::heuristic

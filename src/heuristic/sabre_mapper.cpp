@@ -1,0 +1,287 @@
+#include "heuristic/sabre_mapper.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "arch/distances.hpp"
+#include "common/rng.hpp"
+#include "exact/swap_synthesis.hpp"
+#include "sim/linear_reversible.hpp"
+
+namespace qxmap::heuristic {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Dependency bookkeeping over the gate list: a gate becomes available once
+/// the previous gate on each of its qubits has been scheduled.
+struct Dag {
+  explicit Dag(const Circuit& c) : circuit(&c) {
+    const auto n = static_cast<std::size_t>(c.num_qubits());
+    std::vector<int> last(n, -1);
+    preds.assign(c.size(), 0);
+    succs.assign(c.size(), {});
+    for (std::size_t gi = 0; gi < c.size(); ++gi) {
+      for (const int q : c.gate(gi).qubits()) {
+        if (last[static_cast<std::size_t>(q)] >= 0) {
+          succs[static_cast<std::size_t>(last[static_cast<std::size_t>(q)])].push_back(gi);
+          ++preds[gi];
+        }
+        last[static_cast<std::size_t>(q)] = static_cast<int>(gi);
+      }
+    }
+  }
+
+  const Circuit* circuit;
+  std::vector<int> preds;
+  std::vector<std::vector<std::size_t>> succs;
+};
+
+/// One routing pass. When `emit` is non-null, gates and SWAP realisations
+/// are appended to it (and to `skeleton`); otherwise only the layout is
+/// evolved (the bidirectional warm-up passes).
+struct PassResult {
+  std::vector<int> layout;
+  int swaps = 0;
+  int reversed = 0;
+};
+
+PassResult run_pass(const Circuit& circuit, const arch::CouplingMap& cm,
+                    const arch::DistanceMatrix& dist, const SabreOptions& opt,
+                    std::vector<int> layout, Rng& rng, Circuit* emit, Circuit* skeleton) {
+  const Dag dag(circuit);
+  const int m = cm.num_physical();
+  PassResult result;
+  result.layout = std::move(layout);
+
+  std::vector<int> preds = dag.preds;
+  std::vector<std::size_t> front;
+  for (std::size_t gi = 0; gi < circuit.size(); ++gi) {
+    if (preds[gi] == 0) front.push_back(gi);
+  }
+
+  std::vector<double> decay(static_cast<std::size_t>(m), 1.0);
+  int swaps_since_progress = 0;
+  const int livelock_limit = 10 * m * m + 50;
+
+  const auto coupled_under = [&](const Gate& g, const std::vector<int>& lay) {
+    return cm.coupled(lay[static_cast<std::size_t>(g.control)],
+                      lay[static_cast<std::size_t>(g.target)]);
+  };
+
+  const auto schedule = [&](std::size_t gi) {
+    const Gate& g = circuit.gate(gi);
+    if (emit != nullptr) {
+      if (g.kind == OpKind::Barrier) {
+        emit->append(g);
+      } else if (g.kind == OpKind::Measure) {
+        emit->append(Gate::measure(result.layout[static_cast<std::size_t>(g.target)]));
+      } else if (g.is_single_qubit()) {
+        emit->append(
+            Gate::single(g.kind, result.layout[static_cast<std::size_t>(g.target)], g.params));
+      } else {
+        const int pc = result.layout[static_cast<std::size_t>(g.control)];
+        const int pt = result.layout[static_cast<std::size_t>(g.target)];
+        skeleton->cnot(pc, pt);
+        if (!cm.allows(pc, pt)) ++result.reversed;
+        exact::append_cnot_realisation(*emit, cm, pc, pt);
+      }
+    }
+    for (const std::size_t succ : dag.succs[gi]) {
+      if (--preds[succ] == 0) front.push_back(succ);
+    }
+  };
+
+  const auto apply_swap = [&](int a, int b) {
+    if (emit != nullptr) {
+      exact::append_swap_realisation(*emit, cm, a, b);
+      skeleton->swap(a, b);
+    }
+    ++result.swaps;
+    for (auto& p : result.layout) {
+      if (p == a) {
+        p = b;
+      } else if (p == b) {
+        p = a;
+      }
+    }
+  };
+
+  while (!front.empty()) {
+    // Schedule everything executable in the current front.
+    bool progressed = false;
+    std::vector<std::size_t> blocked;
+    std::vector<std::size_t> current = std::move(front);
+    front.clear();
+    for (const std::size_t gi : current) {
+      const Gate& g = circuit.gate(gi);
+      if (!g.is_cnot() || coupled_under(g, result.layout)) {
+        schedule(gi);
+        progressed = true;
+      } else {
+        blocked.push_back(gi);
+      }
+    }
+    for (const std::size_t gi : blocked) front.push_back(gi);
+    if (progressed) {
+      std::fill(decay.begin(), decay.end(), 1.0);
+      swaps_since_progress = 0;
+      continue;
+    }
+    if (front.empty()) break;
+
+    // All front gates are blocked CNOTs: pick a SWAP.
+    if (++swaps_since_progress > livelock_limit) {
+      // Deterministic fallback: walk the first blocked pair together.
+      const Gate& g = circuit.gate(front[0]);
+      const int pc = result.layout[static_cast<std::size_t>(g.control)];
+      const int pt = result.layout[static_cast<std::size_t>(g.target)];
+      int best_nb = -1;
+      int best_d = dist.hops(pc, pt);
+      for (const int nb : cm.neighbours(pc)) {
+        if (dist.hops(nb, pt) < best_d) {
+          best_d = dist.hops(nb, pt);
+          best_nb = nb;
+        }
+      }
+      if (best_nb < 0) throw std::logic_error("map_sabre: cannot make progress");
+      apply_swap(pc, best_nb);
+      continue;
+    }
+
+    // Extended set: the next CNOTs reachable behind the front.
+    std::vector<std::pair<int, int>> front_pairs;
+    for (const std::size_t gi : front) {
+      front_pairs.emplace_back(circuit.gate(gi).control, circuit.gate(gi).target);
+    }
+    std::vector<std::pair<int, int>> extended;
+    {
+      std::vector<int> tmp_preds = preds;
+      std::vector<std::size_t> wave = front;
+      while (!wave.empty() && static_cast<int>(extended.size()) < opt.extended_set_size) {
+        std::vector<std::size_t> next_wave;
+        for (const std::size_t gi : wave) {
+          for (const std::size_t succ : dag.succs[gi]) {
+            if (--tmp_preds[succ] == 0) {
+              next_wave.push_back(succ);
+              const Gate& g = circuit.gate(succ);
+              if (g.is_cnot()) extended.emplace_back(g.control, g.target);
+            }
+          }
+        }
+        wave = std::move(next_wave);
+      }
+    }
+
+    const auto pair_distance = [&](const std::vector<int>& lay,
+                                   const std::vector<std::pair<int, int>>& pairs) {
+      double d = 0;
+      for (const auto& [qc, qt] : pairs) {
+        d += dist.hops(lay[static_cast<std::size_t>(qc)], lay[static_cast<std::size_t>(qt)]);
+      }
+      return d;
+    };
+
+    // Candidate swaps: edges touching any qubit of a blocked front pair.
+    double best_score = 0;
+    std::pair<int, int> best_edge{-1, -1};
+    int candidates = 0;
+    for (const auto& [a, b] : cm.undirected_edges()) {
+      bool relevant = false;
+      for (const auto& [qc, qt] : front_pairs) {
+        const int pc = result.layout[static_cast<std::size_t>(qc)];
+        const int pt = result.layout[static_cast<std::size_t>(qt)];
+        if (a == pc || a == pt || b == pc || b == pt) relevant = true;
+      }
+      if (!relevant) continue;
+      std::vector<int> trial = result.layout;
+      for (auto& p : trial) {
+        if (p == a) {
+          p = b;
+        } else if (p == b) {
+          p = a;
+        }
+      }
+      double score = pair_distance(trial, front_pairs);
+      if (!extended.empty()) {
+        score += opt.extended_set_weight * pair_distance(trial, extended) /
+                 static_cast<double>(extended.size());
+      }
+      score *= std::max(decay[static_cast<std::size_t>(a)], decay[static_cast<std::size_t>(b)]);
+      // Small random jitter for tie-breaking.
+      score += 1e-9 * rng.next_double();
+      if (candidates == 0 || score < best_score) {
+        best_score = score;
+        best_edge = {a, b};
+      }
+      ++candidates;
+    }
+    if (best_edge.first < 0) throw std::logic_error("map_sabre: no candidate swap");
+    decay[static_cast<std::size_t>(best_edge.first)] += opt.decay;
+    decay[static_cast<std::size_t>(best_edge.second)] += opt.decay;
+    apply_swap(best_edge.first, best_edge.second);
+  }
+  return result;
+}
+
+/// Circuit with the gate order reversed (routing only cares about pair
+/// adjacency, so daggering the gates is unnecessary).
+Circuit reversed(const Circuit& c) {
+  Circuit out(c.num_qubits(), c.name());
+  for (std::size_t i = c.size(); i-- > 0;) out.append(c.gate(i));
+  return out;
+}
+
+}  // namespace
+
+exact::MappingResult map_sabre(const Circuit& circuit, const arch::CouplingMap& cm,
+                               const SabreOptions& options) {
+  const auto start = Clock::now();
+  const int n = circuit.num_qubits();
+  const int m = cm.num_physical();
+  if (n > m) throw std::invalid_argument("map_sabre: circuit larger than architecture");
+  if (!cm.is_connected()) {
+    throw std::invalid_argument("map_sabre: coupling graph must be connected");
+  }
+  if (circuit.counts().swap > 0) {
+    throw std::invalid_argument("map_sabre: decompose SWAPs before mapping");
+  }
+
+  const arch::DistanceMatrix dist(cm);
+  Rng rng(options.seed);
+  const Circuit rev = reversed(circuit);
+
+  // Bidirectional warm-up: forward and backward passes refine the layout.
+  std::vector<int> layout(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) layout[static_cast<std::size_t>(j)] = j;
+  for (int round = 0; round < options.bidirectional_rounds; ++round) {
+    layout = run_pass(circuit, cm, dist, options, std::move(layout), rng, nullptr, nullptr).layout;
+    layout = run_pass(rev, cm, dist, options, std::move(layout), rng, nullptr, nullptr).layout;
+  }
+
+  exact::MappingResult res;
+  res.engine_name = "sabre";
+  res.status = reason::Status::Feasible;
+  res.mapped = Circuit(m, circuit.name() + "/mapped");
+  res.routed_skeleton = Circuit(m, circuit.name() + "/routed-skeleton");
+  res.initial_layout = layout;
+
+  const PassResult final_pass = run_pass(circuit, cm, dist, options, std::move(layout), rng,
+                                         &res.mapped, &res.routed_skeleton);
+  res.final_layout = final_pass.layout;
+  res.swaps_inserted = final_pass.swaps;
+  res.cnots_reversed = final_pass.reversed;
+  res.cost_f = static_cast<long long>(res.mapped.size()) - static_cast<long long>(circuit.size());
+
+  if (options.verify) {
+    const bool gf2_ok = sim::implements_skeleton(circuit.cnot_skeleton(), res.routed_skeleton,
+                                                 res.initial_layout, res.final_layout);
+    res.verified = gf2_ok;
+    res.verify_message = std::string("gf2: ") + (gf2_ok ? "ok" : "FAILED");
+  }
+  res.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  return res;
+}
+
+}  // namespace qxmap::heuristic

@@ -1,0 +1,268 @@
+#include "heuristic/stochastic_swap.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+
+#include "arch/distances.hpp"
+#include "common/rng.hpp"
+#include "exact/swap_synthesis.hpp"
+#include "ir/layers.hpp"
+#include "sim/equivalence.hpp"
+#include "sim/linear_reversible.hpp"
+
+namespace qxmap::heuristic {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// State of one end-to-end mapping run.
+struct RunState {
+  Circuit mapped;
+  Circuit skeleton;
+  std::vector<int> layout;  // logical -> physical
+  int swaps = 0;
+  int reversed = 0;
+};
+
+/// Applies SWAP(a, b) to the layout and emits its realisation.
+void apply_swap(RunState& st, const arch::CouplingMap& cm, int a, int b) {
+  exact::append_swap_realisation(st.mapped, cm, a, b);
+  st.skeleton.swap(a, b);
+  ++st.swaps;
+  for (auto& p : st.layout) {
+    if (p == a) {
+      p = b;
+    } else if (p == b) {
+      p = a;
+    }
+  }
+}
+
+/// Emits one gate under the current layout.
+void emit_gate(RunState& st, const arch::CouplingMap& cm, const Gate& g) {
+  if (g.kind == OpKind::Barrier) {
+    st.mapped.append(g);
+    return;
+  }
+  if (g.kind == OpKind::Measure) {
+    st.mapped.append(Gate::measure(st.layout[static_cast<std::size_t>(g.target)]));
+    return;
+  }
+  if (g.is_single_qubit()) {
+    st.mapped.append(Gate::single(g.kind, st.layout[static_cast<std::size_t>(g.target)], g.params));
+    return;
+  }
+  const int pc = st.layout[static_cast<std::size_t>(g.control)];
+  const int pt = st.layout[static_cast<std::size_t>(g.target)];
+  st.skeleton.cnot(pc, pt);
+  if (!cm.allows(pc, pt)) ++st.reversed;
+  exact::append_cnot_realisation(st.mapped, cm, pc, pt);
+}
+
+/// All CNOTs of `gates` executable (coupled in some direction) under layout?
+bool layer_executable(const std::vector<int>& layout, const std::vector<Gate>& gates,
+                      const arch::CouplingMap& cm) {
+  return std::all_of(gates.begin(), gates.end(), [&](const Gate& g) {
+    return !g.is_cnot() || cm.coupled(layout[static_cast<std::size_t>(g.control)],
+                                      layout[static_cast<std::size_t>(g.target)]);
+  });
+}
+
+/// One randomized greedy trial (the core of Qiskit 0.4's layer_permutation):
+/// returns the SWAP edge list making all `pairs` adjacent, or nullopt.
+std::optional<std::vector<std::pair<int, int>>> trial_search(
+    const std::vector<std::pair<int, int>>& logical_pairs, std::vector<int> layout,
+    const arch::CouplingMap& cm, const arch::DistanceMatrix& dist, Rng& rng) {
+  const int m = cm.num_physical();
+  // Perturbed squared-distance cost matrix (multiplicative noise, as in the
+  // original randomized algorithm).
+  std::vector<double> xi(static_cast<std::size_t>(m) * static_cast<std::size_t>(m));
+  for (int u = 0; u < m; ++u) {
+    for (int v = 0; v < m; ++v) {
+      const double d = dist.hops(u, v);
+      const double noise = 1.0 + 0.2 * (rng.next_double() - 0.5);
+      xi[static_cast<std::size_t>(u) * static_cast<std::size_t>(m) + static_cast<std::size_t>(v)] =
+          noise * d * d;
+    }
+  }
+  const auto cost_of = [&](const std::vector<int>& lay) {
+    double c = 0;
+    for (const auto& [qc, qt] : logical_pairs) {
+      c += xi[static_cast<std::size_t>(lay[static_cast<std::size_t>(qc)]) *
+                  static_cast<std::size_t>(m) +
+              static_cast<std::size_t>(lay[static_cast<std::size_t>(qt)])];
+    }
+    return c;
+  };
+  const auto done = [&](const std::vector<int>& lay) {
+    return std::all_of(logical_pairs.begin(), logical_pairs.end(), [&](const auto& pr) {
+      return cm.coupled(lay[static_cast<std::size_t>(pr.first)],
+                        lay[static_cast<std::size_t>(pr.second)]);
+    });
+  };
+
+  std::vector<std::pair<int, int>> swaps;
+  double cost = cost_of(layout);
+  const int max_steps = 2 * m * m;
+  for (int step = 0; step < max_steps; ++step) {
+    if (done(layout)) return swaps;
+    double best_cost = cost;
+    std::pair<int, int> best_edge{-1, -1};
+    for (const auto& [a, b] : cm.undirected_edges()) {
+      std::vector<int> candidate = layout;
+      for (auto& p : candidate) {
+        if (p == a) {
+          p = b;
+        } else if (p == b) {
+          p = a;
+        }
+      }
+      const double c = cost_of(candidate);
+      if (c < best_cost) {
+        best_cost = c;
+        best_edge = {a, b};
+      }
+    }
+    if (best_edge.first < 0) return std::nullopt;  // local minimum: trial failed
+    swaps.push_back(best_edge);
+    for (auto& p : layout) {
+      if (p == best_edge.first) {
+        p = best_edge.second;
+      } else if (p == best_edge.second) {
+        p = best_edge.first;
+      }
+    }
+    cost = cost_of(layout);
+  }
+  return std::nullopt;
+}
+
+/// Deterministic fallback for a single blocked CNOT: walk the control along
+/// a shortest path until adjacent to the target.
+std::vector<std::pair<int, int>> route_single(const std::vector<int>& layout, int qc, int qt,
+                                              const arch::CouplingMap& cm,
+                                              const arch::DistanceMatrix& dist) {
+  std::vector<int> lay = layout;
+  std::vector<std::pair<int, int>> swaps;
+  while (!cm.coupled(lay[static_cast<std::size_t>(qc)], lay[static_cast<std::size_t>(qt)])) {
+    const int pc = lay[static_cast<std::size_t>(qc)];
+    const int pt = lay[static_cast<std::size_t>(qt)];
+    // Move pc to the neighbour closest to pt.
+    int best_nb = -1;
+    int best_d = dist.hops(pc, pt);
+    for (const int nb : cm.neighbours(pc)) {
+      if (dist.hops(nb, pt) < best_d) {
+        best_d = dist.hops(nb, pt);
+        best_nb = nb;
+      }
+    }
+    if (best_nb < 0) throw std::logic_error("route_single: no progress possible");
+    swaps.emplace_back(pc, best_nb);
+    for (auto& p : lay) {
+      if (p == pc) {
+        p = best_nb;
+      } else if (p == best_nb) {
+        p = pc;
+      }
+    }
+  }
+  return swaps;
+}
+
+/// Routes + emits one group of gates (a layer or a serialized single gate).
+void process_group(RunState& st, const std::vector<Gate>& gates, const arch::CouplingMap& cm,
+                   const arch::DistanceMatrix& dist, Rng& rng, int trials) {
+  std::vector<std::pair<int, int>> pairs;
+  for (const auto& g : gates) {
+    if (g.is_cnot()) pairs.emplace_back(g.control, g.target);
+  }
+  if (!pairs.empty() && !layer_executable(st.layout, gates, cm)) {
+    std::optional<std::vector<std::pair<int, int>>> best;
+    for (int t = 0; t < trials; ++t) {
+      auto trial = trial_search(pairs, st.layout, cm, dist, rng);
+      if (trial && (!best || trial->size() < best->size())) best = std::move(trial);
+    }
+    if (!best && pairs.size() > 1) {
+      // Serialize the layer: route and emit gate by gate.
+      for (const auto& g : gates) process_group(st, {g}, cm, dist, rng, trials);
+      return;
+    }
+    if (!best) best = route_single(st.layout, pairs[0].first, pairs[0].second, cm, dist);
+    for (const auto& [a, b] : *best) apply_swap(st, cm, a, b);
+  }
+  for (const auto& g : gates) emit_gate(st, cm, g);
+}
+
+}  // namespace
+
+exact::MappingResult map_stochastic_swap(const Circuit& circuit, const arch::CouplingMap& cm,
+                                         const StochasticSwapOptions& options) {
+  const auto start = Clock::now();
+  const int n = circuit.num_qubits();
+  const int m = cm.num_physical();
+  if (n > m) {
+    throw std::invalid_argument("map_stochastic_swap: circuit larger than architecture");
+  }
+  if (!cm.is_connected()) {
+    throw std::invalid_argument("map_stochastic_swap: coupling graph must be connected");
+  }
+  if (circuit.counts().swap > 0) {
+    throw std::invalid_argument("map_stochastic_swap: decompose SWAPs before mapping");
+  }
+  if (options.trials < 1 || options.runs < 1) {
+    throw std::invalid_argument("map_stochastic_swap: trials and runs must be >= 1");
+  }
+
+  const arch::DistanceMatrix dist(cm);
+  const auto layers = asap_layers(circuit);
+
+  std::optional<RunState> best;
+  std::vector<int> best_initial;
+  Rng rng(options.seed);
+  for (int run = 0; run < options.runs; ++run) {
+    RunState st{Circuit(m, circuit.name() + "/mapped"),
+                Circuit(m, circuit.name() + "/routed-skeleton"),
+                {},
+                0,
+                0};
+    st.layout.resize(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) st.layout[static_cast<std::size_t>(j)] = j;  // trivial layout
+    const std::vector<int> initial = st.layout;
+
+    for (const auto& layer : layers) {
+      std::vector<Gate> gates;
+      gates.reserve(layer.size());
+      for (const std::size_t gi : layer) gates.push_back(circuit.gate(gi));
+      process_group(st, gates, cm, dist, rng, options.trials);
+    }
+    if (!best || st.mapped.size() < best->mapped.size()) {
+      best = std::move(st);
+      best_initial = initial;
+    }
+  }
+
+  exact::MappingResult res;
+  res.engine_name = "qiskit-stochastic";
+  res.status = reason::Status::Feasible;
+  res.mapped = std::move(best->mapped);
+  res.routed_skeleton = std::move(best->skeleton);
+  res.initial_layout = std::move(best_initial);
+  res.final_layout = std::move(best->layout);
+  res.swaps_inserted = best->swaps;
+  res.cnots_reversed = best->reversed;
+  res.cost_f = static_cast<long long>(res.mapped.size()) - static_cast<long long>(circuit.size());
+  res.instances_solved = options.runs;
+
+  if (options.verify) {
+    const bool gf2_ok = sim::implements_skeleton(circuit.cnot_skeleton(), res.routed_skeleton,
+                                                 res.initial_layout, res.final_layout);
+    res.verified = gf2_ok;
+    res.verify_message = std::string("gf2: ") + (gf2_ok ? "ok" : "FAILED");
+  }
+  res.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  return res;
+}
+
+}  // namespace qxmap::heuristic

@@ -1,0 +1,94 @@
+#include "ir/circuit.hpp"
+
+#include <stdexcept>
+
+namespace qxmap {
+
+Circuit::Circuit(int num_qubits, std::string name)
+    : num_qubits_(num_qubits), name_(std::move(name)) {
+  if (num_qubits < 0) throw std::invalid_argument("Circuit: negative qubit count");
+}
+
+void Circuit::append(Gate g) {
+  for (const int q : g.qubits()) {
+    if (q >= num_qubits_) {
+      throw std::out_of_range("Circuit::append: gate touches qubit " + std::to_string(q) +
+                              " but circuit has " + std::to_string(num_qubits_) + " qubits");
+    }
+  }
+  gates_.push_back(std::move(g));
+}
+
+GateCounts Circuit::counts() const {
+  GateCounts c;
+  for (const auto& g : gates_) {
+    if (g.is_single_qubit()) {
+      ++c.single_qubit;
+    } else if (g.is_cnot()) {
+      ++c.cnot;
+    } else if (g.is_swap()) {
+      ++c.swap;
+    } else {
+      ++c.other;
+    }
+  }
+  return c;
+}
+
+std::vector<std::size_t> Circuit::cnot_positions() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    if (gates_[i].is_cnot()) out.push_back(i);
+  }
+  return out;
+}
+
+Circuit Circuit::cnot_skeleton() const {
+  Circuit out(num_qubits_, name_.empty() ? std::string{} : name_ + "/cnot-skeleton");
+  for (const auto& g : gates_) {
+    if (g.is_cnot()) out.append(g);
+  }
+  return out;
+}
+
+Circuit Circuit::with_swaps_expanded() const {
+  Circuit out(num_qubits_, name_);
+  for (const auto& g : gates_) {
+    if (!g.is_swap()) {
+      out.append(g);
+      continue;
+    }
+    // SWAP(a,b) = CX(a,b) CX(b,a) CX(a,b); the middle CX is realised as
+    // H a; H b; CX(a,b); H a; H b — the 7-operation form of Fig. 3.
+    const int a = g.target;
+    const int b = g.control;
+    out.cnot(a, b);
+    out.h(a);
+    out.h(b);
+    out.cnot(a, b);
+    out.h(a);
+    out.h(b);
+    out.cnot(a, b);
+  }
+  return out;
+}
+
+int Circuit::max_qubit_used() const noexcept {
+  int mx = -1;
+  for (const auto& g : gates_) {
+    for (const int q : g.qubits()) mx = std::max(mx, q);
+  }
+  return mx;
+}
+
+std::string Circuit::to_string() const {
+  std::string s = "circuit";
+  if (!name_.empty()) s += " \"" + name_ + '"';
+  s += " (" + std::to_string(num_qubits_) + " qubits, " + std::to_string(gates_.size()) + " gates)\n";
+  for (const auto& g : gates_) {
+    s += "  " + g.to_string() + '\n';
+  }
+  return s;
+}
+
+}  // namespace qxmap

@@ -1,0 +1,95 @@
+/// \file circuit.hpp
+/// Quantum circuit container (Def. 1): an ordered gate list over n qubits.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ir/gate.hpp"
+
+namespace qxmap {
+
+/// Gate-count statistics used for the "original cost" column of Table 1
+/// (number of single-qubit gates plus number of CNOTs).
+struct GateCounts {
+  int single_qubit = 0;
+  int cnot = 0;
+  int swap = 0;
+  int other = 0;  ///< barriers, measures
+
+  /// The paper's cost metric: every unitary elementary operation counts 1.
+  /// SWAPs count 7 (3 CNOT + 4 H, Fig. 3) because architectures execute
+  /// them decomposed.
+  [[nodiscard]] int cost() const noexcept { return single_qubit + cnot + 7 * swap; }
+};
+
+/// An ordered sequence of gates over `num_qubits()` qubit lines.
+class Circuit {
+ public:
+  Circuit() = default;
+
+  /// Creates an empty circuit. \throws std::invalid_argument if n < 0.
+  explicit Circuit(int num_qubits, std::string name = {});
+
+  [[nodiscard]] int num_qubits() const noexcept { return num_qubits_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Appends a gate. \throws std::out_of_range if the gate touches a qubit
+  /// index >= num_qubits().
+  void append(Gate g);
+
+  /// Convenience appenders.
+  void h(int q) { append(Gate::single(OpKind::H, q)); }
+  void x(int q) { append(Gate::single(OpKind::X, q)); }
+  void t(int q) { append(Gate::single(OpKind::T, q)); }
+  void tdg(int q) { append(Gate::single(OpKind::Tdg, q)); }
+  void s(int q) { append(Gate::single(OpKind::S, q)); }
+  void sdg(int q) { append(Gate::single(OpKind::Sdg, q)); }
+  void z(int q) { append(Gate::single(OpKind::Z, q)); }
+  void cnot(int control, int target) { append(Gate::cnot(control, target)); }
+  void swap(int a, int b) { append(Gate::swap(a, b)); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return gates_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return gates_.empty(); }
+  [[nodiscard]] const Gate& gate(std::size_t i) const { return gates_.at(i); }
+  [[nodiscard]] const std::vector<Gate>& gates() const noexcept { return gates_; }
+
+  [[nodiscard]] auto begin() const noexcept { return gates_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return gates_.end(); }
+
+  /// Gate-count statistics.
+  [[nodiscard]] GateCounts counts() const;
+
+  /// Indices (into gates()) of the CNOT gates, in order. The symbolic
+  /// formulation is built over exactly these (footnote 3).
+  [[nodiscard]] std::vector<std::size_t> cnot_positions() const;
+
+  /// The circuit with all non-CNOT gates removed (Fig. 1b). Preserves
+  /// num_qubits and name (suffixed with "/cnot-skeleton").
+  [[nodiscard]] Circuit cnot_skeleton() const;
+
+  /// The circuit with every SWAP expanded into its cost-7 realisation
+  /// CNOT(a,b) · [H a; H b; CNOT(a,b); H a; H b] · CNOT(a,b) (Fig. 3 with the
+  /// middle CNOT direction-reversed). `orient` decides the CNOT direction
+  /// used for the outer gates; see swap_synthesis for the coupling-aware
+  /// version — this one is coupling-agnostic and used by simulators.
+  [[nodiscard]] Circuit with_swaps_expanded() const;
+
+  /// Highest qubit index actually used, or -1 if no gate touches a qubit.
+  [[nodiscard]] int max_qubit_used() const noexcept;
+
+  /// Multi-line listing (one gate per line) for logs and error messages.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Circuit& a, const Circuit& b) = default;
+
+ private:
+  int num_qubits_ = 0;
+  std::string name_;
+  std::vector<Gate> gates_;
+};
+
+}  // namespace qxmap

@@ -1,0 +1,150 @@
+#include "ir/gate.hpp"
+
+#include <stdexcept>
+
+#include "common/strings.hpp"
+
+namespace qxmap {
+
+bool is_single_qubit_kind(OpKind k) noexcept {
+  switch (k) {
+    case OpKind::I:
+    case OpKind::X:
+    case OpKind::Y:
+    case OpKind::Z:
+    case OpKind::H:
+    case OpKind::S:
+    case OpKind::Sdg:
+    case OpKind::T:
+    case OpKind::Tdg:
+    case OpKind::Rx:
+    case OpKind::Ry:
+    case OpKind::Rz:
+    case OpKind::U1:
+    case OpKind::U2:
+    case OpKind::U3:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_two_qubit_kind(OpKind k) noexcept { return k == OpKind::Cnot || k == OpKind::Swap; }
+
+int parameter_count(OpKind k) noexcept {
+  switch (k) {
+    case OpKind::Rx:
+    case OpKind::Ry:
+    case OpKind::Rz:
+    case OpKind::U1:
+      return 1;
+    case OpKind::U2:
+      return 2;
+    case OpKind::U3:
+      return 3;
+    default:
+      return 0;
+  }
+}
+
+std::string_view kind_name(OpKind k) noexcept {
+  switch (k) {
+    case OpKind::I: return "id";
+    case OpKind::X: return "x";
+    case OpKind::Y: return "y";
+    case OpKind::Z: return "z";
+    case OpKind::H: return "h";
+    case OpKind::S: return "s";
+    case OpKind::Sdg: return "sdg";
+    case OpKind::T: return "t";
+    case OpKind::Tdg: return "tdg";
+    case OpKind::Rx: return "rx";
+    case OpKind::Ry: return "ry";
+    case OpKind::Rz: return "rz";
+    case OpKind::U1: return "u1";
+    case OpKind::U2: return "u2";
+    case OpKind::U3: return "u3";
+    case OpKind::Cnot: return "cx";
+    case OpKind::Swap: return "swap";
+    case OpKind::Barrier: return "barrier";
+    case OpKind::Measure: return "measure";
+  }
+  return "?";
+}
+
+Gate Gate::single(OpKind k, int q) { return single(k, q, {}); }
+
+Gate Gate::single(OpKind k, int q, std::vector<double> params) {
+  if (!is_single_qubit_kind(k)) throw std::invalid_argument("Gate::single: kind is not single-qubit");
+  if (q < 0) throw std::invalid_argument("Gate::single: negative qubit");
+  if (static_cast<int>(params.size()) != parameter_count(k)) {
+    throw std::invalid_argument("Gate::single: wrong parameter count for " + std::string(kind_name(k)));
+  }
+  Gate g;
+  g.kind = k;
+  g.target = q;
+  g.params = std::move(params);
+  return g;
+}
+
+Gate Gate::cnot(int control, int target) {
+  if (control < 0 || target < 0) throw std::invalid_argument("Gate::cnot: negative qubit");
+  if (control == target) throw std::invalid_argument("Gate::cnot: control == target");
+  Gate g;
+  g.kind = OpKind::Cnot;
+  g.control = control;
+  g.target = target;
+  return g;
+}
+
+Gate Gate::swap(int a, int b) {
+  if (a < 0 || b < 0) throw std::invalid_argument("Gate::swap: negative qubit");
+  if (a == b) throw std::invalid_argument("Gate::swap: identical qubits");
+  Gate g;
+  g.kind = OpKind::Swap;
+  g.target = a;
+  g.control = b;
+  return g;
+}
+
+Gate Gate::barrier() {
+  Gate g;
+  g.kind = OpKind::Barrier;
+  g.target = -1;
+  return g;
+}
+
+Gate Gate::measure(int q) {
+  if (q < 0) throw std::invalid_argument("Gate::measure: negative qubit");
+  Gate g;
+  g.kind = OpKind::Measure;
+  g.target = q;
+  return g;
+}
+
+std::vector<int> Gate::qubits() const {
+  if (kind == OpKind::Barrier) return {};
+  if (control >= 0) return {control, target};
+  return {target};
+}
+
+std::string Gate::to_string() const {
+  std::string s(kind_name(kind));
+  if (!params.empty()) {
+    s += '(';
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += format_fixed(params[i], 6);
+    }
+    s += ')';
+  }
+  if (kind == OpKind::Barrier) return s;
+  s += ' ';
+  if (control >= 0) {
+    s += 'q' + std::to_string(control) + ", ";
+  }
+  s += 'q' + std::to_string(target);
+  return s;
+}
+
+}  // namespace qxmap

@@ -1,0 +1,93 @@
+/// \file gate.hpp
+/// Gate representation for the quantum-circuit IR (Def. 1 of the paper).
+///
+/// A gate is either a single-qubit operation U(q, U-matrix) — here identified
+/// by a symbolic kind plus optional angle parameters, since the mapper never
+/// needs the actual matrix entries except for simulation — or a CNOT(qc, qt).
+/// SWAP appears as a pseudo-gate that mappers *emit* and that the reporting
+/// layer expands to its 7-gate decomposition (Fig. 3); architectures do not
+/// support it natively.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qxmap {
+
+/// Gate kinds supported by the IR. The set covers the IBM QX elementary
+/// gates (U1/U2/U3 + CX) and the common named gates appearing in RevLib /
+/// QASM benchmarks; everything else must be decomposed by the front-end.
+enum class OpKind : std::uint8_t {
+  // single-qubit
+  I,
+  X,
+  Y,
+  Z,
+  H,
+  S,
+  Sdg,
+  T,
+  Tdg,
+  Rx,
+  Ry,
+  Rz,
+  U1,
+  U2,
+  U3,
+  // two-qubit
+  Cnot,
+  Swap,
+  // structural
+  Barrier,
+  Measure,
+};
+
+/// True for kinds that act on exactly one qubit and carry unitary semantics.
+[[nodiscard]] bool is_single_qubit_kind(OpKind k) noexcept;
+
+/// True for CNOT / SWAP.
+[[nodiscard]] bool is_two_qubit_kind(OpKind k) noexcept;
+
+/// Number of angle parameters the kind carries (Rx/Ry/Rz/U1: 1, U2: 2, U3: 3).
+[[nodiscard]] int parameter_count(OpKind k) noexcept;
+
+/// Lower-case QASM-style mnemonic ("h", "cx", "u3", …).
+[[nodiscard]] std::string_view kind_name(OpKind k) noexcept;
+
+/// One quantum gate. Qubit indices refer to *logical* qubits in an unmapped
+/// circuit and to *physical* qubits in a mapped circuit; the IR itself is
+/// agnostic.
+struct Gate {
+  OpKind kind = OpKind::I;
+  /// Target qubit (single-qubit ops, CNOT target, SWAP first operand,
+  /// Measure target). For Barrier this is unused (barriers span the circuit).
+  int target = 0;
+  /// CNOT control / SWAP second operand; -1 for all other kinds.
+  int control = -1;
+  /// Angle parameters, length == parameter_count(kind).
+  std::vector<double> params;
+
+  /// Factory helpers keep construction sites short and validated.
+  [[nodiscard]] static Gate single(OpKind k, int q);
+  [[nodiscard]] static Gate single(OpKind k, int q, std::vector<double> params);
+  [[nodiscard]] static Gate cnot(int control, int target);
+  [[nodiscard]] static Gate swap(int a, int b);
+  [[nodiscard]] static Gate barrier();
+  [[nodiscard]] static Gate measure(int q);
+
+  [[nodiscard]] bool is_single_qubit() const noexcept { return is_single_qubit_kind(kind); }
+  [[nodiscard]] bool is_cnot() const noexcept { return kind == OpKind::Cnot; }
+  [[nodiscard]] bool is_swap() const noexcept { return kind == OpKind::Swap; }
+
+  /// The qubits this gate touches (1 or 2 entries; empty for Barrier).
+  [[nodiscard]] std::vector<int> qubits() const;
+
+  /// Human-readable rendering, e.g. "cx q2, q0" or "rz(0.5) q1".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Gate& a, const Gate& b) = default;
+};
+
+}  // namespace qxmap

@@ -1,0 +1,241 @@
+#include "opt/peephole.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace qxmap::opt {
+
+namespace {
+
+constexpr double kTwoPi = 2 * std::numbers::pi;
+constexpr double kAngleEps = 1e-12;
+
+/// True iff the two gates are adjacent inverses of each other.
+bool are_inverse_pair(const Gate& a, const Gate& b) {
+  const auto self_inverse = [](OpKind k) {
+    return k == OpKind::H || k == OpKind::X || k == OpKind::Y || k == OpKind::Z;
+  };
+  if (a.is_single_qubit() && b.is_single_qubit() && a.target == b.target) {
+    if (a.kind == b.kind && self_inverse(a.kind)) return true;
+    if ((a.kind == OpKind::S && b.kind == OpKind::Sdg) ||
+        (a.kind == OpKind::Sdg && b.kind == OpKind::S) ||
+        (a.kind == OpKind::T && b.kind == OpKind::Tdg) ||
+        (a.kind == OpKind::Tdg && b.kind == OpKind::T)) {
+      return true;
+    }
+    // Opposite-angle rotations of the same axis.
+    if (a.kind == b.kind &&
+        (a.kind == OpKind::Rx || a.kind == OpKind::Ry || a.kind == OpKind::Rz ||
+         a.kind == OpKind::U1) &&
+        std::abs(a.params[0] + b.params[0]) < kAngleEps) {
+      return true;
+    }
+    return false;
+  }
+  if (a.is_cnot() && b.is_cnot()) return a.control == b.control && a.target == b.target;
+  if (a.is_swap() && b.is_swap()) {
+    return (a.target == b.target && a.control == b.control) ||
+           (a.target == b.control && a.control == b.target);
+  }
+  return false;
+}
+
+/// Diagonal single-qubit gates (phase gates in the computational basis).
+bool is_diagonal(const Gate& g) {
+  switch (g.kind) {
+    case OpKind::Z:
+    case OpKind::S:
+    case OpKind::Sdg:
+    case OpKind::T:
+    case OpKind::Tdg:
+    case OpKind::Rz:
+    case OpKind::U1:
+      return true;
+    default:
+      return false;
+  }
+}
+
+double diagonal_phase(const Gate& g) {
+  switch (g.kind) {
+    case OpKind::Z: return std::numbers::pi;
+    case OpKind::S: return std::numbers::pi / 2;
+    case OpKind::Sdg: return -std::numbers::pi / 2;
+    case OpKind::T: return std::numbers::pi / 4;
+    case OpKind::Tdg: return -std::numbers::pi / 4;
+    case OpKind::Rz:
+    case OpKind::U1:
+      return g.params[0];
+    default:
+      return 0;
+  }
+}
+
+/// Canonical emission of an accumulated phase: named Clifford+T gate when
+/// the angle hits the π/4 grid, U1 otherwise, nothing when ~0 (mod 2π).
+void emit_phase(Circuit& out, int qubit, double phase) {
+  double p = std::fmod(phase, kTwoPi);
+  if (p > std::numbers::pi) p -= kTwoPi;
+  if (p < -std::numbers::pi) p += kTwoPi;
+  if (std::abs(p) < kAngleEps) return;
+  const auto close = [&](double x) { return std::abs(p - x) < kAngleEps; };
+  if (close(std::numbers::pi) || close(-std::numbers::pi)) {
+    out.z(qubit);
+  } else if (close(std::numbers::pi / 2)) {
+    out.s(qubit);
+  } else if (close(-std::numbers::pi / 2)) {
+    out.sdg(qubit);
+  } else if (close(std::numbers::pi / 4)) {
+    out.t(qubit);
+  } else if (close(-std::numbers::pi / 4)) {
+    out.tdg(qubit);
+  } else {
+    out.append(Gate::single(OpKind::U1, qubit, {p}));
+  }
+}
+
+}  // namespace
+
+Circuit cancel_inverse_pairs(const Circuit& c, int* cancelled) {
+  // Stack-based scan: for each new gate, look at the most recent surviving
+  // gate that shares a qubit with it. If that gate touches exactly the same
+  // qubits and is the inverse, both go; barriers block everything.
+  std::vector<Gate> kept;
+  std::vector<bool> alive;
+  int count = 0;
+  for (const auto& g : c) {
+    if (g.kind == OpKind::Barrier || g.kind == OpKind::Measure) {
+      kept.push_back(g);
+      alive.push_back(true);
+      continue;
+    }
+    // Find the latest alive gate sharing a qubit.
+    int prev = -1;
+    const auto qs = g.qubits();
+    for (int i = static_cast<int>(kept.size()) - 1; i >= 0; --i) {
+      if (!alive[static_cast<std::size_t>(i)]) continue;
+      const Gate& k = kept[static_cast<std::size_t>(i)];
+      if (k.kind == OpKind::Barrier) {
+        break;
+      }
+      bool shares = false;
+      for (const int q : k.qubits()) {
+        for (const int gq : qs) {
+          if (q == gq) shares = true;
+        }
+      }
+      if (shares) {
+        prev = i;
+        break;
+      }
+    }
+    if (prev >= 0 && are_inverse_pair(kept[static_cast<std::size_t>(prev)], g)) {
+      alive[static_cast<std::size_t>(prev)] = false;
+      ++count;
+      continue;
+    }
+    kept.push_back(g);
+    alive.push_back(true);
+  }
+  Circuit out(c.num_qubits(), c.name());
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    if (alive[i]) out.append(kept[i]);
+  }
+  if (cancelled != nullptr) *cancelled = count;
+  return out;
+}
+
+Circuit merge_diagonal_runs(const Circuit& c, int* merged) {
+  Circuit out(c.num_qubits(), c.name());
+  int count = 0;
+  std::size_t i = 0;
+  while (i < c.size()) {
+    const Gate& g = c.gate(i);
+    if (!g.is_single_qubit() || !is_diagonal(g)) {
+      out.append(g);
+      ++i;
+      continue;
+    }
+    // Collect the maximal run of diagonal gates on this qubit (other
+    // qubits' gates may not interleave — we only merge truly adjacent ones,
+    // which keeps the pass trivially sound).
+    double phase = diagonal_phase(g);
+    std::size_t j = i + 1;
+    int run = 1;
+    while (j < c.size() && c.gate(j).is_single_qubit() && is_diagonal(c.gate(j)) &&
+           c.gate(j).target == g.target) {
+      phase += diagonal_phase(c.gate(j));
+      ++run;
+      ++j;
+    }
+    if (run > 1) {
+      const auto before = out.size();
+      emit_phase(out, g.target, phase);
+      count += run - static_cast<int>(out.size() - before);
+    } else {
+      out.append(g);
+    }
+    i = j;
+  }
+  if (merged != nullptr) *merged = count;
+  return out;
+}
+
+Circuit simplify_reversed_cnots(const Circuit& c, const std::optional<arch::CouplingMap>& cm,
+                                int* rewritten) {
+  Circuit out(c.num_qubits(), c.name());
+  int count = 0;
+  std::size_t i = 0;
+  const auto is_h = [&](std::size_t idx, int q) {
+    return idx < c.size() && c.gate(idx).kind == OpKind::H && c.gate(idx).target == q;
+  };
+  while (i < c.size()) {
+    // Match H a; H b; CX(a,b); H a; H b (the two leading/trailing H's in
+    // either order).
+    if (i + 4 < c.size() && c.gate(i).kind == OpKind::H && c.gate(i + 1).kind == OpKind::H &&
+        c.gate(i + 2).is_cnot()) {
+      const int ctl = c.gate(i + 2).control;
+      const int tgt = c.gate(i + 2).target;
+      const bool leading = (is_h(i, ctl) && is_h(i + 1, tgt)) ||
+                           (is_h(i, tgt) && is_h(i + 1, ctl));
+      const bool trailing = (is_h(i + 3, ctl) && is_h(i + 4, tgt)) ||
+                            (is_h(i + 3, tgt) && is_h(i + 4, ctl));
+      const bool legal = !cm.has_value() || cm->allows(tgt, ctl);
+      if (leading && trailing && legal) {
+        out.cnot(tgt, ctl);
+        ++count;
+        i += 5;
+        continue;
+      }
+    }
+    out.append(c.gate(i));
+    ++i;
+  }
+  if (rewritten != nullptr) *rewritten = count;
+  return out;
+}
+
+Circuit optimize(const Circuit& c, const std::optional<arch::CouplingMap>& cm,
+                 PeepholeStats* stats) {
+  PeepholeStats local;
+  Circuit current = c;
+  for (int round = 0; round < 100; ++round) {
+    ++local.iterations;
+    int cancelled = 0;
+    int merged = 0;
+    int reversed = 0;
+    Circuit next = cancel_inverse_pairs(current, &cancelled);
+    next = merge_diagonal_runs(next, &merged);
+    next = simplify_reversed_cnots(next, cm, &reversed);
+    local.cancelled_pairs += cancelled;
+    local.merged_diagonals += merged;
+    local.reversed_cnots += reversed;
+    const bool changed = next.size() != current.size();
+    current = std::move(next);
+    if (!changed) break;
+  }
+  if (stats != nullptr) *stats = local;
+  return current;
+}
+
+}  // namespace qxmap::opt

@@ -1,0 +1,56 @@
+/// \file peephole.hpp
+/// Post-mapping peephole optimization.
+///
+/// The paper deliberately scopes these out ("we do not consider pre- or
+/// post-mapping optimizations … but solely consider the actual mapping
+/// process", footnote 2) while citing them as complementary [12, 23]; this
+/// module provides them as the natural extension. All passes preserve the
+/// circuit's unitary up to global phase, and — when a coupling map is
+/// supplied — keep the circuit executable on it.
+///
+/// Passes (run to a fixed point by `optimize`):
+///  * inverse-pair cancellation — adjacent H·H, X·X, Y·Y, Z·Z, S·Sdg,
+///    T·Tdg, CX·CX (same orientation), SWAP·SWAP annihilate;
+///  * diagonal merge — runs of {Z, S, Sdg, T, Tdg, Rz, U1} on one qubit
+///    fuse into a single U1 (dropped entirely when the total phase
+///    vanishes mod 2π);
+///  * direction simplification — H⊗H · CX(a,b) · H⊗H collapses to CX(b,a)
+///    when the reversed CNOT is legal on the given coupling map (always
+///    legal when no map is given).
+
+#pragma once
+
+#include <optional>
+
+#include "arch/coupling_map.hpp"
+#include "ir/circuit.hpp"
+
+namespace qxmap::opt {
+
+/// Statistics of one optimize() run.
+struct PeepholeStats {
+  int cancelled_pairs = 0;   ///< inverse pairs removed (2 gates each)
+  int merged_diagonals = 0;  ///< diagonal gates fused away
+  int reversed_cnots = 0;    ///< H-sandwiches collapsed to reversed CNOTs
+  int iterations = 0;        ///< fixed-point rounds executed
+
+  [[nodiscard]] int gates_removed() const noexcept {
+    return 2 * cancelled_pairs + merged_diagonals + 4 * reversed_cnots;
+  }
+};
+
+/// Runs all passes to a fixed point. When `cm` is provided, the direction
+/// simplification only fires where the result stays executable, so a
+/// mapped circuit stays mapped.
+[[nodiscard]] Circuit optimize(const Circuit& c,
+                               const std::optional<arch::CouplingMap>& cm = std::nullopt,
+                               PeepholeStats* stats = nullptr);
+
+/// Single passes, exposed for testing and for custom pipelines.
+[[nodiscard]] Circuit cancel_inverse_pairs(const Circuit& c, int* cancelled = nullptr);
+[[nodiscard]] Circuit merge_diagonal_runs(const Circuit& c, int* merged = nullptr);
+[[nodiscard]] Circuit simplify_reversed_cnots(const Circuit& c,
+                                              const std::optional<arch::CouplingMap>& cm,
+                                              int* rewritten = nullptr);
+
+}  // namespace qxmap::opt

@@ -1,0 +1,57 @@
+/// \file lexer.hpp
+/// Tokenizer for the OpenQASM 2.0 subset accepted by the parser.
+
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qxmap::qasm {
+
+/// Token categories.
+enum class TokenKind {
+  Identifier,   ///< names, keywords, gate mnemonics
+  Number,       ///< integer or real literal (value in Token::number)
+  String,       ///< double-quoted string (include file names)
+  Semicolon,
+  Comma,
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  LBrace,
+  RBrace,
+  Arrow,        ///< ->
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Caret,
+  EndOfFile,
+};
+
+/// One token with its source location (1-based line/column).
+struct Token {
+  TokenKind kind = TokenKind::EndOfFile;
+  std::string text;      ///< identifier name or raw literal text
+  double number = 0.0;   ///< numeric value when kind == Number
+  int line = 0;
+  int column = 0;
+};
+
+/// Error raised on malformed input; carries the source location.
+class LexError : public std::runtime_error {
+ public:
+  LexError(const std::string& message, int line, int column)
+      : std::runtime_error("qasm lex error at " + std::to_string(line) + ':' +
+                           std::to_string(column) + ": " + message) {}
+};
+
+/// Tokenizes the whole input. Line comments (`// …`) are skipped.
+/// \throws LexError on unrecognized characters or malformed literals.
+[[nodiscard]] std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace qxmap::qasm

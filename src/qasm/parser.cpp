@@ -1,0 +1,301 @@
+#include "qasm/parser.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <numbers>
+#include <sstream>
+#include <vector>
+
+#include "qasm/lexer.hpp"
+
+namespace qxmap::qasm {
+
+namespace {
+
+/// Appends the textbook Clifford+T decomposition of CCX(c1, c2, t).
+void append_ccx(Circuit& c, int c1, int c2, int t) {
+  c.h(t);
+  c.cnot(c2, t);
+  c.tdg(t);
+  c.cnot(c1, t);
+  c.t(t);
+  c.cnot(c2, t);
+  c.tdg(t);
+  c.cnot(c1, t);
+  c.t(c2);
+  c.t(t);
+  c.cnot(c1, c2);
+  c.h(t);
+  c.t(c1);
+  c.tdg(c2);
+  c.cnot(c1, c2);
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src, std::string name)
+      : tokens_(tokenize(src)), circuit_name_(std::move(name)) {}
+
+  Circuit run() {
+    parse_header();
+    // First pass: collect register declarations and statements interleaved;
+    // we parse statements directly into a gate buffer that is re-targeted
+    // once all qregs are known. Simpler: QASM requires declaration before
+    // use, so we build the circuit lazily on first use after declarations.
+    std::vector<PendingGate> pending;
+    while (peek().kind != TokenKind::EndOfFile) {
+      parse_statement(pending);
+    }
+    Circuit circuit(total_qubits_, circuit_name_);
+    for (auto& pg : pending) circuit.append(std::move(pg.gate));
+    return circuit;
+  }
+
+ private:
+  struct PendingGate {
+    Gate gate;
+  };
+
+  [[nodiscard]] const Token& peek() const { return tokens_[pos_]; }
+
+  const Token& advance() { return tokens_[pos_++]; }
+
+  const Token& expect(TokenKind k, const std::string& what) {
+    const Token& t = peek();
+    if (t.kind != k) throw ParseError("expected " + what + ", got '" + t.text + "'", t.line, t.column);
+    return advance();
+  }
+
+  [[nodiscard]] bool accept(TokenKind k) {
+    if (peek().kind == k) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void parse_header() {
+    // `OPENQASM 2.0;` is optional so bare gate lists are accepted too.
+    if (peek().kind == TokenKind::Identifier && peek().text == "OPENQASM") {
+      advance();
+      expect(TokenKind::Number, "version number");
+      expect(TokenKind::Semicolon, "';'");
+    }
+  }
+
+  void parse_statement(std::vector<PendingGate>& out) {
+    const Token& t = peek();
+    if (t.kind != TokenKind::Identifier) {
+      throw ParseError("expected statement, got '" + t.text + "'", t.line, t.column);
+    }
+    const std::string& head = t.text;
+    if (head == "include") {
+      advance();
+      expect(TokenKind::String, "include file name");
+      expect(TokenKind::Semicolon, "';'");
+      return;
+    }
+    if (head == "qreg" || head == "creg") {
+      parse_register(head == "qreg");
+      return;
+    }
+    if (head == "barrier") {
+      advance();
+      // Qubit list is irrelevant for mapping; consume it.
+      while (peek().kind != TokenKind::Semicolon && peek().kind != TokenKind::EndOfFile) advance();
+      expect(TokenKind::Semicolon, "';'");
+      out.push_back({Gate::barrier()});
+      return;
+    }
+    if (head == "measure") {
+      advance();
+      const int q = parse_qubit_operand();
+      expect(TokenKind::Arrow, "'->'");
+      parse_creg_operand();
+      expect(TokenKind::Semicolon, "';'");
+      out.push_back({Gate::measure(q)});
+      return;
+    }
+    if (head == "gate" || head == "if" || head == "opaque" || head == "reset") {
+      throw ParseError("unsupported statement '" + head + "'", t.line, t.column);
+    }
+    parse_gate_application(out);
+  }
+
+  void parse_register(bool quantum) {
+    advance();  // qreg/creg
+    const Token& name = expect(TokenKind::Identifier, "register name");
+    expect(TokenKind::LBracket, "'['");
+    const Token& size = expect(TokenKind::Number, "register size");
+    expect(TokenKind::RBracket, "']'");
+    expect(TokenKind::Semicolon, "';'");
+    const int n = static_cast<int>(size.number);
+    if (n <= 0) throw ParseError("register size must be positive", size.line, size.column);
+    if (quantum) {
+      if (qregs_.contains(name.text)) {
+        throw ParseError("duplicate qreg '" + name.text + "'", name.line, name.column);
+      }
+      qregs_[name.text] = {total_qubits_, n};
+      total_qubits_ += n;
+    } else {
+      cregs_[name.text] = n;
+    }
+  }
+
+  /// `name[idx]` → flattened qubit index.
+  int parse_qubit_operand() {
+    const Token& name = expect(TokenKind::Identifier, "qubit register");
+    const auto it = qregs_.find(name.text);
+    if (it == qregs_.end()) {
+      throw ParseError("unknown qreg '" + name.text + "'", name.line, name.column);
+    }
+    expect(TokenKind::LBracket, "'['");
+    const Token& idx = expect(TokenKind::Number, "qubit index");
+    expect(TokenKind::RBracket, "']'");
+    const int i = static_cast<int>(idx.number);
+    if (i < 0 || i >= it->second.second) {
+      throw ParseError("qubit index out of range", idx.line, idx.column);
+    }
+    return it->second.first + i;
+  }
+
+  void parse_creg_operand() {
+    const Token& name = expect(TokenKind::Identifier, "classical register");
+    if (!cregs_.contains(name.text)) {
+      throw ParseError("unknown creg '" + name.text + "'", name.line, name.column);
+    }
+    expect(TokenKind::LBracket, "'['");
+    expect(TokenKind::Number, "bit index");
+    expect(TokenKind::RBracket, "']'");
+  }
+
+  void parse_gate_application(std::vector<PendingGate>& out) {
+    const Token& mnemonic = advance();
+    static const std::map<std::string, OpKind> kSingle = {
+        {"id", OpKind::I},  {"x", OpKind::X},     {"y", OpKind::Y},   {"z", OpKind::Z},
+        {"h", OpKind::H},   {"s", OpKind::S},     {"sdg", OpKind::Sdg},
+        {"t", OpKind::T},   {"tdg", OpKind::Tdg}, {"rx", OpKind::Rx}, {"ry", OpKind::Ry},
+        {"rz", OpKind::Rz}, {"u1", OpKind::U1},   {"u2", OpKind::U2}, {"u3", OpKind::U3}};
+
+    std::vector<double> params;
+    if (accept(TokenKind::LParen)) {
+      if (peek().kind != TokenKind::RParen) {
+        params.push_back(parse_expression());
+        while (accept(TokenKind::Comma)) params.push_back(parse_expression());
+      }
+      expect(TokenKind::RParen, "')'");
+    }
+
+    std::vector<int> qubits;
+    qubits.push_back(parse_qubit_operand());
+    while (accept(TokenKind::Comma)) qubits.push_back(parse_qubit_operand());
+    expect(TokenKind::Semicolon, "';'");
+
+    if (const auto it = kSingle.find(mnemonic.text); it != kSingle.end()) {
+      if (qubits.size() != 1) {
+        throw ParseError(mnemonic.text + " expects 1 qubit", mnemonic.line, mnemonic.column);
+      }
+      if (static_cast<int>(params.size()) != parameter_count(it->second)) {
+        throw ParseError(mnemonic.text + " has wrong parameter count", mnemonic.line, mnemonic.column);
+      }
+      out.push_back({Gate::single(it->second, qubits[0], std::move(params))});
+      return;
+    }
+    if (mnemonic.text == "cx" || mnemonic.text == "CX") {
+      if (qubits.size() != 2) throw ParseError("cx expects 2 qubits", mnemonic.line, mnemonic.column);
+      out.push_back({Gate::cnot(qubits[0], qubits[1])});
+      return;
+    }
+    if (mnemonic.text == "swap") {
+      if (qubits.size() != 2) throw ParseError("swap expects 2 qubits", mnemonic.line, mnemonic.column);
+      out.push_back({Gate::swap(qubits[0], qubits[1])});
+      return;
+    }
+    if (mnemonic.text == "ccx") {
+      if (qubits.size() != 3) throw ParseError("ccx expects 3 qubits", mnemonic.line, mnemonic.column);
+      Circuit tmp(total_qubits_);
+      append_ccx(tmp, qubits[0], qubits[1], qubits[2]);
+      for (const auto& g : tmp) out.push_back({g});
+      return;
+    }
+    throw ParseError("unknown gate '" + mnemonic.text + "'", mnemonic.line, mnemonic.column);
+  }
+
+  // Expression grammar: expr := term (('+'|'-') term)*; term := factor
+  // (('*'|'/') factor)*; factor := primary ('^' factor)?;
+  // primary := number | pi | '-' factor | '(' expr ')'.
+  double parse_expression() {
+    double v = parse_term();
+    for (;;) {
+      if (accept(TokenKind::Plus)) {
+        v += parse_term();
+      } else if (accept(TokenKind::Minus)) {
+        v -= parse_term();
+      } else {
+        return v;
+      }
+    }
+  }
+
+  double parse_term() {
+    double v = parse_factor();
+    for (;;) {
+      if (accept(TokenKind::Star)) {
+        v *= parse_factor();
+      } else if (accept(TokenKind::Slash)) {
+        v /= parse_factor();
+      } else {
+        return v;
+      }
+    }
+  }
+
+  double parse_factor() {
+    double v = parse_primary();
+    if (accept(TokenKind::Caret)) v = std::pow(v, parse_factor());
+    return v;
+  }
+
+  double parse_primary() {
+    const Token& t = peek();
+    if (accept(TokenKind::Minus)) return -parse_factor();
+    if (t.kind == TokenKind::Number) {
+      advance();
+      return t.number;
+    }
+    if (t.kind == TokenKind::Identifier && t.text == "pi") {
+      advance();
+      return std::numbers::pi;
+    }
+    if (accept(TokenKind::LParen)) {
+      const double v = parse_expression();
+      expect(TokenKind::RParen, "')'");
+      return v;
+    }
+    throw ParseError("expected expression, got '" + t.text + "'", t.line, t.column);
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::string circuit_name_;
+  std::map<std::string, std::pair<int, int>> qregs_;  // name -> (offset, size)
+  std::map<std::string, int> cregs_;                  // name -> size
+  int total_qubits_ = 0;
+};
+
+}  // namespace
+
+Circuit parse(std::string_view source, std::string name) {
+  return Parser(source, std::move(name)).run();
+}
+
+Circuit parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open QASM file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse(ss.str(), path);
+}
+
+}  // namespace qxmap::qasm

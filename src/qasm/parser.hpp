@@ -1,0 +1,42 @@
+/// \file parser.hpp
+/// Recursive-descent parser for the OpenQASM 2.0 subset used by the IBM QX
+/// benchmark circuits.
+///
+/// Supported: `OPENQASM 2.0;`, `include "…";` (skipped), `qreg`/`creg`
+/// declarations (multiple qregs are flattened into one index space in
+/// declaration order), the qelib1 standard gates
+/// (id x y z h s sdg t tdg rx ry rz u1 u2 u3 cx swap ccx), `barrier`,
+/// `measure a -> c;`, and parameter expressions over numbers, `pi`,
+/// `+ - * / ^` and parentheses. `ccx` is decomposed into the textbook
+/// Clifford+T network (2 H, 7 T/Tdg, 6 CX) since QX architectures only
+/// execute U + CNOT. Gate definitions (`gate … { … }`) and `if` statements
+/// are rejected with a ParseError.
+
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "ir/circuit.hpp"
+
+namespace qxmap::qasm {
+
+/// Error raised on syntactically or semantically invalid input.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, int line, int column)
+      : std::runtime_error("qasm parse error at " + std::to_string(line) + ':' +
+                           std::to_string(column) + ": " + message) {}
+};
+
+/// Parses QASM source text into a Circuit. The circuit's qubit count is the
+/// total size of all qregs; its name is taken from `name` (e.g. a filename).
+/// \throws LexError / ParseError on invalid input.
+[[nodiscard]] Circuit parse(std::string_view source, std::string name = {});
+
+/// Reads and parses a `.qasm` file.
+/// \throws std::runtime_error if the file cannot be read.
+[[nodiscard]] Circuit parse_file(const std::string& path);
+
+}  // namespace qxmap::qasm

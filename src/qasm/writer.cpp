@@ -1,0 +1,68 @@
+#include "qasm/writer.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace qxmap::qasm {
+
+namespace {
+
+void emit_gate(std::ostringstream& os, const Gate& g) {
+  switch (g.kind) {
+    case OpKind::Barrier:
+      os << "barrier q;\n";
+      return;
+    case OpKind::Measure:
+      os << "measure q[" << g.target << "] -> c[" << g.target << "];\n";
+      return;
+    case OpKind::Cnot:
+      os << "cx q[" << g.control << "], q[" << g.target << "];\n";
+      return;
+    case OpKind::Swap:
+      os << "swap q[" << g.target << "], q[" << g.control << "];\n";
+      return;
+    default: {
+      os << kind_name(g.kind);
+      if (!g.params.empty()) {
+        os << '(';
+        for (std::size_t i = 0; i < g.params.size(); ++i) {
+          if (i > 0) os << ", ";
+          os << format_fixed(g.params[i], 12);
+        }
+        os << ')';
+      }
+      os << " q[" << g.target << "];\n";
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string write(const Circuit& circuit, const WriterOptions& options) {
+  const Circuit& c = options.expand_swaps ? circuit.with_swaps_expanded() : circuit;
+  std::ostringstream os;
+  os << "OPENQASM 2.0;\n";
+  os << "include \"qelib1.inc\";\n";
+  if (!c.name().empty()) os << "// " << c.name() << '\n';
+  os << "qreg q[" << c.num_qubits() << "];\n";
+  os << "creg c[" << c.num_qubits() << "];\n";
+  for (const auto& g : c) emit_gate(os, g);
+  if (options.emit_measure_all) {
+    for (int q = 0; q < c.num_qubits(); ++q) {
+      os << "measure q[" << q << "] -> c[" << q << "];\n";
+    }
+  }
+  return os.str();
+}
+
+void write_file(const Circuit& c, const std::string& path, const WriterOptions& options) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open file for writing: " + path);
+  out << write(c, options);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace qxmap::qasm

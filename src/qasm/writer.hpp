@@ -1,0 +1,29 @@
+/// \file writer.hpp
+/// Serializes a Circuit back to OpenQASM 2.0 text.
+///
+/// Mapped circuits round-trip: `parse(write(c))` reproduces `c` up to the
+/// register naming (a single qreg `q` is always emitted). SWAP pseudo-gates
+/// are written as `swap` by default or expanded to the 7-gate Fig. 3 form
+/// with `Options::expand_swaps`.
+
+#pragma once
+
+#include <string>
+
+#include "ir/circuit.hpp"
+
+namespace qxmap::qasm {
+
+/// Serialization options.
+struct WriterOptions {
+  bool expand_swaps = false;   ///< emit SWAPs as 3 CX + 4 H instead of `swap`
+  bool emit_measure_all = false;  ///< append `measure q[i] -> c[i]` for all qubits
+};
+
+/// Returns the QASM text for `c`.
+[[nodiscard]] std::string write(const Circuit& c, const WriterOptions& options = {});
+
+/// Writes QASM text to a file. \throws std::runtime_error on I/O failure.
+void write_file(const Circuit& c, const std::string& path, const WriterOptions& options = {});
+
+}  // namespace qxmap::qasm

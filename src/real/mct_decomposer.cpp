@@ -1,0 +1,190 @@
+#include "real/mct_decomposer.hpp"
+
+#include <algorithm>
+#include <numbers>
+#include <set>
+#include <stdexcept>
+
+namespace qxmap::real {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+/// CCX(c1, c2, t) as the textbook 15-gate Clifford+T network.
+void append_ccx(Circuit& c, int c1, int c2, int t) {
+  c.h(t);
+  c.cnot(c2, t);
+  c.tdg(t);
+  c.cnot(c1, t);
+  c.t(t);
+  c.cnot(c2, t);
+  c.tdg(t);
+  c.cnot(c1, t);
+  c.t(c2);
+  c.t(t);
+  c.cnot(c1, c2);
+  c.h(t);
+  c.t(c1);
+  c.tdg(c2);
+  c.cnot(c1, c2);
+}
+
+/// Controlled 2^s-th root of X (s >= 1), optionally adjoint.
+///
+/// X^(1/2^s) = e^{i θ/2} Rx(θ) with θ = π / 2^s. Using the ABC
+/// decomposition of a controlled-U with U = e^{iα} Rz(β) Ry(γ) Rz(δ)
+/// (β = -π/2, γ = θ, δ = π/2, α = θ/2):
+///   CU(c,t) = u1(α) c · A t · CX(c,t) · B t · CX(c,t) · C t
+/// with A = Rz(β) Ry(γ/2), B = Ry(-γ/2) Rz(-(δ+β)/2) = Ry(-γ/2),
+/// C = Rz((δ-β)/2) = Rz(π/2). Gates are appended in circuit order
+/// (C first).
+void append_controlled_root_x(Circuit& c, int ctrl, int tgt, int s, bool adjoint) {
+  double theta = kPi / static_cast<double>(1 << s);
+  if (adjoint) theta = -theta;
+  const double alpha = theta / 2;
+  // C
+  c.append(Gate::single(OpKind::Rz, tgt, {kPi / 2}));
+  c.cnot(ctrl, tgt);
+  // B
+  c.append(Gate::single(OpKind::Ry, tgt, {-theta / 2}));
+  c.cnot(ctrl, tgt);
+  // A
+  c.append(Gate::single(OpKind::Ry, tgt, {theta / 2}));
+  c.append(Gate::single(OpKind::Rz, tgt, {-kPi / 2}));
+  // phase on the control
+  c.append(Gate::single(OpKind::U1, ctrl, {alpha}));
+}
+
+/// Multi-controlled 2^s-th root of X, ancilla-free (Barenco Lemma 7.5
+/// recursion). For s = 0 this is MCT itself; the caller handles the
+/// base cases with <= 2 controls.
+void append_mc_root_x(Circuit& c, const std::vector<int>& controls, int target, int s,
+                      bool adjoint);
+
+/// Ancilla-free MCT for >= 3 controls via Lemma 7.5:
+///   C^k(X)(c_1..c_k, t) =
+///     C-sqrtX(c_k, t) · C^{k-1}(X)(c_1..c_{k-1}, c_k) · C-sqrtX†(c_k, t)
+///     · C^{k-1}(X)(c_1..c_{k-1}, c_k) · C^{k-1}(sqrtX)(c_1..c_{k-1}, t)
+void append_mct_ancilla_free(Circuit& c, const std::vector<int>& controls, int target) {
+  const int k = static_cast<int>(controls.size());
+  if (k == 0) {
+    c.x(target);
+    return;
+  }
+  if (k == 1) {
+    c.cnot(controls[0], target);
+    return;
+  }
+  if (k == 2) {
+    append_ccx(c, controls[0], controls[1], target);
+    return;
+  }
+  std::vector<int> rest(controls.begin(), controls.end() - 1);
+  const int last = controls.back();
+  append_controlled_root_x(c, last, target, 1, /*adjoint=*/false);
+  append_mct_ancilla_free(c, rest, last);
+  append_controlled_root_x(c, last, target, 1, /*adjoint=*/true);
+  append_mct_ancilla_free(c, rest, last);
+  append_mc_root_x(c, rest, target, 1, /*adjoint=*/false);
+}
+
+void append_mc_root_x(Circuit& c, const std::vector<int>& controls, int target, int s,
+                      bool adjoint) {
+  const int k = static_cast<int>(controls.size());
+  if (k == 0) {
+    // Plain 2^s-th root of X (no controls): Rx with global phase — the
+    // global phase is irrelevant once the gate is uncontrolled.
+    double theta = kPi / static_cast<double>(1 << s);
+    if (adjoint) theta = -theta;
+    c.append(Gate::single(OpKind::U1, target, {theta / 2}));
+    c.append(Gate::single(OpKind::Rx, target, {theta}));
+    return;
+  }
+  if (k == 1) {
+    append_controlled_root_x(c, controls[0], target, s, adjoint);
+    return;
+  }
+  std::vector<int> rest(controls.begin(), controls.end() - 1);
+  const int last = controls.back();
+  append_controlled_root_x(c, last, target, s + 1, adjoint);
+  append_mct_ancilla_free(c, rest, last);
+  append_controlled_root_x(c, last, target, s + 1, !adjoint);
+  append_mct_ancilla_free(c, rest, last);
+  append_mc_root_x(c, rest, target, s + 1, adjoint);
+}
+
+/// MCT with >= 3 controls using one borrowed (dirty) ancilla line:
+/// with controls S split into S1 ∪ S2, |S1| = ceil(k/2):
+///   C^k(X)(S, t) = C^{|S1|}(X)(S1, anc) · C^{|S2|+1}(X)(S2 ∪ {anc}, t)
+///                · C^{|S1|}(X)(S1, anc) · C^{|S2|+1}(X)(S2 ∪ {anc}, t)
+/// Each recursive MCT again prefers a borrowed ancilla from the lines it
+/// does not touch.
+void append_mct_dispatch(Circuit& c, const std::vector<int>& controls, int target);
+
+void append_mct_borrowed(Circuit& c, const std::vector<int>& controls, int target, int ancilla) {
+  const auto k = controls.size();
+  const std::size_t half = (k + 1) / 2;
+  const std::vector<int> s1(controls.begin(), controls.begin() + static_cast<std::ptrdiff_t>(half));
+  std::vector<int> s2(controls.begin() + static_cast<std::ptrdiff_t>(half), controls.end());
+  s2.push_back(ancilla);
+  append_mct_dispatch(c, s1, ancilla);
+  append_mct_dispatch(c, s2, target);
+  append_mct_dispatch(c, s1, ancilla);
+  append_mct_dispatch(c, s2, target);
+}
+
+void append_mct_dispatch(Circuit& c, const std::vector<int>& controls, int target) {
+  const auto k = controls.size();
+  if (k == 0) {
+    c.x(target);
+    return;
+  }
+  if (k == 1) {
+    c.cnot(controls[0], target);
+    return;
+  }
+  if (k == 2) {
+    append_ccx(c, controls[0], controls[1], target);
+    return;
+  }
+  // Look for an idle line to borrow.
+  std::set<int> used(controls.begin(), controls.end());
+  used.insert(target);
+  for (int line = 0; line < c.num_qubits(); ++line) {
+    if (!used.contains(line)) {
+      append_mct_borrowed(c, controls, target, line);
+      return;
+    }
+  }
+  append_mct_ancilla_free(c, controls, target);
+}
+
+}  // namespace
+
+void append_mct(Circuit& c, const std::vector<int>& controls, int target) {
+  std::set<int> seen(controls.begin(), controls.end());
+  if (seen.size() != controls.size() || seen.contains(target)) {
+    throw std::invalid_argument("append_mct: operands must be distinct");
+  }
+  append_mct_dispatch(c, controls, target);
+}
+
+void append_fredkin(Circuit& c, const std::vector<int>& controls, int a, int b) {
+  if (a == b) throw std::invalid_argument("append_fredkin: swap operands must differ");
+  c.cnot(b, a);
+  std::vector<int> ctl = controls;
+  ctl.push_back(a);
+  append_mct(c, ctl, b);
+  c.cnot(b, a);
+}
+
+int mct_decomposed_size(int num_controls, int num_lines) {
+  Circuit tmp(num_lines);
+  std::vector<int> controls(static_cast<std::size_t>(num_controls));
+  for (int i = 0; i < num_controls; ++i) controls[static_cast<std::size_t>(i)] = i;
+  append_mct(tmp, controls, num_controls);
+  return static_cast<int>(tmp.size());
+}
+
+}  // namespace qxmap::real

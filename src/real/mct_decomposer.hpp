@@ -1,0 +1,46 @@
+/// \file mct_decomposer.hpp
+/// Decomposition of multi-controlled Toffoli (MCT) and Fredkin gates into
+/// the {U, CNOT} set executable on IBM QX architectures.
+///
+/// The RevLib benchmarks the paper evaluates are reversible netlists built
+/// from MCT gates; before mapping they must be decomposed (the paper assumes
+/// this step "has already been conducted" — this module conducts it).
+///
+/// Strategies, chosen automatically per gate:
+///  * 0 controls → X, 1 control → CNOT.
+///  * 2 controls → the textbook 15-gate Clifford+T CCX network
+///    (2 H, 4 T, 3 Tdg, 6 CX).
+///  * >= 3 controls with at least one idle circuit line → recursive split via
+///    a *borrowed* (dirty) ancilla (Barenco et al. 1995, Lemma 7.3 shape):
+///    C^c(X) = C^a(X; anc) C^(b+1)(X; tgt) C^a(X; anc) C^(b+1)(X; tgt)
+///    with the controls partitioned into a + b = c.
+///  * >= 3 controls with no idle line → ancilla-free construction via
+///    controlled roots of X (Barenco et al. Lemma 7.5):
+///    C^c(X) = C-sqrtX(c_last,t) · C^{c-1}(X) on c_last · C-sqrtX†(c_last,t)
+///    · C^{c-1}(X) on c_last · C^{c-1}(sqrtX)(rest, t), recursively, where
+///    each controlled 2^s-th root of X is emitted as 2 CX + 4 rotations.
+
+#pragma once
+
+#include <vector>
+
+#include "ir/circuit.hpp"
+
+namespace qxmap::real {
+
+/// Appends X with the given controls on `target` to `c`, decomposed into
+/// {single-qubit, CNOT} gates. `controls` must be distinct from each other
+/// and from `target`, and all lines must exist in `c`.
+/// \throws std::invalid_argument on aliased operands.
+void append_mct(Circuit& c, const std::vector<int>& controls, int target);
+
+/// Appends a Fredkin (controlled-SWAP family) gate: swaps `a` and `b` iff
+/// all `controls` are 1, decomposed via CX(b,a) · MCT(controls+{a}, b) ·
+/// CX(b,a).
+void append_fredkin(Circuit& c, const std::vector<int>& controls, int a, int b);
+
+/// Gate count of the decomposition of an MCT with `num_controls` controls on
+/// a circuit with `num_lines` lines (used by tests and cost estimation).
+[[nodiscard]] int mct_decomposed_size(int num_controls, int num_lines);
+
+}  // namespace qxmap::real

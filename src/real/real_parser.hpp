@@ -1,0 +1,46 @@
+/// \file real_parser.hpp
+/// Parser for RevLib `.real` reversible-netlist files.
+///
+/// The DAC'19 paper's benchmarks (3_17_13, ham3_102, …) originate from
+/// RevLib [20]. A `.real` file declares variables and a list of reversible
+/// gates; this parser reads the common subset (t-family MCT gates and
+/// f-family Fredkin gates) and decomposes every gate into {U, CNOT} via
+/// mct_decomposer, producing a circuit ready for mapping.
+///
+/// Recognized directives: .version .numvars .variables .inputs .outputs
+/// .constants .garbage .begin .end (declarations other than .numvars /
+/// .variables are validated loosely and otherwise ignored — they describe
+/// I/O semantics, not structure). Gate lines: `t<k> v1 … vk` (last operand
+/// is the target) and `f<k> v1 … vk` (last two operands are swapped).
+
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "ir/circuit.hpp"
+
+namespace qxmap::real {
+
+/// Error raised on malformed `.real` input; message includes the line number.
+class RealParseError : public std::runtime_error {
+ public:
+  RealParseError(const std::string& message, int line)
+      : std::runtime_error(".real parse error at line " + std::to_string(line) + ": " + message) {}
+};
+
+/// Parsing result: the decomposed circuit plus netlist-level statistics.
+struct RealFile {
+  Circuit circuit;       ///< decomposed into {single-qubit, CNOT}
+  int num_mct_gates = 0; ///< reversible gates in the original netlist
+  int max_controls = 0;  ///< largest control count seen
+};
+
+/// Parses `.real` source text. \throws RealParseError on invalid input.
+[[nodiscard]] RealFile parse(std::string_view source, std::string name = {});
+
+/// Reads and parses a `.real` file. \throws std::runtime_error on I/O error.
+[[nodiscard]] RealFile parse_file(const std::string& path);
+
+}  // namespace qxmap::real

@@ -1,0 +1,47 @@
+#include "real/real_writer.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace qxmap::real {
+
+std::string write(const Circuit& c) {
+  std::ostringstream os;
+  os << "# " << (c.name().empty() ? "qxmap circuit" : c.name()) << '\n';
+  os << ".version 2.0\n";
+  os << ".numvars " << c.num_qubits() << '\n';
+  os << ".variables";
+  for (int q = 0; q < c.num_qubits(); ++q) os << " x" << q;
+  os << '\n';
+  os << ".begin\n";
+  for (const auto& g : c) {
+    switch (g.kind) {
+      case OpKind::Barrier:
+        break;  // no .real counterpart; structural only
+      case OpKind::X:
+        os << "t1 x" << g.target << '\n';
+        break;
+      case OpKind::Cnot:
+        os << "t2 x" << g.control << " x" << g.target << '\n';
+        break;
+      case OpKind::Swap:
+        os << "f2 x" << g.target << " x" << g.control << '\n';
+        break;
+      default:
+        throw std::invalid_argument("real::write: gate has no .real counterpart: " +
+                                    g.to_string());
+    }
+  }
+  os << ".end\n";
+  return os.str();
+}
+
+void write_file(const Circuit& c, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open file for writing: " + path);
+  out << write(c);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace qxmap::real

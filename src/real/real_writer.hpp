@@ -1,0 +1,25 @@
+/// \file real_writer.hpp
+/// Serialization of classical-reversible circuits back to RevLib `.real`.
+///
+/// Only gates with classical reversible semantics are expressible: X (t1),
+/// CNOT (t2), and SWAP (f2). Useful for round-tripping CNOT skeletons and
+/// for exporting routed skeletons to RevLib-based tooling.
+
+#pragma once
+
+#include <string>
+
+#include "ir/circuit.hpp"
+
+namespace qxmap::real {
+
+/// Renders `c` as `.real` text (variables x0 … x{n-1}).
+/// \throws std::invalid_argument if the circuit contains a gate without a
+/// `.real` counterpart (anything beyond X / CNOT / SWAP; barriers are
+/// skipped, measures rejected).
+[[nodiscard]] std::string write(const Circuit& c);
+
+/// Writes to a file. \throws std::runtime_error on I/O failure.
+void write_file(const Circuit& c, const std::string& path);
+
+}  // namespace qxmap::real

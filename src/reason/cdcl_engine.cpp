@@ -1,0 +1,245 @@
+#include "reason/cdcl_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qxmap::reason {
+
+namespace {
+
+using sat::Lit;
+using sat::Solver;
+
+/// Node of the generalized totalizer: "sum over this subtree >= w" per
+/// attainable weight w > 0, clamped at `clamp` (all sums beyond the clamp
+/// collapse onto the clamp value — sufficient for bounding below it).
+using WeightedOutputs = std::map<long long, Lit>;
+
+WeightedOutputs merge_nodes(Solver& s, const WeightedOutputs& a, const WeightedOutputs& b,
+                            long long clamp) {
+  WeightedOutputs out;
+  // Collect attainable sums (clamped).
+  std::vector<std::pair<long long, long long>> combos;  // (a-weight, b-weight); 0 = "none"
+  for (auto ita = a.begin();; ++ita) {
+    const long long wa = (ita == a.end()) ? 0 : ita->first;
+    for (auto itb = b.begin();; ++itb) {
+      const long long wb = (itb == b.end()) ? 0 : itb->first;
+      if (wa + wb > 0) combos.emplace_back(wa, wb);
+      if (itb == b.end()) break;
+    }
+    if (ita == a.end()) break;
+  }
+  for (const auto& [wa, wb] : combos) {
+    const long long w = std::min(wa + wb, clamp);
+    if (!out.contains(w)) out.emplace(w, sat::pos(s.new_var()));
+  }
+  // a>=wa ∧ b>=wb → out>=min(wa+wb, clamp)
+  for (const auto& [wa, wb] : combos) {
+    const long long w = std::min(wa + wb, clamp);
+    std::vector<Lit> clause;
+    if (wa > 0) clause.push_back(~a.at(wa));
+    if (wb > 0) clause.push_back(~b.at(wb));
+    clause.push_back(out.at(w));
+    s.add_clause(std::move(clause));
+  }
+  // Monotonicity: out>=w2 → out>=w1 for consecutive attainable w1 < w2.
+  for (auto it = out.begin(); it != out.end(); ++it) {
+    const auto next = std::next(it);
+    if (next != out.end()) s.add_clause(~next->second, it->second);
+  }
+  return out;
+}
+
+WeightedOutputs build_gte(Solver& s, const std::vector<std::pair<Lit, long long>>& terms,
+                          std::size_t lo, std::size_t hi, long long clamp) {
+  if (hi - lo == 1) {
+    WeightedOutputs leaf;
+    leaf.emplace(std::min(terms[lo].second, clamp), terms[lo].first);
+    return leaf;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  return merge_nodes(s, build_gte(s, terms, lo, mid, clamp), build_gte(s, terms, mid, hi, clamp),
+                     clamp);
+}
+
+}  // namespace
+
+int CdclEngine::new_bool() { return solver_.new_var(); }
+
+void CdclEngine::add_clause(const std::vector<int>& lits) {
+  std::vector<Lit> converted;
+  converted.reserve(lits.size());
+  for (const int l : lits) {
+    if (l == 0) throw std::invalid_argument("CdclEngine::add_clause: zero literal");
+    converted.push_back(Lit(std::abs(l) - 1, l < 0));
+  }
+  stored_clauses_.push_back(converted);
+  solver_.add_clause(std::move(converted));
+}
+
+void CdclEngine::add_cost(int var, long long weight) {
+  if (weight <= 0) throw std::invalid_argument("CdclEngine::add_cost: weight must be positive");
+  cost_terms_.emplace_back(var, weight);
+}
+
+long long CdclEngine::model_cost() const {
+  long long cost = 0;
+  for (const auto& [var, weight] : cost_terms_) {
+    if (best_model_[static_cast<std::size_t>(var)]) cost += weight;
+  }
+  return cost;
+}
+
+void CdclEngine::add_cost_bound(long long bound) {
+  if (cost_terms_.empty()) return;
+  if (bound < 0) {
+    // Nothing cheaper than 0 exists; make the formula UNSAT to stop the loop.
+    solver_.add_clause(std::vector<Lit>{});
+    return;
+  }
+  if (ge_.empty()) {
+    clamp_ = bound + 1;
+    std::vector<std::pair<Lit, long long>> terms;
+    terms.reserve(cost_terms_.size());
+    for (const auto& [var, weight] : cost_terms_) {
+      terms.emplace_back(sat::pos(var), weight);
+    }
+    ge_ = build_gte(solver_, terms, 0, terms.size(), clamp_);
+  }
+  // Forbid every attainable objective value above the bound.
+  for (const auto& [w, lit] : ge_) {
+    if (w > bound) {
+      solver_.add_clause(~lit);
+      break;  // monotonicity clauses force the rest
+    }
+  }
+}
+
+Outcome CdclEngine::minimize(std::chrono::milliseconds budget) {
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  return mode_ == OptimizationMode::BinarySearch ? minimize_binary(deadline)
+                                                 : minimize_descending(deadline);
+}
+
+Outcome CdclEngine::minimize_descending(std::chrono::steady_clock::time_point deadline) {
+  const auto interrupt = [&deadline] { return std::chrono::steady_clock::now() >= deadline; };
+
+  Outcome out;
+  for (;;) {
+    const sat::SolveResult r = solver_.solve(interrupt);
+    if (r == sat::SolveResult::Unsatisfiable) {
+      if (has_model_) {
+        out.status = Status::Optimal;
+        out.cost = model_cost();
+      } else {
+        out.status = Status::Unsat;
+      }
+      return out;
+    }
+    if (r == sat::SolveResult::Unknown) {
+      if (has_model_) {
+        out.status = Status::Feasible;
+        out.cost = model_cost();
+      } else {
+        out.status = Status::Unknown;
+      }
+      return out;
+    }
+    // Satisfiable: snapshot the model, tighten, and go again.
+    best_model_.resize(static_cast<std::size_t>(solver_.num_vars()));
+    for (sat::Var v = 0; v < solver_.num_vars(); ++v) {
+      best_model_[static_cast<std::size_t>(v)] = solver_.model_value(v);
+    }
+    has_model_ = true;
+    const long long cost = model_cost();
+    if (cost == 0) {
+      out.status = Status::Optimal;
+      out.cost = 0;
+      return out;
+    }
+    add_cost_bound(cost - 1);
+  }
+}
+
+Outcome CdclEngine::minimize_binary(std::chrono::steady_clock::time_point deadline) {
+  const auto interrupt = [&deadline] { return std::chrono::steady_clock::now() >= deadline; };
+
+  // First an unrestricted solve to obtain an upper bound.
+  Outcome out;
+  const sat::SolveResult first = solver_.solve(interrupt);
+  if (first == sat::SolveResult::Unsatisfiable) {
+    out.status = Status::Unsat;
+    return out;
+  }
+  if (first == sat::SolveResult::Unknown) {
+    out.status = Status::Unknown;
+    return out;
+  }
+  best_model_.resize(static_cast<std::size_t>(solver_.num_vars()));
+  for (sat::Var v = 0; v < solver_.num_vars(); ++v) {
+    best_model_[static_cast<std::size_t>(v)] = solver_.model_value(v);
+  }
+  has_model_ = true;
+
+  long long lo = 0;
+  long long hi = model_cost();
+  const int num_vars = solver_.num_vars();
+  while (lo < hi) {
+    if (interrupt()) {
+      out.status = Status::Feasible;
+      out.cost = hi;
+      return out;
+    }
+    const long long mid = lo + (hi - lo) / 2;
+    // Fresh probe solver: the bound is not monotone across probes, so each
+    // probe gets its own GTE clamped at mid + 1 (this is exactly the
+    // "set F to a fixed value" scheme of Sec. 3.3).
+    sat::Solver probe;
+    for (int v = 0; v < num_vars; ++v) probe.new_var();
+    bool trivially_unsat = false;
+    for (const auto& clause : stored_clauses_) {
+      if (!probe.add_clause(clause)) {
+        trivially_unsat = true;
+        break;
+      }
+    }
+    if (!trivially_unsat && !cost_terms_.empty()) {
+      std::vector<std::pair<Lit, long long>> terms;
+      terms.reserve(cost_terms_.size());
+      for (const auto& [var, weight] : cost_terms_) terms.emplace_back(sat::pos(var), weight);
+      const auto ge = build_gte(probe, terms, 0, terms.size(), mid + 1);
+      for (const auto& [w, lit] : ge) {
+        if (w > mid) {
+          probe.add_clause(~lit);
+          break;
+        }
+      }
+    }
+    const sat::SolveResult r =
+        trivially_unsat ? sat::SolveResult::Unsatisfiable : probe.solve(interrupt);
+    if (r == sat::SolveResult::Unknown) {
+      out.status = Status::Feasible;
+      out.cost = hi;
+      return out;
+    }
+    if (r == sat::SolveResult::Unsatisfiable) {
+      lo = mid + 1;
+      continue;
+    }
+    // SAT at mid: adopt the probe model (only the original variables).
+    for (sat::Var v = 0; v < num_vars; ++v) {
+      best_model_[static_cast<std::size_t>(v)] = probe.model_value(v);
+    }
+    hi = model_cost();
+  }
+  out.status = Status::Optimal;
+  out.cost = hi;
+  return out;
+}
+
+bool CdclEngine::value(int var) const {
+  if (!has_model_) throw std::logic_error("CdclEngine::value: no model available");
+  return best_model_.at(static_cast<std::size_t>(var));
+}
+
+}  // namespace qxmap::reason

@@ -1,0 +1,69 @@
+/// \file cdcl_engine.hpp
+/// Reasoning engine backed by the library's own CDCL solver (src/sat).
+///
+/// Optimisation is a descending-bound loop: solve, read off the model cost,
+/// add clauses forbidding any assignment of that cost or worse, repeat until
+/// UNSAT (the last model is then provably optimal) or until the budget runs
+/// out (Feasible). The weighted bound (Eq. 5: 7·swaps(π) per y, 4 per z) is
+/// enforced with a generalized totalizer (GTE): a tree over the weighted
+/// cost literals whose root carries one "sum >= w" indicator per attainable
+/// weight w, clamped at the first bound + 1; tightening to a smaller bound B
+/// then only needs unit clauses ¬(sum >= w) for attainable w > B.
+
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "reason/engine.hpp"
+#include "sat/solver.hpp"
+
+namespace qxmap::reason {
+
+/// How the optimum is approached (Sec. 3.3 discusses both: "simply set F
+/// to a fixed value and approach towards the minimum, e.g., by applying a
+/// binary search" vs. letting the engine minimize directly).
+enum class OptimizationMode {
+  DescendingLinear,  ///< solve, tighten below the model cost, repeat (default)
+  BinarySearch,      ///< bisect on the cost bound with fresh probe solvers
+};
+
+/// ReasoningEngine implementation on top of sat::Solver.
+class CdclEngine final : public ReasoningEngine {
+ public:
+  CdclEngine() = default;
+
+  /// Selects the optimization mode; call before minimize().
+  void set_mode(OptimizationMode mode) noexcept { mode_ = mode; }
+
+  int new_bool() override;
+  void add_clause(const std::vector<int>& lits) override;
+  void add_cost(int var, long long weight) override;
+  Outcome minimize(std::chrono::milliseconds budget) override;
+  [[nodiscard]] bool value(int var) const override;
+  [[nodiscard]] std::string name() const override { return "cdcl"; }
+
+  /// Underlying solver statistics (for benchmarks).
+  [[nodiscard]] const sat::SolverStats& solver_stats() const noexcept { return solver_.stats(); }
+
+ private:
+  /// Adds clauses enforcing objective <= bound (builds the GTE on first use,
+  /// clamped at bound + 1).
+  void add_cost_bound(long long bound);
+  [[nodiscard]] long long model_cost() const;
+  Outcome minimize_descending(std::chrono::steady_clock::time_point deadline);
+  Outcome minimize_binary(std::chrono::steady_clock::time_point deadline);
+
+  sat::Solver solver_;
+  OptimizationMode mode_ = OptimizationMode::DescendingLinear;
+  std::vector<std::vector<sat::Lit>> stored_clauses_;  // for binary-search probes
+  std::vector<std::pair<int, long long>> cost_terms_;  // (var, weight)
+  // Generalized-totalizer root: ge_[w] ↔ "objective >= w" for attainable w,
+  // clamped at clamp_. Built lazily by the first add_cost_bound call.
+  std::map<long long, sat::Lit> ge_;
+  long long clamp_ = -1;
+  std::vector<bool> best_model_;
+  bool has_model_ = false;
+};
+
+}  // namespace qxmap::reason

@@ -1,0 +1,89 @@
+/// \file engine.hpp
+/// Abstraction over "powerful reasoning engines" (Sec. 3.1).
+///
+/// The paper solves the symbolic formulation with Z3; this library supports
+/// two interchangeable backends behind one interface — Z3's MaxSAT-style
+/// optimizer and the home-grown CDCL solver with a descending-bound loop —
+/// so the engine choice becomes an ablation axis (bench/engines).
+///
+/// Literal convention: an engine variable is an int id (0-based); a literal
+/// is DIMACS-like, `+(id+1)` for the positive phase, `-(id+1)` for the
+/// negative phase.
+
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace qxmap::reason {
+
+/// Status of an optimisation run.
+enum class Status {
+  Optimal,     ///< model found and proven minimal
+  Feasible,    ///< model found, optimality not proven (budget exhausted)
+  Unsat,       ///< constraints unsatisfiable
+  Unknown,     ///< no model found within budget
+};
+
+/// Outcome of ReasoningEngine::minimize.
+struct Outcome {
+  Status status = Status::Unknown;
+  long long cost = 0;  ///< objective value of the best model (valid for Optimal/Feasible)
+};
+
+/// One engine instance owns one formula + objective. Not reusable across
+/// problems; create a fresh engine per instance.
+class ReasoningEngine {
+ public:
+  virtual ~ReasoningEngine() = default;
+
+  /// Creates a fresh Boolean variable, returning its id.
+  virtual int new_bool() = 0;
+
+  /// Adds a disjunction of literals (see the convention above).
+  virtual void add_clause(const std::vector<int>& lits) = 0;
+
+  /// Adds `weight` to the objective whenever variable `var` is true.
+  /// weight must be positive.
+  virtual void add_cost(int var, long long weight) = 0;
+
+  /// Minimizes the objective subject to the clauses within `budget`.
+  virtual Outcome minimize(std::chrono::milliseconds budget) = 0;
+
+  /// Value of `var` in the best model found (valid after Optimal/Feasible).
+  [[nodiscard]] virtual bool value(int var) const = 0;
+
+  /// Human-readable backend name ("z3", "cdcl").
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  // Convenience helpers shared by all backends (implemented via add_clause /
+  // new_bool only).
+
+  /// Pairwise at-most-one.
+  void add_at_most_one(const std::vector<int>& lits);
+  /// One clause.
+  void add_at_least_one(const std::vector<int>& lits);
+  /// Exactly-one (pairwise).
+  void add_exactly_one(const std::vector<int>& lits);
+  /// Fresh t with t ↔ (a ∧ b); operands are literals.
+  [[nodiscard]] int make_and(int a, int b);
+  /// Fresh t with t ↔ ∨ lits (empty input → t fixed false).
+  [[nodiscard]] int make_or(const std::vector<int>& lits);
+  /// Force literal equality a = b.
+  void add_equal_lits(int a, int b);
+  /// antecedent → (a = b); all three are literals.
+  void add_implies_equal(int antecedent, int a, int b);
+};
+
+/// Which backend to instantiate.
+enum class EngineKind { Z3, Cdcl };
+
+/// Name for reports ("z3" / "cdcl").
+[[nodiscard]] std::string to_string(EngineKind kind);
+
+/// Factory.
+[[nodiscard]] std::unique_ptr<ReasoningEngine> make_engine(EngineKind kind);
+
+}  // namespace qxmap::reason

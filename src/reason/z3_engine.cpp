@@ -1,0 +1,89 @@
+#include "reason/z3_engine.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include <z3++.h>
+
+namespace qxmap::reason {
+
+struct Z3Engine::Impl {
+  z3::context ctx;
+  z3::optimize opt{ctx};
+  std::vector<z3::expr> vars;
+  std::vector<bool> model_values;
+  bool has_model = false;
+};
+
+Z3Engine::Z3Engine() : impl_(std::make_unique<Impl>()) {}
+Z3Engine::~Z3Engine() = default;
+
+int Z3Engine::new_bool() {
+  const int id = static_cast<int>(impl_->vars.size());
+  impl_->vars.push_back(impl_->ctx.bool_const(("b" + std::to_string(id)).c_str()));
+  return id;
+}
+
+void Z3Engine::add_clause(const std::vector<int>& lits) {
+  z3::expr_vector disj(impl_->ctx);
+  for (const int l : lits) {
+    if (l == 0) throw std::invalid_argument("Z3Engine::add_clause: zero literal");
+    const auto id = static_cast<std::size_t>(std::abs(l)) - 1;
+    if (id >= impl_->vars.size()) throw std::out_of_range("Z3Engine::add_clause: unknown variable");
+    disj.push_back(l > 0 ? impl_->vars[id] : !impl_->vars[id]);
+  }
+  impl_->opt.add(z3::mk_or(disj));
+}
+
+void Z3Engine::add_cost(int var, long long weight) {
+  if (weight <= 0) throw std::invalid_argument("Z3Engine::add_cost: weight must be positive");
+  const auto id = static_cast<std::size_t>(var);
+  if (id >= impl_->vars.size()) throw std::out_of_range("Z3Engine::add_cost: unknown variable");
+  // Soft constraint "var is false" with the given weight: violating it
+  // (var = true) incurs `weight`, matching the semantics of Eq. 5.
+  impl_->opt.add_soft(!impl_->vars[id], static_cast<unsigned>(weight));
+}
+
+Outcome Z3Engine::minimize(std::chrono::milliseconds budget) {
+  z3::params p(impl_->ctx);
+  p.set("timeout", static_cast<unsigned>(budget.count()));
+  impl_->opt.set(p);
+
+  const z3::check_result r = impl_->opt.check();
+  Outcome out;
+  if (r == z3::unsat) {
+    out.status = Status::Unsat;
+    return out;
+  }
+  if (r == z3::unknown) {
+    out.status = Status::Unknown;
+    return out;
+  }
+  // sat: Z3's optimize has proven the soft-constraint optimum.
+  const z3::model m = impl_->opt.get_model();
+  impl_->model_values.assign(impl_->vars.size(), false);
+  long long cost = 0;
+  for (std::size_t i = 0; i < impl_->vars.size(); ++i) {
+    const z3::expr v = m.eval(impl_->vars[i], /*model_completion=*/true);
+    impl_->model_values[i] = v.is_true();
+  }
+  // Objective value: sum of weights of soft constraints violated. Z3 exposes
+  // it per objective; recompute from the recorded soft constraints instead
+  // to stay independent of objective indexing — the caller recomputes the
+  // domain cost anyway, so report Z3's first objective when present.
+  if (impl_->opt.objectives().size() > 0) {
+    const z3::expr obj = impl_->opt.lower(0);
+    if (obj.is_numeral()) cost = obj.get_numeral_int64();
+  }
+  impl_->has_model = true;
+  out.status = Status::Optimal;
+  out.cost = cost;
+  return out;
+}
+
+bool Z3Engine::value(int var) const {
+  if (!impl_->has_model) throw std::logic_error("Z3Engine::value: no model available");
+  return impl_->model_values.at(static_cast<std::size_t>(var));
+}
+
+}  // namespace qxmap::reason

@@ -1,0 +1,39 @@
+/// \file z3_engine.hpp
+/// Z3-backed reasoning engine — the backend the paper used.
+///
+/// The objective (Eq. 5) is expressed through weighted soft constraints
+/// ¬v with weight w for every add_cost(v, w): Z3's optimize core then
+/// minimizes the total weight of violated soft constraints, which equals
+/// the paper's F. The heavy Z3 types are kept out of this header (pimpl)
+/// so the rest of the library does not compile against z3++.h.
+
+#pragma once
+
+#include <memory>
+
+#include "reason/engine.hpp"
+
+namespace qxmap::reason {
+
+/// ReasoningEngine implementation on top of z3::optimize.
+class Z3Engine final : public ReasoningEngine {
+ public:
+  Z3Engine();
+  ~Z3Engine() override;
+
+  Z3Engine(const Z3Engine&) = delete;
+  Z3Engine& operator=(const Z3Engine&) = delete;
+
+  int new_bool() override;
+  void add_clause(const std::vector<int>& lits) override;
+  void add_cost(int var, long long weight) override;
+  Outcome minimize(std::chrono::milliseconds budget) override;
+  [[nodiscard]] bool value(int var) const override;
+  [[nodiscard]] std::string name() const override { return "z3"; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace qxmap::reason

@@ -1,0 +1,71 @@
+#include "sat/dimacs.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/strings.hpp"
+
+namespace qxmap::sat {
+
+Cnf parse_dimacs(std::string_view text) {
+  Cnf cnf;
+  bool header_seen = false;
+  std::vector<Lit> current;
+  std::size_t pos = 0;
+  int declared_clauses = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const std::string_view raw =
+        text.substr(pos, nl == std::string_view::npos ? std::string_view::npos : nl - pos);
+    pos = (nl == std::string_view::npos) ? text.size() + 1 : nl + 1;
+    const std::string_view line = trim(raw);
+    if (line.empty() || line[0] == 'c') continue;
+    if (line[0] == 'p') {
+      const auto parts = split_whitespace(line);
+      if (parts.size() != 4 || parts[1] != "cnf") {
+        throw std::invalid_argument("parse_dimacs: malformed problem line");
+      }
+      cnf.num_vars = std::stoi(parts[2]);
+      declared_clauses = std::stoi(parts[3]);
+      header_seen = true;
+      continue;
+    }
+    if (!header_seen) throw std::invalid_argument("parse_dimacs: clause before header");
+    for (const auto& tok : split_whitespace(line)) {
+      const int v = std::stoi(tok);
+      if (v == 0) {
+        cnf.clauses.push_back(current);
+        current.clear();
+      } else {
+        const int var = std::abs(v) - 1;
+        if (var >= cnf.num_vars) throw std::invalid_argument("parse_dimacs: variable out of range");
+        current.push_back(Lit(var, v < 0));
+      }
+    }
+  }
+  if (!current.empty()) throw std::invalid_argument("parse_dimacs: unterminated clause");
+  if (declared_clauses != static_cast<int>(cnf.clauses.size())) {
+    throw std::invalid_argument("parse_dimacs: clause count mismatch");
+  }
+  return cnf;
+}
+
+std::string to_dimacs(const Cnf& cnf) {
+  std::ostringstream os;
+  os << "p cnf " << cnf.num_vars << ' ' << cnf.clauses.size() << '\n';
+  for (const auto& clause : cnf.clauses) {
+    for (const Lit l : clause) os << l.to_string() << ' ';
+    os << "0\n";
+  }
+  return os.str();
+}
+
+bool load_cnf(Solver& s, const Cnf& cnf) {
+  while (s.num_vars() < cnf.num_vars) s.new_var();
+  for (const auto& clause : cnf.clauses) {
+    if (!s.add_clause(clause)) return false;
+  }
+  return true;
+}
+
+}  // namespace qxmap::sat

@@ -1,0 +1,33 @@
+/// \file dimacs.hpp
+/// DIMACS CNF import/export, for testing the solver against standard
+/// instances and for dumping the mapper's symbolic formulations.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sat/literal.hpp"
+#include "sat/solver.hpp"
+
+namespace qxmap::sat {
+
+/// A parsed CNF formula.
+struct Cnf {
+  int num_vars = 0;
+  std::vector<std::vector<Lit>> clauses;
+};
+
+/// Parses DIMACS text ("p cnf V C" header, clauses terminated by 0,
+/// 'c' comment lines). \throws std::invalid_argument on malformed input.
+[[nodiscard]] Cnf parse_dimacs(std::string_view text);
+
+/// Renders a CNF formula as DIMACS text.
+[[nodiscard]] std::string to_dimacs(const Cnf& cnf);
+
+/// Loads a CNF into a solver (creating variables 0 … num_vars-1 as needed).
+/// Returns false if the formula is trivially unsatisfiable during loading.
+bool load_cnf(Solver& s, const Cnf& cnf);
+
+}  // namespace qxmap::sat

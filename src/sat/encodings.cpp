@@ -1,0 +1,81 @@
+#include "sat/encodings.hpp"
+
+namespace qxmap::sat {
+
+void add_at_most_one(Solver& s, const std::vector<Lit>& lits) {
+  const std::size_t n = lits.size();
+  if (n <= 1) return;
+  if (n <= 6) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        s.add_clause(~lits[i], ~lits[j]);
+      }
+    }
+    return;
+  }
+  // Sequential encoding: prefix registers r_i ↔ "one of lits[0..i] is true".
+  std::vector<Lit> reg(n - 1);
+  for (auto& r : reg) r = pos(s.new_var());
+  s.add_clause(~lits[0], reg[0]);
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    s.add_clause(~lits[i], reg[i]);
+    s.add_clause(~reg[i - 1], reg[i]);
+    s.add_clause(~lits[i], ~reg[i - 1]);
+  }
+  s.add_clause(~lits[n - 1], ~reg[n - 2]);
+}
+
+void add_at_least_one(Solver& s, const std::vector<Lit>& lits) {
+  s.add_clause(lits);
+}
+
+void add_exactly_one(Solver& s, const std::vector<Lit>& lits) {
+  add_at_least_one(s, lits);
+  add_at_most_one(s, lits);
+}
+
+Lit make_and(Solver& s, Lit a, Lit b) {
+  const Lit t = pos(s.new_var());
+  s.add_clause(~t, a);
+  s.add_clause(~t, b);
+  s.add_clause(~a, ~b, t);
+  return t;
+}
+
+Lit make_or(Solver& s, const std::vector<Lit>& lits) {
+  const Lit t = pos(s.new_var());
+  if (lits.empty()) {
+    s.add_clause(~t);
+    return t;
+  }
+  std::vector<Lit> big;
+  big.reserve(lits.size() + 1);
+  big.push_back(~t);
+  for (const Lit l : lits) {
+    s.add_clause(~l, t);
+    big.push_back(l);
+  }
+  s.add_clause(std::move(big));
+  return t;
+}
+
+Lit make_equal(Solver& s, Lit a, Lit b) {
+  const Lit t = pos(s.new_var());
+  s.add_clause(~t, a, ~b);
+  s.add_clause(~t, ~a, b);
+  s.add_clause(t, a, b);
+  s.add_clause(t, ~a, ~b);
+  return t;
+}
+
+void add_equal(Solver& s, Lit a, Lit b) {
+  s.add_clause(~a, b);
+  s.add_clause(a, ~b);
+}
+
+void add_implies_equal(Solver& s, Lit antecedent, Lit a, Lit b) {
+  s.add_clause(~antecedent, ~a, b);
+  s.add_clause(~antecedent, a, ~b);
+}
+
+}  // namespace qxmap::sat

@@ -1,0 +1,42 @@
+/// \file encodings.hpp
+/// CNF encodings of the constraint shapes used by the symbolic formulation:
+/// exactly-one / at-most-one (Eq. 1), Tseitin AND/OR (Eqs. 2 and 4), and
+/// equality links (Eq. 3).
+
+#pragma once
+
+#include <vector>
+
+#include "sat/literal.hpp"
+#include "sat/solver.hpp"
+
+namespace qxmap::sat {
+
+/// at-most-one over `lits`: pairwise encoding for small sets (n <= 6,
+/// O(n²) clauses, no aux vars), sequential ("ladder") encoding otherwise
+/// (O(n) clauses and aux vars).
+void add_at_most_one(Solver& s, const std::vector<Lit>& lits);
+
+/// at-least-one: a single clause.
+void add_at_least_one(Solver& s, const std::vector<Lit>& lits);
+
+/// exactly-one = at-least-one + at-most-one.
+void add_exactly_one(Solver& s, const std::vector<Lit>& lits);
+
+/// Returns a fresh literal t with t ↔ (a ∧ b).
+[[nodiscard]] Lit make_and(Solver& s, Lit a, Lit b);
+
+/// Returns a fresh literal t with t ↔ (l_1 ∨ … ∨ l_k). For an empty input
+/// returns a literal fixed to false.
+[[nodiscard]] Lit make_or(Solver& s, const std::vector<Lit>& lits);
+
+/// Returns a fresh literal t with t ↔ (a = b), i.e. t ↔ XNOR(a, b).
+[[nodiscard]] Lit make_equal(Solver& s, Lit a, Lit b);
+
+/// Adds clauses forcing a = b.
+void add_equal(Solver& s, Lit a, Lit b);
+
+/// Adds clauses for the implication antecedent → (a = b).
+void add_implies_equal(Solver& s, Lit antecedent, Lit a, Lit b);
+
+}  // namespace qxmap::sat

@@ -1,0 +1,67 @@
+/// \file literal.hpp
+/// Variables and literals for the CDCL solver.
+///
+/// A variable is a non-negative integer; a literal packs variable and sign
+/// into one int (`2*v` positive, `2*v+1` negative), the classic MiniSat
+/// encoding, so literals index arrays (watch lists, saved phases) directly.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace qxmap::sat {
+
+/// Variable index, 0-based.
+using Var = std::int32_t;
+
+/// Packed literal.
+class Lit {
+ public:
+  constexpr Lit() = default;
+
+  /// Literal for `v`, negated if `negative`.
+  constexpr Lit(Var v, bool negative) : code_(2 * v + (negative ? 1 : 0)) {}
+
+  [[nodiscard]] constexpr Var var() const noexcept { return code_ >> 1; }
+  [[nodiscard]] constexpr bool negative() const noexcept { return (code_ & 1) != 0; }
+  [[nodiscard]] constexpr Lit operator~() const noexcept {
+    Lit l;
+    l.code_ = code_ ^ 1;
+    return l;
+  }
+  /// Array index (0 … 2*num_vars-1).
+  [[nodiscard]] constexpr std::int32_t index() const noexcept { return code_; }
+
+  [[nodiscard]] static constexpr Lit from_index(std::int32_t idx) noexcept {
+    Lit l;
+    l.code_ = idx;
+    return l;
+  }
+
+  friend constexpr bool operator==(Lit a, Lit b) = default;
+  friend constexpr auto operator<=>(Lit a, Lit b) = default;
+
+  /// DIMACS-style rendering: "3" / "-3" (1-based).
+  [[nodiscard]] std::string to_string() const {
+    return (negative() ? "-" : "") + std::to_string(var() + 1);
+  }
+
+ private:
+  std::int32_t code_ = -2;
+};
+
+/// Positive literal of `v`.
+[[nodiscard]] constexpr Lit pos(Var v) noexcept { return Lit(v, false); }
+/// Negative literal of `v`.
+[[nodiscard]] constexpr Lit neg(Var v) noexcept { return Lit(v, true); }
+
+/// Truth value of a variable/literal during search.
+enum class Value : std::int8_t { False = -1, Undef = 0, True = 1 };
+
+/// Negates a Value (Undef stays Undef).
+[[nodiscard]] constexpr Value operator-(Value v) noexcept {
+  return static_cast<Value>(-static_cast<std::int8_t>(v));
+}
+
+}  // namespace qxmap::sat

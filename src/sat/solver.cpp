@@ -1,0 +1,492 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qxmap::sat {
+
+namespace {
+constexpr double kVarDecay = 0.95;
+constexpr double kClauseDecay = 0.999;
+constexpr double kRescaleLimit = 1e100;
+constexpr std::uint64_t kRestartUnit = 128;  // conflicts per Luby unit
+}  // namespace
+
+Solver::Solver() = default;
+
+Var Solver::new_var() {
+  const Var v = static_cast<Var>(assign_.size());
+  assign_.push_back(Value::Undef);
+  model_.push_back(false);
+  reason_.push_back(kNoReason);
+  level_.push_back(0);
+  activity_.push_back(0.0);
+  saved_phase_.push_back(false);
+  seen_.push_back(false);
+  heap_pos_.push_back(-1);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  heap_insert(v);
+  return v;
+}
+
+bool Solver::add_clause(std::vector<Lit> lits) {
+  if (unsat_) return false;
+  if (!trail_limits_.empty()) {
+    throw std::logic_error("Solver::add_clause: only allowed at decision level 0");
+  }
+  std::sort(lits.begin(), lits.end());
+  // Dedup; detect tautologies; drop level-0 falsified literals and
+  // clauses satisfied at level 0.
+  std::vector<Lit> cleaned;
+  Lit prev = Lit::from_index(-2);
+  for (const Lit l : lits) {
+    if (l.var() < 0 || l.var() >= num_vars()) {
+      throw std::out_of_range("Solver::add_clause: unknown variable");
+    }
+    if (l == prev) continue;
+    if (prev.index() >= 0 && l == ~prev) return true;  // tautology: x ∨ ¬x
+    prev = l;
+    const Value val = value(l);
+    if (val == Value::True && level_[static_cast<std::size_t>(l.var())] == 0) return true;
+    if (val == Value::False && level_[static_cast<std::size_t>(l.var())] == 0) continue;
+    cleaned.push_back(l);
+  }
+
+  if (cleaned.empty()) {
+    unsat_ = true;
+    return false;
+  }
+  if (cleaned.size() == 1) {
+    if (value(cleaned[0]) == Value::True) return true;
+    if (value(cleaned[0]) == Value::False) {
+      unsat_ = true;
+      return false;
+    }
+    enqueue(cleaned[0], kNoReason);
+    if (propagate() != kNoReason) {
+      unsat_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  Clause c;
+  c.lits = std::move(cleaned);
+  clauses_.push_back(std::move(c));
+  attach_clause(static_cast<ClauseRef>(clauses_.size()) - 1);
+  return true;
+}
+
+void Solver::attach_clause(ClauseRef cr) {
+  const Clause& c = clauses_[static_cast<std::size_t>(cr)];
+  watches_[static_cast<std::size_t>((~c.lits[0]).index())].push_back({cr, c.lits[1]});
+  watches_[static_cast<std::size_t>((~c.lits[1]).index())].push_back({cr, c.lits[0]});
+}
+
+void Solver::enqueue(Lit l, ClauseRef reason) {
+  const auto v = static_cast<std::size_t>(l.var());
+  assign_[v] = l.negative() ? Value::False : Value::True;
+  reason_[v] = reason;
+  level_[v] = static_cast<int>(trail_limits_.size());
+  trail_.push_back(l);
+  ++stats_.propagations;
+}
+
+Solver::ClauseRef Solver::propagate() {
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];  // p is true
+    auto& watch_list = watches_[static_cast<std::size_t>(p.index())];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < watch_list.size(); ++i) {
+      const Watcher w = watch_list[i];
+      if (value(w.blocker) == Value::True) {
+        watch_list[keep++] = w;
+        continue;
+      }
+      Clause& c = clauses_[static_cast<std::size_t>(w.clause)];
+      if (c.deleted) continue;  // lazily drop watches of deleted clauses
+      const Lit false_lit = ~p;
+      if (c.lits[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
+      // Now c.lits[1] == false_lit.
+      const Lit first = c.lits[0];
+      if (value(first) == Value::True) {
+        watch_list[keep++] = {w.clause, first};
+        continue;
+      }
+      bool moved = false;
+      for (std::size_t k = 2; k < c.lits.size(); ++k) {
+        if (value(c.lits[k]) != Value::False) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[static_cast<std::size_t>((~c.lits[1]).index())].push_back({w.clause, first});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Unit or conflict.
+      watch_list[keep++] = {w.clause, first};
+      if (value(first) == Value::False) {
+        // Conflict: keep the remaining watchers and bail out.
+        for (std::size_t j = i + 1; j < watch_list.size(); ++j) {
+          watch_list[keep++] = watch_list[j];
+        }
+        watch_list.resize(keep);
+        qhead_ = trail_.size();
+        return w.clause;
+      }
+      enqueue(first, w.clause);
+    }
+    watch_list.resize(keep);
+  }
+  return kNoReason;
+}
+
+void Solver::analyze(ClauseRef conflict, std::vector<Lit>& learnt, int& backjump_level) {
+  learnt.clear();
+  learnt.push_back(Lit::from_index(-2));  // placeholder for the asserting literal
+
+  const int current_level = static_cast<int>(trail_limits_.size());
+  int counter = 0;
+  Lit p = Lit::from_index(-2);
+  ClauseRef cr = conflict;
+  std::size_t trail_index = trail_.size();
+
+  for (;;) {
+    Clause& c = clauses_[static_cast<std::size_t>(cr)];
+    if (c.learnt) bump_clause(c);
+    const std::size_t start = (p.index() < 0) ? 0 : 1;
+    for (std::size_t k = start; k < c.lits.size(); ++k) {
+      const Lit q = c.lits[k];
+      const auto v = static_cast<std::size_t>(q.var());
+      if (!seen_[v] && level_[v] > 0) {
+        seen_[v] = true;
+        bump_var(q.var());
+        if (level_[v] >= current_level) {
+          ++counter;
+        } else {
+          learnt.push_back(q);
+        }
+      }
+    }
+    // Walk the trail backwards to the next marked literal.
+    do {
+      --trail_index;
+    } while (!seen_[static_cast<std::size_t>(trail_[trail_index].var())]);
+    p = trail_[trail_index];
+    cr = reason_[static_cast<std::size_t>(p.var())];
+    seen_[static_cast<std::size_t>(p.var())] = false;
+    --counter;
+    if (counter == 0) break;
+    // Reason must exist: p is not a decision while counter > 0.
+    if (p.index() >= 0 && cr == kNoReason) {
+      throw std::logic_error("Solver::analyze: missing reason during resolution");
+    }
+  }
+  learnt[0] = ~p;
+
+  // Mark for redundancy check, then minimize the clause.
+  std::uint32_t abstract_levels = 0;
+  std::vector<Var> to_clear;
+  to_clear.reserve(learnt.size());
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    seen_[static_cast<std::size_t>(learnt[i].var())] = true;
+    to_clear.push_back(learnt[i].var());
+    abstract_levels |= 1u << (level_[static_cast<std::size_t>(learnt[i].var())] & 31);
+  }
+  std::size_t kept = 1;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    const auto v = static_cast<std::size_t>(learnt[i].var());
+    if (reason_[v] == kNoReason || !literal_redundant(learnt[i], abstract_levels)) {
+      learnt[kept++] = learnt[i];
+    }
+  }
+  for (const Var v : to_clear) seen_[static_cast<std::size_t>(v)] = false;
+  learnt.resize(kept);
+
+  // Backjump level: highest level among learnt[1..]; move that literal to
+  // position 1 so it is watched.
+  backjump_level = 0;
+  if (learnt.size() > 1) {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < learnt.size(); ++i) {
+      if (level_[static_cast<std::size_t>(learnt[i].var())] >
+          level_[static_cast<std::size_t>(learnt[max_i].var())]) {
+        max_i = i;
+      }
+    }
+    std::swap(learnt[1], learnt[max_i]);
+    backjump_level = level_[static_cast<std::size_t>(learnt[1].var())];
+  }
+}
+
+bool Solver::literal_redundant(Lit l, std::uint32_t abstract_levels) {
+  // DFS over the implication graph: l is redundant if every path to decisions
+  // stays within literals already in the learnt clause.
+  std::vector<Lit> stack{l};
+  std::vector<Var> cleared;
+  while (!stack.empty()) {
+    const Lit cur = stack.back();
+    stack.pop_back();
+    const auto v = static_cast<std::size_t>(cur.var());
+    const ClauseRef cr = reason_[v];
+    if (cr == kNoReason) {
+      // Reached a decision that is not part of the clause: not redundant.
+      for (const Var cv : cleared) seen_[static_cast<std::size_t>(cv)] = false;
+      return false;
+    }
+    const Clause& c = clauses_[static_cast<std::size_t>(cr)];
+    for (std::size_t k = 1; k < c.lits.size(); ++k) {
+      const Lit q = c.lits[k];
+      const auto qv = static_cast<std::size_t>(q.var());
+      if (seen_[qv] || level_[qv] == 0) continue;
+      if (reason_[qv] == kNoReason || ((1u << (level_[qv] & 31)) & abstract_levels) == 0) {
+        for (const Var cv : cleared) seen_[static_cast<std::size_t>(cv)] = false;
+        return false;
+      }
+      seen_[qv] = true;
+      cleared.push_back(q.var());
+      stack.push_back(q);
+    }
+  }
+  // Redundant: keep marks cleared only for the temporaries.
+  for (const Var cv : cleared) seen_[static_cast<std::size_t>(cv)] = false;
+  return true;
+}
+
+void Solver::backtrack(int target_level) {
+  if (static_cast<int>(trail_limits_.size()) <= target_level) return;
+  const std::size_t bound = trail_limits_[static_cast<std::size_t>(target_level)];
+  for (std::size_t i = trail_.size(); i-- > bound;) {
+    const auto v = static_cast<std::size_t>(trail_[i].var());
+    saved_phase_[v] = (assign_[v] == Value::True);
+    assign_[v] = Value::Undef;
+    reason_[v] = kNoReason;
+    if (heap_pos_[v] < 0) heap_insert(static_cast<Var>(v));
+  }
+  trail_.resize(bound);
+  trail_limits_.resize(static_cast<std::size_t>(target_level));
+  qhead_ = trail_.size();
+}
+
+Lit Solver::pick_branch_literal() {
+  while (!heap_.empty()) {
+    const Var v = heap_pop();
+    if (assign_[static_cast<std::size_t>(v)] == Value::Undef) {
+      return Lit(v, !saved_phase_[static_cast<std::size_t>(v)]);
+    }
+  }
+  return Lit::from_index(-2);
+}
+
+void Solver::bump_var(Var v) {
+  auto& a = activity_[static_cast<std::size_t>(v)];
+  a += var_inc_;
+  if (a > kRescaleLimit) {
+    for (auto& x : activity_) x *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  if (heap_pos_[static_cast<std::size_t>(v)] >= 0) {
+    heap_sift_up(heap_pos_[static_cast<std::size_t>(v)]);
+  }
+}
+
+void Solver::bump_clause(Clause& c) {
+  c.activity += clause_inc_;
+  if (c.activity > kRescaleLimit) {
+    for (auto& cl : clauses_) cl.activity *= 1e-100;
+    clause_inc_ *= 1e-100;
+  }
+}
+
+void Solver::decay_activities() {
+  var_inc_ /= kVarDecay;
+  clause_inc_ /= kClauseDecay;
+}
+
+void Solver::reduce_learnts() {
+  // Collect learnt clause refs, drop the low-activity half (keeping binary
+  // clauses and current reasons).
+  std::vector<ClauseRef> learnts;
+  for (std::size_t i = 0; i < clauses_.size(); ++i) {
+    const Clause& c = clauses_[i];
+    if (c.learnt && !c.deleted && c.lits.size() > 2) {
+      learnts.push_back(static_cast<ClauseRef>(i));
+    }
+  }
+  std::sort(learnts.begin(), learnts.end(), [this](ClauseRef a, ClauseRef b) {
+    return clauses_[static_cast<std::size_t>(a)].activity <
+           clauses_[static_cast<std::size_t>(b)].activity;
+  });
+  std::vector<bool> is_reason(clauses_.size(), false);
+  for (const Lit l : trail_) {
+    const ClauseRef r = reason_[static_cast<std::size_t>(l.var())];
+    if (r != kNoReason) is_reason[static_cast<std::size_t>(r)] = true;
+  }
+  const std::size_t to_delete = learnts.size() / 2;
+  for (std::size_t i = 0; i < to_delete; ++i) {
+    const auto cr = static_cast<std::size_t>(learnts[i]);
+    if (is_reason[cr]) continue;
+    clauses_[cr].deleted = true;  // watches are dropped lazily in propagate()
+    clauses_[cr].lits.clear();
+    clauses_[cr].lits.shrink_to_fit();
+    ++stats_.learnt_deleted;
+  }
+}
+
+std::uint64_t Solver::luby(std::uint64_t i) {
+  // Luby sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 …, 1-based index.
+  std::uint64_t k = 1;
+  while ((1ULL << (k + 1)) - 1 <= i) ++k;
+  while ((1ULL << k) - 1 != i) {
+    i -= (1ULL << k) - 1;
+    k = 1;
+    while ((1ULL << (k + 1)) - 1 <= i) ++k;
+  }
+  return 1ULL << (k - 1);
+}
+
+SolveResult Solver::solve(const std::function<bool()>& interrupt) {
+  if (unsat_) return SolveResult::Unsatisfiable;
+  backtrack(0);
+  if (propagate() != kNoReason) {
+    unsat_ = true;
+    return SolveResult::Unsatisfiable;
+  }
+
+  // (Re)build the decision heap.
+  heap_.clear();
+  std::fill(heap_pos_.begin(), heap_pos_.end(), -1);
+  for (Var v = 0; v < num_vars(); ++v) {
+    if (assign_[static_cast<std::size_t>(v)] == Value::Undef) heap_insert(v);
+  }
+
+  std::uint64_t restart_index = 1;
+  std::uint64_t conflicts_until_restart = luby(restart_index) * kRestartUnit;
+  std::uint64_t conflicts_this_restart = 0;
+  std::size_t max_learnts = std::max<std::size_t>(4000, clauses_.size() / 3);
+  std::uint64_t learnt_count = 0;
+  std::vector<Lit> learnt;
+
+  for (;;) {
+    const ClauseRef conflict = propagate();
+    if (conflict != kNoReason) {
+      ++stats_.conflicts;
+      ++conflicts_this_restart;
+      if (trail_limits_.empty()) {
+        unsat_ = true;
+        return SolveResult::Unsatisfiable;
+      }
+      int backjump = 0;
+      analyze(conflict, learnt, backjump);
+      backtrack(backjump);
+      if (learnt.size() == 1) {
+        enqueue(learnt[0], kNoReason);
+      } else {
+        Clause c;
+        c.lits = learnt;
+        c.learnt = true;
+        clauses_.push_back(std::move(c));
+        const auto cr = static_cast<ClauseRef>(clauses_.size()) - 1;
+        attach_clause(cr);
+        bump_clause(clauses_.back());
+        enqueue(learnt[0], cr);
+        ++learnt_count;
+      }
+      decay_activities();
+
+      if (learnt_count > max_learnts) {
+        reduce_learnts();
+        max_learnts = max_learnts + max_learnts / 2;
+        learnt_count = 0;
+      }
+      if (conflicts_this_restart >= conflicts_until_restart) {
+        ++stats_.restarts;
+        ++restart_index;
+        conflicts_until_restart = luby(restart_index) * kRestartUnit;
+        conflicts_this_restart = 0;
+        backtrack(0);
+      }
+      if (interrupt && (stats_.conflicts & 0x3ff) == 0 && interrupt()) {
+        backtrack(0);
+        return SolveResult::Unknown;
+      }
+    } else {
+      const Lit next = pick_branch_literal();
+      if (next.index() < 0) {
+        // Complete assignment: record the model.
+        for (Var v = 0; v < num_vars(); ++v) {
+          model_[static_cast<std::size_t>(v)] =
+              (assign_[static_cast<std::size_t>(v)] == Value::True);
+        }
+        backtrack(0);
+        return SolveResult::Satisfiable;
+      }
+      ++stats_.decisions;
+      trail_limits_.push_back(trail_.size());
+      enqueue(next, kNoReason);
+    }
+  }
+}
+
+bool Solver::model_value(Var v) const {
+  if (v < 0 || v >= num_vars()) throw std::out_of_range("Solver::model_value");
+  return model_[static_cast<std::size_t>(v)];
+}
+
+// --- heap ------------------------------------------------------------
+
+void Solver::heap_insert(Var v) {
+  heap_pos_[static_cast<std::size_t>(v)] = static_cast<int>(heap_.size());
+  heap_.push_back(v);
+  heap_sift_up(static_cast<int>(heap_.size()) - 1);
+}
+
+Var Solver::heap_pop() {
+  const Var top = heap_[0];
+  heap_pos_[static_cast<std::size_t>(top)] = -1;
+  if (heap_.size() > 1) {
+    heap_[0] = heap_.back();
+    heap_pos_[static_cast<std::size_t>(heap_[0])] = 0;
+    heap_.pop_back();
+    heap_sift_down(0);
+  } else {
+    heap_.pop_back();
+  }
+  return top;
+}
+
+void Solver::heap_sift_up(int i) {
+  const Var v = heap_[static_cast<std::size_t>(i)];
+  while (i > 0) {
+    const int parent = (i - 1) / 2;
+    if (!heap_less(heap_[static_cast<std::size_t>(parent)], v)) break;
+    heap_[static_cast<std::size_t>(i)] = heap_[static_cast<std::size_t>(parent)];
+    heap_pos_[static_cast<std::size_t>(heap_[static_cast<std::size_t>(i)])] = i;
+    i = parent;
+  }
+  heap_[static_cast<std::size_t>(i)] = v;
+  heap_pos_[static_cast<std::size_t>(v)] = i;
+}
+
+void Solver::heap_sift_down(int i) {
+  const Var v = heap_[static_cast<std::size_t>(i)];
+  const int size = static_cast<int>(heap_.size());
+  for (;;) {
+    int child = 2 * i + 1;
+    if (child >= size) break;
+    if (child + 1 < size &&
+        heap_less(heap_[static_cast<std::size_t>(child)], heap_[static_cast<std::size_t>(child + 1)])) {
+      ++child;
+    }
+    if (!heap_less(v, heap_[static_cast<std::size_t>(child)])) break;
+    heap_[static_cast<std::size_t>(i)] = heap_[static_cast<std::size_t>(child)];
+    heap_pos_[static_cast<std::size_t>(heap_[static_cast<std::size_t>(i)])] = i;
+    i = child;
+  }
+  heap_[static_cast<std::size_t>(i)] = v;
+  heap_pos_[static_cast<std::size_t>(v)] = i;
+}
+
+}  // namespace qxmap::sat

@@ -1,0 +1,137 @@
+/// \file solver.hpp
+/// A conflict-driven clause-learning (CDCL) SAT solver.
+///
+/// This is the self-contained "reasoning engine" backend of the library
+/// (the paper uses Z3; Sec. 3.1 only requires *some* engine that handles
+/// large search spaces). Feature set: two-watched-literal propagation,
+/// first-UIP clause learning with recursive minimization, VSIDS decision
+/// heuristic with phase saving, Luby restarts, and activity-based learnt
+/// clause deletion. The optimisation loop of reason/cdcl_engine adds
+/// cost-bound clauses between incremental solve() calls, which is sound
+/// because bounds only ever tighten.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sat/literal.hpp"
+
+namespace qxmap::sat {
+
+/// Outcome of a solve() call.
+enum class SolveResult { Satisfiable, Unsatisfiable, Unknown };
+
+/// Search statistics, cumulative over the solver's lifetime.
+struct SolverStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learnt_deleted = 0;
+};
+
+/// CDCL solver. Not thread-safe; clauses may be added between solve calls
+/// (monotone strengthening), variables may be added at any time.
+class Solver {
+ public:
+  Solver();
+
+  /// Creates a fresh variable and returns it.
+  Var new_var();
+
+  [[nodiscard]] int num_vars() const noexcept { return static_cast<int>(assign_.size()); }
+
+  /// Adds a clause (disjunction of literals). Returns false iff the clause
+  /// makes the formula trivially unsatisfiable at level 0 (empty clause or
+  /// conflicting unit). Duplicate literals are merged; tautologies are
+  /// silently dropped (returns true).
+  bool add_clause(std::vector<Lit> lits);
+
+  /// Convenience overloads.
+  bool add_clause(Lit a) { return add_clause(std::vector<Lit>{a}); }
+  bool add_clause(Lit a, Lit b) { return add_clause(std::vector<Lit>{a, b}); }
+  bool add_clause(Lit a, Lit b, Lit c) { return add_clause(std::vector<Lit>{a, b, c}); }
+
+  /// Runs the CDCL search. `interrupt` (if provided) is polled between
+  /// conflicts; returning true aborts with SolveResult::Unknown.
+  SolveResult solve(const std::function<bool()>& interrupt = nullptr);
+
+  /// Model access after Satisfiable: value of `v` in the found model.
+  [[nodiscard]] bool model_value(Var v) const;
+  [[nodiscard]] bool model_value(Lit l) const { return model_value(l.var()) != l.negative(); }
+
+  [[nodiscard]] const SolverStats& stats() const noexcept { return stats_; }
+
+  /// True once the formula has been proven unsatisfiable at level 0 (any
+  /// further solve() returns Unsatisfiable immediately).
+  [[nodiscard]] bool proven_unsat() const noexcept { return unsat_; }
+
+ private:
+  // --- clause storage -------------------------------------------------
+  struct Clause {
+    std::vector<Lit> lits;
+    double activity = 0.0;
+    bool learnt = false;
+    bool deleted = false;
+  };
+  using ClauseRef = std::int32_t;
+  static constexpr ClauseRef kNoReason = -1;
+
+  struct Watcher {
+    ClauseRef clause;
+    Lit blocker;  // if blocker is true, clause is satisfied; skip the visit
+  };
+
+  // --- internal helpers -------------------------------------------------
+  [[nodiscard]] Value value(Var v) const noexcept { return assign_[static_cast<std::size_t>(v)]; }
+  [[nodiscard]] Value value(Lit l) const noexcept {
+    return l.negative() ? -value(l.var()) : value(l.var());
+  }
+
+  void attach_clause(ClauseRef cr);
+  void enqueue(Lit l, ClauseRef reason);
+  ClauseRef propagate();
+  void analyze(ClauseRef conflict, std::vector<Lit>& learnt, int& backjump_level);
+  [[nodiscard]] bool literal_redundant(Lit l, std::uint32_t abstract_levels);
+  void backtrack(int level);
+  [[nodiscard]] Lit pick_branch_literal();
+  void bump_var(Var v);
+  void bump_clause(Clause& c);
+  void decay_activities();
+  void reduce_learnts();
+  [[nodiscard]] static std::uint64_t luby(std::uint64_t i);
+
+  // --- state --------------------------------------------------------------
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<Watcher>> watches_;  // indexed by Lit::index()
+  std::vector<Value> assign_;
+  std::vector<bool> model_;
+  std::vector<Lit> trail_;
+  std::vector<std::size_t> trail_limits_;  // decision-level boundaries
+  std::size_t qhead_ = 0;
+  std::vector<ClauseRef> reason_;
+  std::vector<int> level_;
+  std::vector<double> activity_;
+  std::vector<bool> saved_phase_;
+  std::vector<bool> seen_;  // scratch for analyze()
+
+  // VSIDS order: binary max-heap of vars keyed by activity.
+  std::vector<Var> heap_;
+  std::vector<int> heap_pos_;  // -1 if not in heap
+  void heap_insert(Var v);
+  Var heap_pop();
+  void heap_sift_up(int i);
+  void heap_sift_down(int i);
+  [[nodiscard]] bool heap_less(Var a, Var b) const noexcept {
+    return activity_[static_cast<std::size_t>(a)] < activity_[static_cast<std::size_t>(b)];
+  }
+
+  double var_inc_ = 1.0;
+  double clause_inc_ = 1.0;
+  bool unsat_ = false;
+  SolverStats stats_;
+};
+
+}  // namespace qxmap::sat

@@ -1,0 +1,66 @@
+#include "sat/totalizer.hpp"
+
+namespace qxmap::sat {
+
+namespace {
+
+/// Merges two unary numbers a, b into fresh output literals of size
+/// a.size() + b.size(), adding both encoding directions.
+std::vector<Lit> merge(Solver& s, const std::vector<Lit>& a, const std::vector<Lit>& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  const std::size_t p = a.size();
+  const std::size_t q = b.size();
+  std::vector<Lit> out(p + q);
+  for (auto& l : out) l = pos(s.new_var());
+
+  // a_i ∧ b_j → out_{i+j}   (with a_0 / b_0 treated as constant true)
+  for (std::size_t i = 0; i <= p; ++i) {
+    for (std::size_t j = 0; j <= q; ++j) {
+      if (i + j == 0) continue;
+      std::vector<Lit> clause;
+      if (i > 0) clause.push_back(~a[i - 1]);
+      if (j > 0) clause.push_back(~b[j - 1]);
+      clause.push_back(out[i + j - 1]);
+      s.add_clause(std::move(clause));
+    }
+  }
+  // ¬a_{i+1} ∧ ¬b_{j+1} → ¬out_{i+j+1}  (upper bound direction)
+  for (std::size_t i = 0; i <= p; ++i) {
+    for (std::size_t j = 0; j <= q; ++j) {
+      if (i + j >= p + q) continue;
+      std::vector<Lit> clause;
+      if (i < p) clause.push_back(a[i]);
+      if (j < q) clause.push_back(b[j]);
+      clause.push_back(~out[i + j]);
+      s.add_clause(std::move(clause));
+    }
+  }
+  return out;
+}
+
+std::vector<Lit> build_recursive(Solver& s, const std::vector<Lit>& inputs, std::size_t lo,
+                                 std::size_t hi) {
+  if (hi - lo == 1) return {inputs[lo]};
+  const std::size_t mid = lo + (hi - lo) / 2;
+  return merge(s, build_recursive(s, inputs, lo, mid), build_recursive(s, inputs, mid, hi));
+}
+
+}  // namespace
+
+std::vector<Lit> build_totalizer(Solver& s, const std::vector<Lit>& inputs) {
+  if (inputs.empty()) return {};
+  return build_recursive(s, inputs, 0, inputs.size());
+}
+
+void add_cardinality_at_most(Solver& s, const std::vector<Lit>& inputs, int bound) {
+  if (bound < 0) {
+    s.add_clause(std::vector<Lit>{});  // empty clause: UNSAT
+    return;
+  }
+  if (bound >= static_cast<int>(inputs.size())) return;
+  const auto outputs = build_totalizer(s, inputs);
+  s.add_clause(~outputs[static_cast<std::size_t>(bound)]);
+}
+
+}  // namespace qxmap::sat

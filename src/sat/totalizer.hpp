@@ -1,0 +1,30 @@
+/// \file totalizer.hpp
+/// Totalizer cardinality encoding (Bailleux & Boufkhad, CP'03).
+///
+/// Given input literals x_1 … x_n, builds unary "output" literals
+/// o_1 … o_n with o_k ↔ (at least k inputs are true). The CDCL optimiser
+/// backend uses two totalizers (one over per-gate SWAP-count indicators,
+/// one over the CNOT-direction z variables) and bounds the weighted sum
+/// 7·S + 4·Z by forbidding the violating (S, Z) output combinations.
+
+#pragma once
+
+#include <vector>
+
+#include "sat/literal.hpp"
+#include "sat/solver.hpp"
+
+namespace qxmap::sat {
+
+/// Builds the totalizer over `inputs` and returns the output literals
+/// (index k-1 ↔ "at least k true"). Both implication directions are
+/// encoded, so outputs are exact counts in any model. Returns an empty
+/// vector for empty input.
+[[nodiscard]] std::vector<Lit> build_totalizer(Solver& s, const std::vector<Lit>& inputs);
+
+/// Convenience: adds clauses enforcing (number of true inputs) <= bound by
+/// building a totalizer and fixing output bound+1 to false. No-op when
+/// bound >= inputs.size(); makes the formula UNSAT when bound < 0.
+void add_cardinality_at_most(Solver& s, const std::vector<Lit>& inputs, int bound);
+
+}  // namespace qxmap::sat

@@ -1,0 +1,101 @@
+#include "sim/equivalence.hpp"
+
+#include <cmath>
+#include <complex>
+#include <cstdint>
+#include <stdexcept>
+
+#include "sim/statevector.hpp"
+
+namespace qxmap::sim {
+
+namespace {
+
+Circuit strip_measures(const Circuit& c) {
+  Circuit out(c.num_qubits(), c.name());
+  for (const auto& g : c) {
+    if (g.kind != OpKind::Measure) out.append(g);
+  }
+  return out;
+}
+
+/// Spreads logical basis index `x` (n bits) onto physical bits per `layout`.
+std::uint64_t embed(std::uint64_t x, const std::vector<int>& layout) {
+  std::uint64_t out = 0;
+  for (std::size_t j = 0; j < layout.size(); ++j) {
+    if ((x >> j) & 1ULL) out |= 1ULL << layout[j];
+  }
+  return out;
+}
+
+}  // namespace
+
+EquivalenceResult check_mapped_circuit(const Circuit& original_in, const Circuit& mapped_in,
+                                       const std::vector<int>& initial_layout,
+                                       const std::vector<int>& final_layout, double tolerance) {
+  const Circuit original = strip_measures(original_in);
+  const Circuit mapped = strip_measures(mapped_in);
+  const int n = original.num_qubits();
+  const int m = mapped.num_qubits();
+
+  if (static_cast<int>(initial_layout.size()) != n || static_cast<int>(final_layout.size()) != n) {
+    return {false, "layout size does not match logical qubit count"};
+  }
+  if (m > 16) return {false, "mapped circuit too large for statevector check (>16 qubits)"};
+  if (m < n) return {false, "mapped circuit has fewer qubits than the original"};
+  for (const int p : initial_layout) {
+    if (p < 0 || p >= m) return {false, "initial layout entry out of range"};
+  }
+  for (const int p : final_layout) {
+    if (p < 0 || p >= m) return {false, "final layout entry out of range"};
+  }
+
+  const std::uint64_t logical_dim = 1ULL << n;
+  std::complex<double> global_phase{0, 0};
+  bool phase_fixed = false;
+
+  for (std::uint64_t x = 0; x < logical_dim; ++x) {
+    // Reference: run the original on |x>, embed outputs at the final layout.
+    Statevector ref(n);
+    ref = Statevector::basis(n, x);
+    ref.apply_circuit(original);
+
+    // Candidate: embed |x> at the initial layout, run the mapped circuit.
+    Statevector phys = Statevector::basis(m, embed(x, initial_layout));
+    phys.apply_circuit(mapped);
+
+    // Compare: every physical amplitude must match the embedded reference.
+    // Build the embedded reference amplitude map implicitly: physical basis
+    // state embed(y, final_layout) carries ref amplitude of |y>; everything
+    // else must be ~0.
+    for (std::uint64_t pidx = 0; pidx < (1ULL << m); ++pidx) {
+      const std::complex<double> got = phys.amplitude(pidx);
+      // Decode pidx: extract logical bits via final layout; ancillas must be 0.
+      std::uint64_t y = 0;
+      for (int j = 0; j < n; ++j) {
+        if ((pidx >> final_layout[static_cast<std::size_t>(j)]) & 1ULL) y |= 1ULL << j;
+      }
+      const bool is_embedded = (pidx == embed(y, final_layout));
+      const std::complex<double> want = is_embedded ? ref.amplitude(y) : 0.0;
+
+      if (std::abs(want) < tolerance && std::abs(got) < tolerance) continue;
+      if (!phase_fixed) {
+        if (std::abs(want) < tolerance || std::abs(got) < tolerance) {
+          return {false, "amplitude support mismatch at basis input " + std::to_string(x)};
+        }
+        global_phase = got / want;
+        if (std::abs(std::abs(global_phase) - 1.0) > 1e-6) {
+          return {false, "non-unit relative phase at basis input " + std::to_string(x)};
+        }
+        phase_fixed = true;
+      }
+      if (std::abs(got - global_phase * want) > tolerance) {
+        return {false, "amplitude mismatch at basis input " + std::to_string(x) +
+                           ", physical index " + std::to_string(pidx)};
+      }
+    }
+  }
+  return {true, "equivalent on the embedded subspace (up to global phase)"};
+}
+
+}  // namespace qxmap::sim

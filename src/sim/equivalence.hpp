@@ -1,0 +1,40 @@
+/// \file equivalence.hpp
+/// Mapping-aware equivalence checking between an original circuit and its
+/// mapped realisation.
+///
+/// The mapped circuit lives on m >= n physical qubits and contains the
+/// inserted SWAP decompositions and H-conjugated CNOTs. Equivalence is
+/// checked on the embedded subspace: for every logical basis input |x>,
+/// embed it at the initial layout (ancillas |0>), run the mapped circuit,
+/// and compare against the original's output re-embedded at the final
+/// layout. Because superpositions are linear combinations of basis inputs,
+/// matching all basis columns (with one common global phase) proves full
+/// operator equivalence on the embedded subspace.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/circuit.hpp"
+
+namespace qxmap::sim {
+
+/// Result of an equivalence check; `message` explains failures.
+struct EquivalenceResult {
+  bool equivalent = false;
+  std::string message;
+};
+
+/// Full statevector check (use for small circuits; mapped circuit must have
+/// at most 16 qubits). `initial_layout[j]` / `final_layout[j]` give the
+/// physical qubit holding logical qubit j before / after the mapped circuit.
+/// SWAP pseudo-gates in `mapped` are simulated natively. Measure gates are
+/// stripped from both circuits before comparison.
+[[nodiscard]] EquivalenceResult check_mapped_circuit(const Circuit& original,
+                                                     const Circuit& mapped,
+                                                     const std::vector<int>& initial_layout,
+                                                     const std::vector<int>& final_layout,
+                                                     double tolerance = 1e-9);
+
+}  // namespace qxmap::sim

@@ -1,0 +1,50 @@
+#include "sim/fidelity.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qxmap::sim {
+
+double NoiseModel::gate_error(const Gate& g) const {
+  switch (g.kind) {
+    case OpKind::Barrier:
+      return 0.0;
+    case OpKind::Measure:
+      return readout_error;
+    case OpKind::Cnot: {
+      if (const auto it = cnot_error_overrides.find({g.control, g.target});
+          it != cnot_error_overrides.end()) {
+        return it->second;
+      }
+      return cnot_error;
+    }
+    case OpKind::Swap:
+      // 3 CNOTs + 4 H (Fig. 3).
+      return 1.0 - std::pow(1.0 - cnot_error, 3) * std::pow(1.0 - single_qubit_error, 4);
+    default:
+      return single_qubit_error;
+  }
+}
+
+double success_probability(const Circuit& c, const NoiseModel& model) {
+  return std::pow(10.0, log10_success(c, model));
+}
+
+double log10_success(const Circuit& c, const NoiseModel& model) {
+  double log_p = 0.0;
+  for (const auto& g : c) {
+    const double eps = model.gate_error(g);
+    if (eps < 0.0 || eps >= 1.0) {
+      throw std::domain_error("log10_success: gate error must lie in [0, 1)");
+    }
+    log_p += std::log10(1.0 - eps);
+  }
+  return log_p;
+}
+
+double fidelity_ratio(const Circuit& optimized, const Circuit& baseline,
+                      const NoiseModel& model) {
+  return std::pow(10.0, log10_success(optimized, model) - log10_success(baseline, model));
+}
+
+}  // namespace qxmap::sim

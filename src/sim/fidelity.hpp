@@ -1,0 +1,49 @@
+/// \file fidelity.hpp
+/// Fidelity estimation for mapped circuits.
+///
+/// The paper's cost metric — count every added operation — is motivated by
+/// "each operation introduces an error with a certain probability"
+/// (Sec. 2.2). This module makes that connection quantitative: a simple
+/// depolarizing-style model assigns an error probability per operation
+/// class (optionally per physical qubit / coupling edge) and scores a
+/// circuit by its overall success probability Π(1 - ε_g). Mappers can then
+/// be compared in the currency that actually matters on hardware.
+
+#pragma once
+
+#include <map>
+#include <utility>
+
+#include "ir/circuit.hpp"
+
+namespace qxmap::sim {
+
+/// Error-rate model. Defaults approximate the published IBM QX4
+/// calibration ballpark (single-qubit ~1e-3, CNOT ~2e-2, readout ~4e-2).
+struct NoiseModel {
+  double single_qubit_error = 1e-3;
+  double cnot_error = 2e-2;
+  double readout_error = 4e-2;
+
+  /// Optional per-edge overrides for CNOT errors, keyed by the *directed*
+  /// (control, target) pair actually executed.
+  std::map<std::pair<int, int>, double> cnot_error_overrides;
+
+  /// Error probability charged for one gate (barriers are free).
+  [[nodiscard]] double gate_error(const Gate& g) const;
+};
+
+/// Success probability Π(1 - ε_g) over all gates of `c`. SWAP pseudo-gates
+/// are charged as their 7-gate decomposition would be (3 CNOTs + 4 H).
+[[nodiscard]] double success_probability(const Circuit& c, const NoiseModel& model = {});
+
+/// log10 of the success probability — additive, convenient for comparing
+/// long circuits without underflow.
+[[nodiscard]] double log10_success(const Circuit& c, const NoiseModel& model = {});
+
+/// Expected-fidelity gain of `optimized` over `baseline` as a ratio of
+/// success probabilities (> 1 means `optimized` is better).
+[[nodiscard]] double fidelity_ratio(const Circuit& optimized, const Circuit& baseline,
+                                    const NoiseModel& model = {});
+
+}  // namespace qxmap::sim

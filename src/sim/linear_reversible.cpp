@@ -1,0 +1,43 @@
+#include "sim/linear_reversible.hpp"
+
+#include <stdexcept>
+
+namespace qxmap::sim {
+
+Gf2Matrix linear_map(const Circuit& c) {
+  Gf2Matrix m = Gf2Matrix::identity(static_cast<std::size_t>(c.num_qubits()));
+  for (const auto& g : c) {
+    if (g.kind == OpKind::Barrier) continue;
+    if (g.is_cnot()) {
+      // |t> ^= |c>: row_t += row_c of the accumulated map.
+      m.xor_row(static_cast<std::size_t>(g.target), static_cast<std::size_t>(g.control));
+    } else if (g.is_swap()) {
+      m.swap_rows(static_cast<std::size_t>(g.target), static_cast<std::size_t>(g.control));
+    } else {
+      throw std::invalid_argument("linear_map: circuit contains non-linear gate " +
+                                  std::string(kind_name(g.kind)));
+    }
+  }
+  return m;
+}
+
+bool implements_skeleton(const Circuit& original, const Circuit& routed,
+                         const std::vector<int>& initial_layout,
+                         const std::vector<int>& final_layout) {
+  const auto n = static_cast<std::size_t>(original.num_qubits());
+  if (initial_layout.size() != n || final_layout.size() != n) {
+    throw std::invalid_argument("implements_skeleton: layout size must equal logical qubit count");
+  }
+  const Gf2Matrix a = linear_map(original);
+  const Gf2Matrix m = linear_map(routed);
+  for (std::size_t j = 0; j < n; ++j) {
+    const auto row = static_cast<std::size_t>(final_layout[j]);
+    for (std::size_t jp = 0; jp < n; ++jp) {
+      const auto col = static_cast<std::size_t>(initial_layout[jp]);
+      if (a.get(j, jp) != m.get(row, col)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace qxmap::sim

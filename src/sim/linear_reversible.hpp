@@ -1,0 +1,39 @@
+/// \file linear_reversible.hpp
+/// GF(2) phase-space semantics of CNOT/SWAP circuits.
+///
+/// A circuit of CNOT and SWAP gates maps computational basis state |x> to
+/// |Mx> for an invertible matrix M over GF(2). This gives an equivalence
+/// check that scales to any qubit count, used to verify routed CNOT
+/// skeletons (the object the symbolic formulation actually reasons about,
+/// cf. Fig. 1b) without building exponentially large unitaries.
+
+#pragma once
+
+#include "common/gf2.hpp"
+#include "ir/circuit.hpp"
+
+namespace qxmap::sim {
+
+/// The GF(2) transition matrix of a CNOT/SWAP-only circuit: output bit
+/// vector = M * input bit vector. Barriers are ignored.
+/// \throws std::invalid_argument if the circuit contains any other gate.
+[[nodiscard]] Gf2Matrix linear_map(const Circuit& c);
+
+/// Verifies that a routed skeleton implements the original CNOT skeleton.
+///
+/// `original` is the unmapped CNOT-only circuit over n logical qubits.
+/// `routed` is a CNOT/SWAP-only circuit over m >= n physical qubits in which
+/// every CNOT is written in its *logical* orientation (direction reversal is
+/// an H-conjugation detail that does not change the permutation semantics).
+/// `initial_layout[j]` / `final_layout[j]` give the physical position of
+/// logical qubit j before/after `routed`.
+///
+/// The check: for all logical j, j', original_M[j][j'] must equal
+/// routed_M[final_layout[j]][initial_layout[j']]. Entries of routed_M in
+/// non-embedded columns are ignored — they multiply ancilla inputs fixed
+/// to |0>.
+[[nodiscard]] bool implements_skeleton(const Circuit& original, const Circuit& routed,
+                                       const std::vector<int>& initial_layout,
+                                       const std::vector<int>& final_layout);
+
+}  // namespace qxmap::sim

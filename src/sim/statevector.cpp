@@ -1,0 +1,137 @@
+#include "sim/statevector.hpp"
+
+#include <array>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace qxmap::sim {
+
+namespace {
+constexpr double kInvSqrt2 = 0.70710678118654752440;
+const Complex kI{0.0, 1.0};
+
+Complex expi(double phi) { return {std::cos(phi), std::sin(phi)}; }
+}  // namespace
+
+std::array<Complex, 4> single_qubit_matrix(const Gate& g) {
+  switch (g.kind) {
+    case OpKind::I: return {1, 0, 0, 1};
+    case OpKind::X: return {0, 1, 1, 0};
+    case OpKind::Y: return {0, -kI, kI, 0};
+    case OpKind::Z: return {1, 0, 0, -1};
+    case OpKind::H: return {kInvSqrt2, kInvSqrt2, kInvSqrt2, -kInvSqrt2};
+    case OpKind::S: return {1, 0, 0, kI};
+    case OpKind::Sdg: return {1, 0, 0, -kI};
+    case OpKind::T: return {1, 0, 0, expi(std::numbers::pi / 4)};
+    case OpKind::Tdg: return {1, 0, 0, expi(-std::numbers::pi / 4)};
+    case OpKind::Rx: {
+      const double t = g.params.at(0) / 2;
+      return {std::cos(t), -kI * std::sin(t), -kI * std::sin(t), std::cos(t)};
+    }
+    case OpKind::Ry: {
+      const double t = g.params.at(0) / 2;
+      return {std::cos(t), -std::sin(t), std::sin(t), std::cos(t)};
+    }
+    case OpKind::Rz: {
+      const double t = g.params.at(0) / 2;
+      return {expi(-t), 0, 0, expi(t)};
+    }
+    case OpKind::U1: return {1, 0, 0, expi(g.params.at(0))};
+    case OpKind::U2: {
+      const double phi = g.params.at(0);
+      const double lam = g.params.at(1);
+      return {kInvSqrt2, -kInvSqrt2 * expi(lam), kInvSqrt2 * expi(phi),
+              kInvSqrt2 * expi(phi + lam)};
+    }
+    case OpKind::U3: {
+      const double theta = g.params.at(0);
+      const double phi = g.params.at(1);
+      const double lam = g.params.at(2);
+      return {std::cos(theta / 2), -expi(lam) * std::sin(theta / 2),
+              expi(phi) * std::sin(theta / 2), expi(phi + lam) * std::cos(theta / 2)};
+    }
+    default:
+      throw std::invalid_argument("single_qubit_matrix: not a single-qubit gate");
+  }
+}
+
+Statevector::Statevector(int n) : n_(n) {
+  if (n < 0 || n > 24) throw std::invalid_argument("Statevector: qubit count out of range [0,24]");
+  amps_.assign(std::size_t{1} << n, Complex{0, 0});
+  amps_[0] = 1.0;
+}
+
+Statevector Statevector::basis(int n, std::uint64_t index) {
+  Statevector sv(n);
+  if (index >= sv.amps_.size()) throw std::out_of_range("Statevector::basis: index too large");
+  sv.amps_[0] = 0.0;
+  sv.amps_[index] = 1.0;
+  return sv;
+}
+
+void Statevector::apply(const Gate& g) {
+  if (g.kind == OpKind::Barrier) return;
+  if (g.kind == OpKind::Measure) {
+    throw std::invalid_argument("Statevector::apply: Measure not supported in unitary simulation");
+  }
+
+  if (g.is_single_qubit()) {
+    const auto m = single_qubit_matrix(g);
+    const std::uint64_t bit = 1ULL << g.target;
+    for (std::uint64_t i = 0; i < amps_.size(); ++i) {
+      if (i & bit) continue;
+      const Complex a0 = amps_[i];
+      const Complex a1 = amps_[i | bit];
+      amps_[i] = m[0] * a0 + m[1] * a1;
+      amps_[i | bit] = m[2] * a0 + m[3] * a1;
+    }
+    return;
+  }
+  if (g.is_cnot()) {
+    const std::uint64_t cbit = 1ULL << g.control;
+    const std::uint64_t tbit = 1ULL << g.target;
+    for (std::uint64_t i = 0; i < amps_.size(); ++i) {
+      // Swap amplitudes of |..c=1,t=0..> and |..c=1,t=1..>, visiting each pair once.
+      if ((i & cbit) && !(i & tbit)) {
+        std::swap(amps_[i], amps_[i | tbit]);
+      }
+    }
+    return;
+  }
+  if (g.is_swap()) {
+    const std::uint64_t abit = 1ULL << g.target;
+    const std::uint64_t bbit = 1ULL << g.control;
+    for (std::uint64_t i = 0; i < amps_.size(); ++i) {
+      if ((i & abit) && !(i & bbit)) {
+        std::swap(amps_[i], amps_[(i & ~abit) | bbit]);
+      }
+    }
+    return;
+  }
+  throw std::invalid_argument("Statevector::apply: unsupported gate kind");
+}
+
+void Statevector::apply_circuit(const Circuit& c) {
+  if (c.num_qubits() > n_) {
+    throw std::invalid_argument("Statevector::apply_circuit: circuit has more qubits than state");
+  }
+  for (const auto& g : c) apply(g);
+}
+
+double Statevector::norm() const {
+  double s = 0;
+  for (const auto& a : amps_) s += std::norm(a);
+  return std::sqrt(s);
+}
+
+double Statevector::overlap_magnitude(const Statevector& other) const {
+  if (other.n_ != n_) throw std::invalid_argument("Statevector::overlap_magnitude: size mismatch");
+  Complex acc{0, 0};
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    acc += std::conj(amps_[i]) * other.amps_[i];
+  }
+  return std::abs(acc);
+}
+
+}  // namespace qxmap::sim

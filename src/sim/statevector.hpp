@@ -1,0 +1,58 @@
+/// \file statevector.hpp
+/// Dense statevector simulator.
+///
+/// Used by the verification layer (sim/equivalence) to prove that a mapped
+/// circuit implements the original one, including the inserted SWAP
+/// decompositions and the H-conjugated (direction-reversed) CNOTs of Fig. 3.
+/// Qubit `q` corresponds to bit `q` of the basis-state index (little-endian).
+
+#pragma once
+
+#include <array>
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "ir/circuit.hpp"
+
+namespace qxmap::sim {
+
+using Complex = std::complex<double>;
+
+/// 2x2 unitary of a single-qubit gate, row-major: {m00, m01, m10, m11}.
+/// \throws std::invalid_argument for non-single-qubit kinds.
+[[nodiscard]] std::array<Complex, 4> single_qubit_matrix(const Gate& g);
+
+/// Dense quantum state over `num_qubits()` qubits.
+class Statevector {
+ public:
+  /// |0…0> on `n` qubits. \throws std::invalid_argument if n < 0 or n > 24.
+  explicit Statevector(int n);
+
+  /// Computational basis state |index>.
+  [[nodiscard]] static Statevector basis(int n, std::uint64_t index);
+
+  [[nodiscard]] int num_qubits() const noexcept { return n_; }
+  [[nodiscard]] std::size_t dimension() const noexcept { return amps_.size(); }
+  [[nodiscard]] Complex amplitude(std::uint64_t index) const { return amps_.at(index); }
+
+  /// Applies one gate. Barriers are no-ops; Measure throws (this simulator
+  /// is for unitary equivalence checking, not sampling).
+  void apply(const Gate& g);
+
+  /// Applies all gates of `c` in order. The circuit must fit: c.num_qubits()
+  /// <= num_qubits().
+  void apply_circuit(const Circuit& c);
+
+  /// L2 norm (should stay 1 up to rounding).
+  [[nodiscard]] double norm() const;
+
+  /// |<this|other>| — 1.0 iff equal up to global phase.
+  [[nodiscard]] double overlap_magnitude(const Statevector& other) const;
+
+ private:
+  int n_;
+  std::vector<Complex> amps_;
+};
+
+}  // namespace qxmap::sim

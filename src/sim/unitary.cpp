@@ -1,0 +1,71 @@
+#include "sim/unitary.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace qxmap::sim {
+
+Unitary::Unitary(int num_qubits) : n_(num_qubits) {
+  if (num_qubits < 0 || num_qubits > 10) {
+    throw std::invalid_argument("Unitary: qubit count out of range [0,10]");
+  }
+  dim_ = std::size_t{1} << num_qubits;
+  data_.assign(dim_ * dim_, Complex{0, 0});
+  for (std::size_t i = 0; i < dim_; ++i) data_[i * dim_ + i] = 1.0;
+}
+
+Complex Unitary::get(std::size_t row, std::size_t col) const {
+  if (row >= dim_ || col >= dim_) throw std::out_of_range("Unitary::get");
+  return data_[col * dim_ + row];
+}
+
+void Unitary::set(std::size_t row, std::size_t col, Complex v) {
+  if (row >= dim_ || col >= dim_) throw std::out_of_range("Unitary::set");
+  data_[col * dim_ + row] = v;
+}
+
+double Unitary::distance_up_to_phase(const Unitary& other) const {
+  if (other.dim_ != dim_) return std::numeric_limits<double>::infinity();
+  // Align phases at the largest entry of *this.
+  std::size_t best = 0;
+  double best_mag = -1;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::abs(data_[i]) > best_mag) {
+      best_mag = std::abs(data_[i]);
+      best = i;
+    }
+  }
+  if (best_mag < 1e-12) return std::numeric_limits<double>::infinity();
+  if (std::abs(other.data_[best]) < 1e-12) return std::numeric_limits<double>::infinity();
+  const Complex phase = (data_[best] / std::abs(data_[best])) /
+                        (other.data_[best] / std::abs(other.data_[best]));
+  double dist = 0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    dist = std::max(dist, std::abs(data_[i] - phase * other.data_[i]));
+  }
+  return dist;
+}
+
+Unitary circuit_unitary(const Circuit& c) {
+  if (c.num_qubits() > 10) {
+    throw std::invalid_argument("circuit_unitary: too many qubits for dense unitary");
+  }
+  Unitary u(c.num_qubits());
+  const std::size_t dim = u.dimension();
+  for (std::uint64_t col = 0; col < dim; ++col) {
+    Statevector sv = Statevector::basis(c.num_qubits(), col);
+    sv.apply_circuit(c);
+    for (std::uint64_t row = 0; row < dim; ++row) {
+      u.set(row, col, sv.amplitude(row));
+    }
+  }
+  return u;
+}
+
+bool same_unitary(const Circuit& a, const Circuit& b, double tolerance) {
+  if (a.num_qubits() != b.num_qubits()) return false;
+  return circuit_unitary(a).distance_up_to_phase(circuit_unitary(b)) <= tolerance;
+}
+
+}  // namespace qxmap::sim

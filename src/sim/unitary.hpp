@@ -1,0 +1,48 @@
+/// \file unitary.hpp
+/// Dense unitary matrices of small circuits (n <= 10) and phase-insensitive
+/// comparison. Used by tests to validate gate decompositions (CCX network,
+/// controlled roots of X, SWAP expansion, direction-reversed CNOTs).
+
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "ir/circuit.hpp"
+#include "sim/statevector.hpp"
+
+namespace qxmap::sim {
+
+/// Column-major dense complex matrix of dimension 2^n.
+class Unitary {
+ public:
+  /// Identity of dimension 2^n. \throws std::invalid_argument if n > 10.
+  explicit Unitary(int num_qubits);
+
+  [[nodiscard]] int num_qubits() const noexcept { return n_; }
+  [[nodiscard]] std::size_t dimension() const noexcept { return dim_; }
+
+  [[nodiscard]] Complex get(std::size_t row, std::size_t col) const;
+  void set(std::size_t row, std::size_t col, Complex v);
+
+  /// Maximum absolute entry difference after aligning global phase on the
+  /// largest-magnitude entry of *this. Returns a large value if shapes differ.
+  [[nodiscard]] double distance_up_to_phase(const Unitary& other) const;
+
+ private:
+  int n_;
+  std::size_t dim_;
+  std::vector<Complex> data_;  // column-major
+};
+
+/// Builds the unitary of `c` by simulating all basis states.
+/// \throws std::invalid_argument if c.num_qubits() > 10.
+[[nodiscard]] Unitary circuit_unitary(const Circuit& c);
+
+/// True iff the two circuits implement the same unitary up to global phase
+/// (within `tolerance` max-entry distance). Circuits must have the same
+/// qubit count.
+[[nodiscard]] bool same_unitary(const Circuit& a, const Circuit& b, double tolerance = 1e-9);
+
+}  // namespace qxmap::sim

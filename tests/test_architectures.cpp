@@ -1,0 +1,77 @@
+#include "arch/architectures.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qxmap {
+namespace {
+
+TEST(Architectures, Qx4MatchesFig2) {
+  const auto cm = arch::ibm_qx4();
+  EXPECT_EQ(cm.num_physical(), 5);
+  // Fig. 2 1-based: (2,1) (3,1) (3,2) (4,3) (4,5) (5,3).
+  const std::vector<std::pair<int, int>> expected{{1, 0}, {2, 0}, {2, 1},
+                                                  {3, 2}, {3, 4}, {4, 2}};
+  EXPECT_EQ(cm.edges(), expected);
+  EXPECT_EQ(cm.name(), "ibmqx4");
+}
+
+TEST(Architectures, Qx2Basics) {
+  const auto cm = arch::ibm_qx2();
+  EXPECT_EQ(cm.num_physical(), 5);
+  EXPECT_EQ(cm.edges().size(), 6u);
+  EXPECT_TRUE(cm.is_connected());
+  EXPECT_TRUE(cm.has_triangle());
+}
+
+TEST(Architectures, Qx5Basics) {
+  const auto cm = arch::ibm_qx5();
+  EXPECT_EQ(cm.num_physical(), 16);
+  EXPECT_EQ(cm.edges().size(), 22u);
+  EXPECT_TRUE(cm.is_connected());
+  // QX5 couplings are strictly one-directional.
+  for (const auto& [a, b] : cm.edges()) EXPECT_FALSE(cm.allows(b, a));
+}
+
+TEST(Architectures, TokyoIsBidirected) {
+  const auto cm = arch::ibm_tokyo();
+  EXPECT_EQ(cm.num_physical(), 20);
+  EXPECT_TRUE(cm.is_connected());
+  for (const auto& [a, b] : cm.edges()) EXPECT_TRUE(cm.allows(b, a));
+}
+
+TEST(Architectures, LinearRingGridClique) {
+  EXPECT_EQ(arch::linear(4).edges().size(), 3u);
+  EXPECT_FALSE(arch::linear(4).coupled(0, 3));
+  EXPECT_EQ(arch::ring(5).edges().size(), 5u);
+  EXPECT_TRUE(arch::ring(5).coupled(0, 4));
+  EXPECT_THROW(arch::ring(2), std::invalid_argument);
+  const auto g = arch::grid(2, 3);
+  EXPECT_EQ(g.num_physical(), 6);
+  EXPECT_TRUE(g.coupled(0, 3));
+  EXPECT_FALSE(g.coupled(0, 4));
+  const auto k = arch::clique(4);
+  EXPECT_EQ(k.edges().size(), 12u);
+}
+
+TEST(Architectures, ByNameLookups) {
+  EXPECT_EQ(arch::by_name("qx4").name(), "ibmqx4");
+  EXPECT_EQ(arch::by_name("QX4").name(), "ibmqx4");
+  EXPECT_EQ(arch::by_name("tenerife").name(), "ibmqx4");
+  EXPECT_EQ(arch::by_name("qx2").name(), "ibmqx2");
+  EXPECT_EQ(arch::by_name("qx5").num_physical(), 16);
+  EXPECT_EQ(arch::by_name("tokyo").num_physical(), 20);
+  EXPECT_EQ(arch::by_name("linear7").num_physical(), 7);
+  EXPECT_EQ(arch::by_name("ring6").num_physical(), 6);
+  EXPECT_EQ(arch::by_name("clique3").num_physical(), 3);
+  EXPECT_THROW(arch::by_name("nope"), std::invalid_argument);
+  EXPECT_THROW(arch::by_name("linearx"), std::invalid_argument);
+}
+
+TEST(Architectures, KnownNamesResolve) {
+  for (const auto& name : arch::known_names()) {
+    EXPECT_NO_THROW(arch::by_name(name));
+  }
+}
+
+}  // namespace
+}  // namespace qxmap

@@ -1,0 +1,94 @@
+#include "bench_circuits/generators.hpp"
+#include "bench_circuits/table1_suite.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qxmap {
+namespace {
+
+TEST(Generators, RandomCircuitCountsAreExact) {
+  const Circuit c = bench::random_circuit(5, 19, 17, 1, "counts");
+  const auto counts = c.counts();
+  EXPECT_EQ(counts.single_qubit, 19);
+  EXPECT_EQ(counts.cnot, 17);
+  EXPECT_EQ(counts.swap, 0);
+  EXPECT_EQ(c.num_qubits(), 5);
+  EXPECT_EQ(c.name(), "counts");
+}
+
+TEST(Generators, DeterministicPerSeed) {
+  EXPECT_EQ(bench::random_circuit(4, 5, 5, 7), bench::random_circuit(4, 5, 5, 7));
+  EXPECT_NE(bench::random_circuit(4, 5, 5, 7), bench::random_circuit(4, 5, 5, 8));
+}
+
+TEST(Generators, CnotOperandsAreDistinct) {
+  const Circuit c = bench::random_cnot_circuit(3, 200, 3);
+  for (const auto& g : c) {
+    ASSERT_TRUE(g.is_cnot());
+    EXPECT_NE(g.control, g.target);
+    EXPECT_GE(g.control, 0);
+    EXPECT_LT(g.control, 3);
+    EXPECT_GE(g.target, 0);
+    EXPECT_LT(g.target, 3);
+  }
+}
+
+TEST(Generators, Validation) {
+  EXPECT_THROW(bench::random_circuit(1, 0, 5, 1), std::invalid_argument);
+  EXPECT_THROW(bench::random_circuit(3, -1, 5, 1), std::invalid_argument);
+  EXPECT_NO_THROW(bench::random_circuit(1, 5, 0, 1));
+}
+
+TEST(Generators, LayeredCircuitShape) {
+  const Circuit c = bench::layered_cnot_circuit(6, 4, 9);
+  EXPECT_EQ(c.counts().cnot, 4 * 3);
+  EXPECT_THROW(bench::layered_cnot_circuit(1, 2, 0), std::invalid_argument);
+}
+
+TEST(Table1Suite, HasAll25Benchmarks) {
+  EXPECT_EQ(bench::table1_benchmarks().size(), 25u);
+}
+
+TEST(Table1Suite, ShapesMatchThePaper) {
+  for (const auto& b : bench::table1_benchmarks()) {
+    const Circuit c = b.build();
+    EXPECT_EQ(c.num_qubits(), b.n) << b.name;
+    EXPECT_EQ(c.counts().single_qubit, b.single_qubit) << b.name;
+    EXPECT_EQ(c.counts().cnot, b.cnot) << b.name;
+    EXPECT_EQ(b.original_cost(), b.single_qubit + b.cnot);
+    // The paper's own numbers are internally consistent: c_min exceeds the
+    // original cost, the heuristic never beats the minimum.
+    EXPECT_GE(b.paper_cmin, b.original_cost()) << b.name;
+    EXPECT_GE(b.paper_ibm, b.paper_cmin) << b.name;
+  }
+}
+
+TEST(Table1Suite, SpotCheckKnownRows) {
+  const auto& b = bench::table1_benchmark("3_17_13");
+  EXPECT_EQ(b.n, 3);
+  EXPECT_EQ(b.original_cost(), 36);
+  EXPECT_EQ(b.paper_cmin, 59);
+  EXPECT_EQ(b.paper_ibm, 80);
+  const auto& q5 = bench::table1_benchmark("qe_q_5");
+  EXPECT_EQ(q5.original_cost(), 107);
+}
+
+TEST(Table1Suite, BuildsAreStableAcrossCalls) {
+  const auto& b = bench::table1_benchmark("alu-v0_27");
+  EXPECT_EQ(b.build(), b.build());
+}
+
+TEST(Table1Suite, UnknownNameThrows) {
+  EXPECT_THROW(bench::table1_benchmark("not-a-benchmark"), std::invalid_argument);
+}
+
+TEST(Table1Suite, PaperExampleShape) {
+  const Circuit c = bench::paper_example_circuit();
+  EXPECT_EQ(c.num_qubits(), 4);
+  EXPECT_EQ(c.size(), 8u);
+  EXPECT_EQ(c.counts().cnot, 5);
+  EXPECT_EQ(c.counts().single_qubit, 3);
+}
+
+}  // namespace
+}  // namespace qxmap

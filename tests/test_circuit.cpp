@@ -1,0 +1,87 @@
+#include "ir/circuit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qxmap {
+namespace {
+
+Circuit sample() {
+  Circuit c(3, "sample");
+  c.h(0);
+  c.cnot(0, 1);
+  c.t(1);
+  c.cnot(1, 2);
+  c.swap(0, 2);
+  return c;
+}
+
+TEST(Circuit, ConstructionAndName) {
+  const Circuit c(4, "foo");
+  EXPECT_EQ(c.num_qubits(), 4);
+  EXPECT_EQ(c.name(), "foo");
+  EXPECT_TRUE(c.empty());
+  EXPECT_THROW(Circuit(-1), std::invalid_argument);
+}
+
+TEST(Circuit, AppendValidatesQubitRange) {
+  Circuit c(2);
+  EXPECT_NO_THROW(c.cnot(0, 1));
+  EXPECT_THROW(c.cnot(0, 2), std::out_of_range);
+  EXPECT_THROW(c.h(5), std::out_of_range);
+}
+
+TEST(Circuit, Counts) {
+  const auto counts = sample().counts();
+  EXPECT_EQ(counts.single_qubit, 2);
+  EXPECT_EQ(counts.cnot, 2);
+  EXPECT_EQ(counts.swap, 1);
+  EXPECT_EQ(counts.other, 0);
+  EXPECT_EQ(counts.cost(), 2 + 2 + 7);
+}
+
+TEST(Circuit, CnotPositions) {
+  EXPECT_EQ(sample().cnot_positions(), (std::vector<std::size_t>{1, 3}));
+}
+
+TEST(Circuit, CnotSkeletonKeepsOrder) {
+  const Circuit skel = sample().cnot_skeleton();
+  ASSERT_EQ(skel.size(), 2u);
+  EXPECT_EQ(skel.gate(0), Gate::cnot(0, 1));
+  EXPECT_EQ(skel.gate(1), Gate::cnot(1, 2));
+  EXPECT_EQ(skel.num_qubits(), 3);
+}
+
+TEST(Circuit, SwapExpansionShape) {
+  Circuit c(2);
+  c.swap(0, 1);
+  const Circuit expanded = c.with_swaps_expanded();
+  // 3 CNOT + 4 H = 7 operations (Fig. 3).
+  EXPECT_EQ(expanded.size(), 7u);
+  const auto counts = expanded.counts();
+  EXPECT_EQ(counts.cnot, 3);
+  EXPECT_EQ(counts.single_qubit, 4);
+  EXPECT_EQ(counts.swap, 0);
+}
+
+TEST(Circuit, SwapExpansionLeavesOtherGatesAlone) {
+  const Circuit expanded = sample().with_swaps_expanded();
+  EXPECT_EQ(expanded.counts().swap, 0);
+  EXPECT_EQ(expanded.size(), sample().size() - 1 + 7);
+  EXPECT_EQ(expanded.gate(0), Gate::single(OpKind::H, 0));
+}
+
+TEST(Circuit, MaxQubitUsed) {
+  EXPECT_EQ(sample().max_qubit_used(), 2);
+  EXPECT_EQ(Circuit(5).max_qubit_used(), -1);
+}
+
+TEST(Circuit, EqualityAndToString) {
+  EXPECT_EQ(sample(), sample());
+  Circuit other = sample();
+  other.x(0);
+  EXPECT_NE(sample(), other);
+  EXPECT_NE(sample().to_string().find("cx q0, q1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qxmap

@@ -1,0 +1,94 @@
+#include "arch/coupling_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/architectures.hpp"
+
+namespace qxmap {
+namespace {
+
+using arch::CouplingMap;
+
+TEST(CouplingMap, ConstructionValidates) {
+  EXPECT_NO_THROW(CouplingMap(3, {{0, 1}, {1, 2}}));
+  EXPECT_THROW(CouplingMap(0, {}), std::invalid_argument);
+  EXPECT_THROW(CouplingMap(2, {{0, 2}}), std::invalid_argument);
+  EXPECT_THROW(CouplingMap(2, {{1, 1}}), std::invalid_argument);
+}
+
+TEST(CouplingMap, DuplicateEdgesDeduplicated) {
+  const CouplingMap cm(2, {{0, 1}, {0, 1}});
+  EXPECT_EQ(cm.edges().size(), 1u);
+}
+
+TEST(CouplingMap, DirectedQueries) {
+  const auto cm = arch::ibm_qx4();
+  EXPECT_TRUE(cm.allows(1, 0));
+  EXPECT_FALSE(cm.allows(0, 1));
+  EXPECT_TRUE(cm.coupled(0, 1));
+  EXPECT_TRUE(cm.coupled(1, 0));
+  EXPECT_FALSE(cm.coupled(0, 3));
+}
+
+TEST(CouplingMap, UndirectedEdgesSortedAndDeduped) {
+  const CouplingMap cm(3, {{1, 0}, {0, 1}, {2, 1}});
+  EXPECT_EQ(cm.undirected_edges(),
+            (std::vector<std::pair<int, int>>{{0, 1}, {1, 2}}));
+}
+
+TEST(CouplingMap, Neighbours) {
+  const auto cm = arch::ibm_qx4();
+  EXPECT_EQ(cm.neighbours(2), (std::vector<int>{0, 1, 3, 4}));
+  EXPECT_EQ(cm.neighbours(0), (std::vector<int>{1, 2}));
+  EXPECT_THROW(cm.neighbours(5), std::out_of_range);
+}
+
+TEST(CouplingMap, Connectivity) {
+  EXPECT_TRUE(arch::ibm_qx4().is_connected());
+  const CouplingMap split(4, {{0, 1}, {2, 3}});
+  EXPECT_FALSE(split.is_connected());
+}
+
+TEST(CouplingMap, SubsetConnectivityMatchesExample9) {
+  // Example 9: all useful 4-subsets of QX4 must contain p3 (0-based qubit 2).
+  const auto cm = arch::ibm_qx4();
+  EXPECT_TRUE(cm.subset_connected({0, 1, 2, 3}));
+  EXPECT_TRUE(cm.subset_connected({0, 1, 2, 4}));
+  EXPECT_TRUE(cm.subset_connected({0, 2, 3, 4}));
+  EXPECT_TRUE(cm.subset_connected({1, 2, 3, 4}));
+  EXPECT_FALSE(cm.subset_connected({0, 1, 3, 4}));  // omits qubit 2
+  EXPECT_TRUE(cm.subset_connected({}));
+  EXPECT_TRUE(cm.subset_connected({3}));
+}
+
+TEST(CouplingMap, TriangleDetection) {
+  EXPECT_TRUE(arch::ibm_qx4().has_triangle());   // p1 p2 p3 (0-based 0 1 2)
+  EXPECT_FALSE(arch::linear(4).has_triangle());
+  EXPECT_FALSE(arch::grid(2, 2).has_triangle());
+}
+
+TEST(CouplingMap, InducedSubmapRenumbers) {
+  const auto cm = arch::ibm_qx4();
+  const auto sub = cm.induced({2, 3, 4});  // qubits p3, p4, p5
+  EXPECT_EQ(sub.num_physical(), 3);
+  // Global edges among {2,3,4}: (3,2), (3,4), (4,2) -> local (1,0), (1,2), (2,0).
+  EXPECT_TRUE(sub.allows(1, 0));
+  EXPECT_TRUE(sub.allows(1, 2));
+  EXPECT_TRUE(sub.allows(2, 0));
+  EXPECT_EQ(sub.edges().size(), 3u);
+}
+
+TEST(CouplingMap, InducedValidation) {
+  const auto cm = arch::ibm_qx4();
+  EXPECT_THROW(cm.induced({0, 0}), std::invalid_argument);
+  EXPECT_THROW(cm.induced({0, 9}), std::out_of_range);
+}
+
+TEST(CouplingMap, InducedOfAllQubitsKeepsEverything) {
+  const auto cm = arch::ibm_qx4();
+  const auto sub = cm.induced({0, 1, 2, 3, 4});
+  EXPECT_EQ(sub.edges(), cm.edges());
+}
+
+}  // namespace
+}  // namespace qxmap

@@ -1,0 +1,59 @@
+#include "sat/dimacs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qxmap {
+namespace {
+
+using sat::Cnf;
+using sat::Solver;
+using sat::SolveResult;
+
+TEST(Dimacs, ParseBasic) {
+  const auto cnf = sat::parse_dimacs("c comment\np cnf 3 2\n1 -2 0\n2 3 0\n");
+  EXPECT_EQ(cnf.num_vars, 3);
+  ASSERT_EQ(cnf.clauses.size(), 2u);
+  EXPECT_EQ(cnf.clauses[0].size(), 2u);
+  EXPECT_EQ(cnf.clauses[0][0], sat::pos(0));
+  EXPECT_EQ(cnf.clauses[0][1], sat::neg(1));
+}
+
+TEST(Dimacs, ParseMultiLineClause) {
+  const auto cnf = sat::parse_dimacs("p cnf 2 1\n1\n2 0\n");
+  ASSERT_EQ(cnf.clauses.size(), 1u);
+  EXPECT_EQ(cnf.clauses[0].size(), 2u);
+}
+
+TEST(Dimacs, ParseErrors) {
+  EXPECT_THROW(sat::parse_dimacs("1 2 0\n"), std::invalid_argument);          // no header
+  EXPECT_THROW(sat::parse_dimacs("p cnf 1 1\n2 0\n"), std::invalid_argument); // var range
+  EXPECT_THROW(sat::parse_dimacs("p cnf 1 2\n1 0\n"), std::invalid_argument); // count
+  EXPECT_THROW(sat::parse_dimacs("p cnf 1 1\n1\n"), std::invalid_argument);   // unterminated
+  EXPECT_THROW(sat::parse_dimacs("p dnf 1 1\n1 0\n"), std::invalid_argument); // format
+}
+
+TEST(Dimacs, RoundTrip) {
+  Cnf cnf;
+  cnf.num_vars = 4;
+  cnf.clauses = {{sat::pos(0), sat::neg(3)}, {sat::neg(1), sat::pos(2), sat::pos(3)}};
+  const auto text = sat::to_dimacs(cnf);
+  const auto back = sat::parse_dimacs(text);
+  EXPECT_EQ(back.num_vars, cnf.num_vars);
+  EXPECT_EQ(back.clauses, cnf.clauses);
+}
+
+TEST(Dimacs, LoadIntoSolverAndSolve) {
+  const auto sat_cnf = sat::parse_dimacs("p cnf 2 2\n1 2 0\n-1 2 0\n");
+  Solver s1;
+  EXPECT_TRUE(sat::load_cnf(s1, sat_cnf));
+  EXPECT_EQ(s1.solve(), SolveResult::Satisfiable);
+  EXPECT_TRUE(s1.model_value(1));
+
+  const auto unsat_cnf = sat::parse_dimacs("p cnf 1 2\n1 0\n-1 0\n");
+  Solver s2;
+  EXPECT_FALSE(sat::load_cnf(s2, unsat_cnf));
+  EXPECT_EQ(s2.solve(), SolveResult::Unsatisfiable);
+}
+
+}  // namespace
+}  // namespace qxmap

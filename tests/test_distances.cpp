@@ -1,0 +1,84 @@
+#include "arch/distances.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/architectures.hpp"
+
+namespace qxmap {
+namespace {
+
+TEST(Distances, HopsOnQx4) {
+  const arch::DistanceMatrix d(arch::ibm_qx4());
+  EXPECT_EQ(d.hops(0, 0), 0);
+  EXPECT_EQ(d.hops(0, 1), 1);
+  EXPECT_EQ(d.hops(0, 2), 1);
+  EXPECT_EQ(d.hops(0, 3), 2);
+  EXPECT_EQ(d.hops(0, 4), 2);
+  EXPECT_EQ(d.hops(1, 4), 2);
+  EXPECT_EQ(d.hops(3, 4), 1);
+}
+
+TEST(Distances, HopsSymmetric) {
+  const auto cm = arch::ibm_qx5();
+  const arch::DistanceMatrix d(cm);
+  for (int a = 0; a < cm.num_physical(); ++a) {
+    for (int b = 0; b < cm.num_physical(); ++b) {
+      EXPECT_EQ(d.hops(a, b), d.hops(b, a));
+    }
+  }
+}
+
+TEST(Distances, CnotCostAdjacent) {
+  const arch::DistanceMatrix d(arch::ibm_qx4());
+  // (1,0) in CM: forward free, reverse costs 4 H.
+  EXPECT_EQ(d.cnot_cost(1, 0), 0);
+  EXPECT_EQ(d.cnot_cost(0, 1), 4);
+}
+
+TEST(Distances, CnotCostDistantPair) {
+  const arch::DistanceMatrix d(arch::ibm_qx4());
+  // 0 and 3 are two hops apart. CNOT(3 -> 0): one SWAP brings the control
+  // next to 0 on the forward edge (2,0) — cost 7. CNOT(0 -> 3): every
+  // reachable adjacent placement points the wrong way, so 7 + 4.
+  EXPECT_EQ(d.cnot_cost(3, 0), 7);
+  EXPECT_EQ(d.cnot_cost(0, 3), 11);
+}
+
+TEST(Distances, CnotCostOnBidirectedMapNeverPaysH) {
+  const auto cm = arch::ibm_tokyo();
+  const arch::DistanceMatrix d(cm);
+  for (const auto& [a, b] : cm.undirected_edges()) {
+    EXPECT_EQ(d.cnot_cost(a, b), 0);
+    EXPECT_EQ(d.cnot_cost(b, a), 0);
+  }
+}
+
+TEST(Distances, DisconnectedPairsGetSentinel) {
+  const arch::CouplingMap split(4, {{0, 1}, {2, 3}});
+  const arch::DistanceMatrix d(split);
+  EXPECT_GE(d.hops(0, 2), 1000);
+  EXPECT_GE(d.cnot_cost(0, 2), 1000);
+}
+
+TEST(Distances, Validation) {
+  const arch::DistanceMatrix d(arch::ibm_qx4());
+  EXPECT_THROW(d.hops(-1, 0), std::out_of_range);
+  EXPECT_THROW(d.cnot_cost(0, 9), std::out_of_range);
+  EXPECT_THROW(d.cnot_cost(1, 1), std::invalid_argument);
+}
+
+TEST(Distances, TriangleInequalityOnHops) {
+  const auto cm = arch::ibm_qx5();
+  const arch::DistanceMatrix d(cm);
+  const int m = cm.num_physical();
+  for (int a = 0; a < m; ++a) {
+    for (int b = 0; b < m; ++b) {
+      for (int c = 0; c < m; ++c) {
+        EXPECT_LE(d.hops(a, c), d.hops(a, b) + d.hops(b, c));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qxmap

@@ -1,0 +1,163 @@
+#include "exact/encoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/architectures.hpp"
+#include "arch/swap_costs.hpp"
+
+namespace qxmap {
+namespace {
+
+using exact::CostModel;
+using exact::Encoding;
+using reason::EngineKind;
+using reason::Status;
+
+constexpr auto kBudget = std::chrono::milliseconds(20000);
+
+CostModel qx_costs() {
+  CostModel c;
+  c.swap_cost = 7;
+  c.reverse_cost = 4;
+  return c;
+}
+
+class EncoderTest : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(EncoderTest, SingleGateNeedsNoOverhead) {
+  const auto cm = arch::ibm_qx4();
+  const arch::SwapCostTable table(cm);
+  auto engine = reason::make_engine(GetParam());
+  const std::vector<Gate> cnots{Gate::cnot(0, 1)};
+  const Encoding enc(*engine, cnots, 2, cm, table, {}, qx_costs());
+  const auto out = engine->minimize(kBudget);
+  ASSERT_EQ(out.status, Status::Optimal);
+  const auto sol = enc.decode();
+  EXPECT_EQ(sol.cost_f, 0);
+  EXPECT_FALSE(sol.reversed[0]);
+  // The chosen placement must put the pair on a forward edge.
+  const int pc = sol.layouts[0][0];
+  const int pt = sol.layouts[0][1];
+  EXPECT_TRUE(cm.allows(pc, pt));
+}
+
+TEST_P(EncoderTest, ForcedReversalCosts4) {
+  // Both CNOT orientations between the same logical pair: one must be
+  // reversed on an antisymmetric coupling map (cheaper than any SWAP).
+  const auto cm = arch::ibm_qx4();
+  const arch::SwapCostTable table(cm);
+  auto engine = reason::make_engine(GetParam());
+  const std::vector<Gate> cnots{Gate::cnot(0, 1), Gate::cnot(1, 0)};
+  const Encoding enc(*engine, cnots, 2, cm, table, {1}, qx_costs());
+  const auto out = engine->minimize(kBudget);
+  ASSERT_EQ(out.status, Status::Optimal);
+  const auto sol = enc.decode();
+  EXPECT_EQ(sol.cost_f, 4);
+  EXPECT_EQ(static_cast<int>(sol.reversed[0]) + static_cast<int>(sol.reversed[1]), 1);
+}
+
+TEST_P(EncoderTest, NoPermutationPointsFreezesLayout) {
+  const auto cm = arch::ibm_qx4();
+  const arch::SwapCostTable table(cm);
+  auto engine = reason::make_engine(GetParam());
+  const std::vector<Gate> cnots{Gate::cnot(0, 1), Gate::cnot(1, 2), Gate::cnot(0, 2)};
+  const Encoding enc(*engine, cnots, 3, cm, table, {}, qx_costs());
+  const auto out = engine->minimize(kBudget);
+  ASSERT_EQ(out.status, Status::Optimal);
+  const auto sol = enc.decode();
+  EXPECT_EQ(sol.layouts[0], sol.layouts[1]);
+  EXPECT_EQ(sol.layouts[1], sol.layouts[2]);
+  // A triangle placement exists on QX4 (p1 p2 p3), so no SWAPs are needed;
+  // at least one direction must be paid for, since the triangle is not a
+  // directed 3-cycle.
+  EXPECT_EQ(sol.cost_f % 4, 0);
+  EXPECT_LE(sol.cost_f, 8);
+}
+
+TEST_P(EncoderTest, UnsatisfiableWithoutPermutations) {
+  // All six pairs among 4 qubits interact, but no 4 physical qubits of QX4
+  // form a clique: with no permutation points the instance must be UNSAT.
+  const auto cm = arch::ibm_qx4();
+  const arch::SwapCostTable table(cm);
+  auto engine = reason::make_engine(GetParam());
+  const std::vector<Gate> cnots{Gate::cnot(0, 1), Gate::cnot(2, 3), Gate::cnot(0, 2),
+                                Gate::cnot(1, 3), Gate::cnot(0, 3), Gate::cnot(1, 2)};
+  const Encoding enc(*engine, cnots, 4, cm, table, {}, qx_costs());
+  EXPECT_EQ(engine->minimize(kBudget).status, Status::Unsat);
+}
+
+TEST_P(EncoderTest, SwapBeatsNothingWhenPairsConflict) {
+  // CX(0,1) then CX(0,2) then CX(1,2) on a *line* architecture 0-1-2:
+  // the three pairs cannot all be adjacent under one placement, so the
+  // optimum uses exactly one SWAP (7) and possibly reversals.
+  const auto cm = arch::linear(3);
+  const arch::SwapCostTable table(cm);
+  auto engine = reason::make_engine(GetParam());
+  const std::vector<Gate> cnots{Gate::cnot(0, 1), Gate::cnot(0, 2), Gate::cnot(1, 2)};
+  const Encoding enc(*engine, cnots, 3, cm, table, {1, 2}, qx_costs());
+  const auto out = engine->minimize(kBudget);
+  ASSERT_EQ(out.status, Status::Optimal);
+  const auto sol = enc.decode();
+  EXPECT_GE(sol.cost_f, 7);
+  EXPECT_LE(sol.cost_f, 7 + 3 * 4);
+  // Exactly one non-identity permutation was chosen.
+  int nontrivial = 0;
+  for (const auto& pi : sol.point_perms) {
+    if (!pi.is_identity()) ++nontrivial;
+  }
+  EXPECT_EQ(nontrivial, 1);
+}
+
+TEST_P(EncoderTest, DecodedLayoutsAreInjective) {
+  const auto cm = arch::ibm_qx4();
+  const arch::SwapCostTable table(cm);
+  auto engine = reason::make_engine(GetParam());
+  const std::vector<Gate> cnots{Gate::cnot(0, 1), Gate::cnot(1, 2), Gate::cnot(2, 3),
+                                Gate::cnot(3, 0)};
+  const Encoding enc(*engine, cnots, 4, cm, table, {1, 2, 3}, qx_costs());
+  ASSERT_EQ(engine->minimize(kBudget).status, Status::Optimal);
+  const auto sol = enc.decode();
+  for (const auto& layout : sol.layouts) {
+    std::vector<bool> used(5, false);
+    for (const int p : layout) {
+      ASSERT_GE(p, 0);
+      ASSERT_LT(p, 5);
+      EXPECT_FALSE(used[static_cast<std::size_t>(p)]);
+      used[static_cast<std::size_t>(p)] = true;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothEngines, EncoderTest,
+                         ::testing::Values(EngineKind::Z3, EngineKind::Cdcl));
+
+TEST(Encoder, ValidationErrors) {
+  const auto cm = arch::ibm_qx4();
+  const arch::SwapCostTable table(cm);
+  auto engine = reason::make_engine(EngineKind::Cdcl);
+  const std::vector<Gate> cnots{Gate::cnot(0, 1)};
+  EXPECT_THROW(Encoding(*engine, {}, 2, cm, table, {}, qx_costs()), std::invalid_argument);
+  EXPECT_THROW(Encoding(*engine, cnots, 6, cm, table, {}, qx_costs()), std::invalid_argument);
+  EXPECT_THROW(Encoding(*engine, cnots, 1, cm, table, {}, qx_costs()), std::invalid_argument);
+  EXPECT_THROW(Encoding(*engine, cnots, 2, cm, table, {0}, qx_costs()), std::invalid_argument);
+  EXPECT_THROW(Encoding(*engine, cnots, 2, cm, table, {5}, qx_costs()), std::invalid_argument);
+  exact::CostModel unresolved;  // swap_cost = -1
+  EXPECT_THROW(Encoding(*engine, cnots, 2, cm, table, {}, unresolved), std::invalid_argument);
+}
+
+TEST(Encoder, ReportsInstanceSize) {
+  const auto cm = arch::ibm_qx4();
+  const arch::SwapCostTable table(cm);
+  auto engine = reason::make_engine(EngineKind::Cdcl);
+  const std::vector<Gate> cnots{Gate::cnot(0, 1), Gate::cnot(1, 2)};
+  const Encoding enc(*engine, cnots, 3, cm, table, {1}, qx_costs());
+  // x vars: 2 gates * 5 * 3 = 30; y vars: 120; plus Tseitin terms.
+  EXPECT_GE(enc.num_variables(), 150u);
+  EXPECT_GT(enc.num_clauses(), 1000u);
+  EXPECT_EQ(enc.num_gates(), 2);
+  EXPECT_EQ(enc.num_logical(), 3);
+  EXPECT_EQ(enc.num_physical(), 5);
+}
+
+}  // namespace
+}  // namespace qxmap

@@ -1,0 +1,101 @@
+#include "sim/equivalence.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qxmap {
+namespace {
+
+TEST(Equivalence, IdenticalCircuitsTrivially) {
+  Circuit c(2);
+  c.h(0);
+  c.cnot(0, 1);
+  const auto r = sim::check_mapped_circuit(c, c, {0, 1}, {0, 1});
+  EXPECT_TRUE(r.equivalent) << r.message;
+}
+
+TEST(Equivalence, RelabeledQubits) {
+  Circuit orig(2);
+  orig.h(0);
+  orig.cnot(0, 1);
+  Circuit mapped(3);
+  mapped.h(2);
+  mapped.cnot(2, 0);
+  const auto r = sim::check_mapped_circuit(orig, mapped, {2, 0}, {2, 0});
+  EXPECT_TRUE(r.equivalent) << r.message;
+}
+
+TEST(Equivalence, HConjugatedCnotAccepted) {
+  Circuit orig(2);
+  orig.cnot(0, 1);
+  Circuit mapped(2);
+  mapped.h(0);
+  mapped.h(1);
+  mapped.cnot(1, 0);
+  mapped.h(0);
+  mapped.h(1);
+  const auto r = sim::check_mapped_circuit(orig, mapped, {0, 1}, {0, 1});
+  EXPECT_TRUE(r.equivalent) << r.message;
+}
+
+TEST(Equivalence, SwapChangesFinalLayout) {
+  Circuit orig(2);
+  orig.cnot(0, 1);
+  Circuit mapped(2);
+  mapped.cnot(0, 1);
+  mapped.swap(0, 1);
+  const auto ok = sim::check_mapped_circuit(orig, mapped, {0, 1}, {1, 0});
+  EXPECT_TRUE(ok.equivalent) << ok.message;
+  const auto bad = sim::check_mapped_circuit(orig, mapped, {0, 1}, {0, 1});
+  EXPECT_FALSE(bad.equivalent);
+}
+
+TEST(Equivalence, WrongGateDetected) {
+  Circuit orig(2);
+  orig.cnot(0, 1);
+  Circuit mapped(2);
+  mapped.cnot(1, 0);
+  const auto r = sim::check_mapped_circuit(orig, mapped, {0, 1}, {0, 1});
+  EXPECT_FALSE(r.equivalent);
+}
+
+TEST(Equivalence, PhaseGateOnRelocatedQubit) {
+  Circuit orig(2);
+  orig.t(1);
+  orig.cnot(0, 1);
+  Circuit mapped(2);
+  mapped.t(0);       // logical 1 lives at physical 0
+  mapped.cnot(1, 0);
+  const auto r = sim::check_mapped_circuit(orig, mapped, {1, 0}, {1, 0});
+  EXPECT_TRUE(r.equivalent) << r.message;
+}
+
+TEST(Equivalence, MeasuresAreStripped) {
+  Circuit orig(1);
+  orig.h(0);
+  orig.append(Gate::measure(0));
+  Circuit mapped(1);
+  mapped.h(0);
+  const auto r = sim::check_mapped_circuit(orig, mapped, {0}, {0});
+  EXPECT_TRUE(r.equivalent) << r.message;
+}
+
+TEST(Equivalence, AncillaMustStayClean) {
+  Circuit orig(1);
+  orig.h(0);
+  Circuit mapped(2);
+  mapped.h(0);
+  mapped.x(1);  // dirties the ancilla
+  const auto r = sim::check_mapped_circuit(orig, mapped, {0}, {0});
+  EXPECT_FALSE(r.equivalent);
+}
+
+TEST(Equivalence, BadLayoutsRejected) {
+  Circuit orig(2);
+  orig.cnot(0, 1);
+  EXPECT_FALSE(sim::check_mapped_circuit(orig, orig, {0}, {0, 1}).equivalent);
+  EXPECT_FALSE(sim::check_mapped_circuit(orig, orig, {0, 5}, {0, 1}).equivalent);
+  EXPECT_FALSE(sim::check_mapped_circuit(orig, Circuit(1), {0, 1}, {0, 1}).equivalent);
+}
+
+}  // namespace
+}  // namespace qxmap

@@ -1,0 +1,103 @@
+#include "sim/fidelity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qxmap {
+namespace {
+
+using sim::NoiseModel;
+
+TEST(Fidelity, EmptyCircuitIsPerfect) {
+  EXPECT_DOUBLE_EQ(sim::success_probability(Circuit(3)), 1.0);
+  EXPECT_DOUBLE_EQ(sim::log10_success(Circuit(3)), 0.0);
+}
+
+TEST(Fidelity, SingleGateMatchesModel) {
+  NoiseModel model;
+  model.single_qubit_error = 0.01;
+  Circuit c(1);
+  c.h(0);
+  EXPECT_NEAR(sim::success_probability(c, model), 0.99, 1e-12);
+}
+
+TEST(Fidelity, GatesCompose) {
+  NoiseModel model;
+  model.single_qubit_error = 0.01;
+  model.cnot_error = 0.05;
+  Circuit c(2);
+  c.h(0);
+  c.cnot(0, 1);
+  EXPECT_NEAR(sim::success_probability(c, model), 0.99 * 0.95, 1e-12);
+}
+
+TEST(Fidelity, BarriersAreFree) {
+  Circuit c(2);
+  c.append(Gate::barrier());
+  EXPECT_DOUBLE_EQ(sim::success_probability(c), 1.0);
+}
+
+TEST(Fidelity, MeasureUsesReadoutError) {
+  NoiseModel model;
+  model.readout_error = 0.1;
+  Circuit c(1);
+  c.append(Gate::measure(0));
+  EXPECT_NEAR(sim::success_probability(c, model), 0.9, 1e-12);
+}
+
+TEST(Fidelity, SwapChargedAsSevenGateDecomposition) {
+  NoiseModel model;
+  Circuit pseudo(2);
+  pseudo.swap(0, 1);
+  EXPECT_NEAR(sim::success_probability(pseudo, model),
+              sim::success_probability(pseudo.with_swaps_expanded(), model), 1e-12);
+}
+
+TEST(Fidelity, PerEdgeOverrides) {
+  NoiseModel model;
+  model.cnot_error = 0.02;
+  model.cnot_error_overrides[{1, 0}] = 0.10;
+  Circuit good(2);
+  good.cnot(0, 1);
+  Circuit bad(2);
+  bad.cnot(1, 0);
+  EXPECT_GT(sim::success_probability(good, model), sim::success_probability(bad, model));
+  EXPECT_NEAR(sim::success_probability(bad, model), 0.90, 1e-12);
+}
+
+TEST(Fidelity, FewerAddedGatesMeansHigherFidelity) {
+  // The paper's rationale for the pure gate-count metric.
+  Circuit cheap(2);
+  cheap.cnot(0, 1);
+  Circuit expensive(2);
+  expensive.cnot(0, 1);
+  expensive.h(0);
+  expensive.h(1);
+  expensive.cnot(0, 1);
+  expensive.h(0);
+  expensive.h(1);
+  EXPECT_GT(sim::fidelity_ratio(cheap, expensive), 1.0);
+}
+
+TEST(Fidelity, LogAndLinearAgree) {
+  Circuit c(3);
+  for (int i = 0; i < 10; ++i) {
+    c.h(i % 3);
+    c.cnot(i % 3, (i + 1) % 3);
+  }
+  EXPECT_NEAR(std::pow(10.0, sim::log10_success(c)), sim::success_probability(c), 1e-12);
+}
+
+TEST(Fidelity, InvalidErrorRatesRejected) {
+  NoiseModel model;
+  model.single_qubit_error = 1.0;
+  Circuit c(1);
+  c.h(0);
+  EXPECT_THROW(sim::log10_success(c, model), std::domain_error);
+  model.single_qubit_error = -0.1;
+  EXPECT_THROW(sim::log10_success(c, model), std::domain_error);
+}
+
+}  // namespace
+}  // namespace qxmap

@@ -1,0 +1,71 @@
+#include "ir/gate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qxmap {
+namespace {
+
+TEST(Gate, KindClassification) {
+  EXPECT_TRUE(is_single_qubit_kind(OpKind::H));
+  EXPECT_TRUE(is_single_qubit_kind(OpKind::U3));
+  EXPECT_FALSE(is_single_qubit_kind(OpKind::Cnot));
+  EXPECT_FALSE(is_single_qubit_kind(OpKind::Barrier));
+  EXPECT_TRUE(is_two_qubit_kind(OpKind::Cnot));
+  EXPECT_TRUE(is_two_qubit_kind(OpKind::Swap));
+  EXPECT_FALSE(is_two_qubit_kind(OpKind::X));
+}
+
+TEST(Gate, ParameterCounts) {
+  EXPECT_EQ(parameter_count(OpKind::H), 0);
+  EXPECT_EQ(parameter_count(OpKind::Rz), 1);
+  EXPECT_EQ(parameter_count(OpKind::U2), 2);
+  EXPECT_EQ(parameter_count(OpKind::U3), 3);
+}
+
+TEST(Gate, SingleFactoryValidates) {
+  EXPECT_NO_THROW(Gate::single(OpKind::H, 0));
+  EXPECT_NO_THROW(Gate::single(OpKind::Rz, 1, {0.5}));
+  EXPECT_THROW(Gate::single(OpKind::Cnot, 0), std::invalid_argument);
+  EXPECT_THROW(Gate::single(OpKind::H, -1), std::invalid_argument);
+  EXPECT_THROW(Gate::single(OpKind::Rz, 0), std::invalid_argument);       // missing param
+  EXPECT_THROW(Gate::single(OpKind::H, 0, {1.0}), std::invalid_argument); // extra param
+}
+
+TEST(Gate, CnotFactoryValidates) {
+  const Gate g = Gate::cnot(2, 0);
+  EXPECT_EQ(g.control, 2);
+  EXPECT_EQ(g.target, 0);
+  EXPECT_TRUE(g.is_cnot());
+  EXPECT_THROW(Gate::cnot(1, 1), std::invalid_argument);
+  EXPECT_THROW(Gate::cnot(-1, 0), std::invalid_argument);
+}
+
+TEST(Gate, SwapFactoryValidates) {
+  const Gate g = Gate::swap(1, 3);
+  EXPECT_TRUE(g.is_swap());
+  EXPECT_THROW(Gate::swap(2, 2), std::invalid_argument);
+}
+
+TEST(Gate, QubitsList) {
+  EXPECT_EQ(Gate::single(OpKind::T, 3).qubits(), (std::vector<int>{3}));
+  EXPECT_EQ(Gate::cnot(1, 4).qubits(), (std::vector<int>{1, 4}));
+  EXPECT_EQ(Gate::barrier().qubits(), (std::vector<int>{}));
+  EXPECT_EQ(Gate::measure(2).qubits(), (std::vector<int>{2}));
+}
+
+TEST(Gate, ToStringRendering) {
+  EXPECT_EQ(Gate::cnot(2, 0).to_string(), "cx q2, q0");
+  EXPECT_EQ(Gate::single(OpKind::H, 1).to_string(), "h q1");
+  EXPECT_EQ(Gate::barrier().to_string(), "barrier");
+  const Gate rz = Gate::single(OpKind::Rz, 0, {0.5});
+  EXPECT_EQ(rz.to_string(), "rz(0.500000) q0");
+}
+
+TEST(Gate, EqualityIncludesParams) {
+  EXPECT_EQ(Gate::single(OpKind::Rz, 0, {0.5}), Gate::single(OpKind::Rz, 0, {0.5}));
+  EXPECT_NE(Gate::single(OpKind::Rz, 0, {0.5}), Gate::single(OpKind::Rz, 0, {0.6}));
+  EXPECT_NE(Gate::cnot(0, 1), Gate::cnot(1, 0));
+}
+
+}  // namespace
+}  // namespace qxmap

@@ -1,0 +1,122 @@
+#include "common/gf2.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/permutation.hpp"
+#include "common/rng.hpp"
+
+namespace qxmap {
+namespace {
+
+TEST(Gf2Matrix, IdentityProperties) {
+  const auto id = Gf2Matrix::identity(5);
+  EXPECT_EQ(id.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_EQ(id.get(i, j), i == j);
+    }
+  }
+  EXPECT_TRUE(id.invertible());
+  EXPECT_EQ(id.rank(), 5u);
+  EXPECT_EQ(id.inverse(), id);
+}
+
+TEST(Gf2Matrix, SetGetRoundTrip) {
+  Gf2Matrix m(70);  // spans multiple 64-bit words per row
+  m.set(3, 65, true);
+  m.set(69, 0, true);
+  EXPECT_TRUE(m.get(3, 65));
+  EXPECT_TRUE(m.get(69, 0));
+  EXPECT_FALSE(m.get(3, 64));
+  m.set(3, 65, false);
+  EXPECT_FALSE(m.get(3, 65));
+}
+
+TEST(Gf2Matrix, OutOfRangeThrows) {
+  Gf2Matrix m(4);
+  EXPECT_THROW(m.get(4, 0), std::out_of_range);
+  EXPECT_THROW(m.set(0, 4, true), std::out_of_range);
+  EXPECT_THROW(m.xor_row(4, 0), std::out_of_range);
+}
+
+TEST(Gf2Matrix, XorRowIsCnotAction) {
+  auto m = Gf2Matrix::identity(3);
+  m.xor_row(2, 0);  // CNOT control 0 -> target 2
+  EXPECT_TRUE(m.get(2, 0));
+  EXPECT_TRUE(m.get(2, 2));
+  // Applying twice undoes it.
+  m.xor_row(2, 0);
+  EXPECT_EQ(m, Gf2Matrix::identity(3));
+}
+
+TEST(Gf2Matrix, SwapRows) {
+  auto m = Gf2Matrix::identity(3);
+  m.swap_rows(0, 2);
+  EXPECT_TRUE(m.get(0, 2));
+  EXPECT_TRUE(m.get(2, 0));
+  EXPECT_TRUE(m.get(1, 1));
+  EXPECT_FALSE(m.get(0, 0));
+}
+
+TEST(Gf2Matrix, MultiplyIdentityIsNoop) {
+  Rng rng(5);
+  Gf2Matrix m(6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      m.set(i, j, rng.next_bool(0.5));
+    }
+  }
+  EXPECT_EQ(m.multiply(Gf2Matrix::identity(6)), m);
+  EXPECT_EQ(Gf2Matrix::identity(6).multiply(m), m);
+}
+
+TEST(Gf2Matrix, FromPermutationMapsUnitVectors) {
+  const Permutation pi({2, 0, 1});
+  const auto m = Gf2Matrix::from_permutation(pi);
+  // Column i must be the unit vector e_{pi(i)}.
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t r = 0; r < 3; ++r) {
+      EXPECT_EQ(m.get(r, i), static_cast<int>(r) == pi.at(i));
+    }
+  }
+}
+
+TEST(Gf2Matrix, PermutationMatrixComposition) {
+  const Permutation a({1, 2, 0});
+  const Permutation b({2, 1, 0});
+  // Matrix of (a then b) = M_b * M_a.
+  const auto lhs = Gf2Matrix::from_permutation(a.then(b));
+  const auto rhs = Gf2Matrix::from_permutation(b).multiply(Gf2Matrix::from_permutation(a));
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(Gf2Matrix, SingularMatrixDetected) {
+  Gf2Matrix m(3);
+  m.set(0, 0, true);
+  m.set(1, 0, true);  // duplicate column structure, rank 1
+  EXPECT_EQ(m.rank(), 1u);
+  EXPECT_FALSE(m.invertible());
+  EXPECT_THROW(m.inverse(), std::domain_error);
+}
+
+TEST(Gf2Matrix, InverseOfRandomInvertible) {
+  Rng rng(99);
+  // Random invertible matrix via random row operations on the identity.
+  auto m = Gf2Matrix::identity(8);
+  for (int step = 0; step < 100; ++step) {
+    const auto a = static_cast<std::size_t>(rng.next_below(8));
+    const auto b = static_cast<std::size_t>(rng.next_below(8));
+    if (a != b) m.xor_row(a, b);
+  }
+  EXPECT_TRUE(m.invertible());
+  EXPECT_EQ(m.multiply(m.inverse()), Gf2Matrix::identity(8));
+  EXPECT_EQ(m.inverse().multiply(m), Gf2Matrix::identity(8));
+}
+
+TEST(Gf2Matrix, ToStringRendering) {
+  auto m = Gf2Matrix::identity(2);
+  EXPECT_EQ(m.to_string(), "10\n01\n");
+}
+
+}  // namespace
+}  // namespace qxmap

@@ -1,0 +1,119 @@
+#include "sim/linear_reversible.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace qxmap {
+namespace {
+
+TEST(LinearReversible, EmptyCircuitIsIdentity) {
+  EXPECT_EQ(sim::linear_map(Circuit(4)), Gf2Matrix::identity(4));
+}
+
+TEST(LinearReversible, SingleCnot) {
+  Circuit c(2);
+  c.cnot(0, 1);
+  const auto m = sim::linear_map(c);
+  // |x0 x1> -> |x0, x1^x0>: row 1 = e0 + e1.
+  EXPECT_TRUE(m.get(0, 0));
+  EXPECT_TRUE(m.get(1, 0));
+  EXPECT_TRUE(m.get(1, 1));
+  EXPECT_FALSE(m.get(0, 1));
+}
+
+TEST(LinearReversible, CnotTwiceCancels) {
+  Circuit c(3);
+  c.cnot(0, 2);
+  c.cnot(0, 2);
+  EXPECT_EQ(sim::linear_map(c), Gf2Matrix::identity(3));
+}
+
+TEST(LinearReversible, SwapIsRowSwap) {
+  Circuit c(3);
+  c.swap(0, 2);
+  const auto m = sim::linear_map(c);
+  EXPECT_TRUE(m.get(0, 2));
+  EXPECT_TRUE(m.get(2, 0));
+  EXPECT_TRUE(m.get(1, 1));
+}
+
+TEST(LinearReversible, SwapEqualsThreeCnots) {
+  Circuit a(2);
+  a.swap(0, 1);
+  Circuit b(2);
+  b.cnot(0, 1);
+  b.cnot(1, 0);
+  b.cnot(0, 1);
+  EXPECT_EQ(sim::linear_map(a), sim::linear_map(b));
+}
+
+TEST(LinearReversible, MapIsAlwaysInvertible) {
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    Circuit c(6);
+    for (int g = 0; g < 30; ++g) {
+      const int a = rng.next_int(0, 5);
+      int b = rng.next_int(0, 4);
+      if (b >= a) ++b;
+      c.cnot(a, b);
+    }
+    EXPECT_TRUE(sim::linear_map(c).invertible());
+  }
+}
+
+TEST(LinearReversible, NonLinearGateRejected) {
+  Circuit c(1);
+  c.h(0);
+  EXPECT_THROW(sim::linear_map(c), std::invalid_argument);
+}
+
+TEST(LinearReversible, BarrierIgnored) {
+  Circuit c(2);
+  c.cnot(0, 1);
+  c.append(Gate::barrier());
+  EXPECT_NO_THROW(sim::linear_map(c));
+}
+
+TEST(ImplementsSkeleton, IdentityLayoutExactCopy) {
+  Circuit orig(3);
+  orig.cnot(0, 1);
+  orig.cnot(1, 2);
+  const std::vector<int> layout{0, 1, 2};
+  EXPECT_TRUE(sim::implements_skeleton(orig, orig, layout, layout));
+}
+
+TEST(ImplementsSkeleton, RoutedWithSwapIsAccepted) {
+  // Original: CX(0,1), CX(0,2). Routed on a line 0-1-2 where 0 and 2 are not
+  // adjacent: CX(0,1); SWAP(1,2)... place logical {0,1,2} at {0,1,2};
+  // after CX(p0,p1) swap p1,p2 moves logical 1 to p2, then CX(p0,p1) acts on
+  // logical (0, 2).
+  Circuit orig(3);
+  orig.cnot(0, 1);
+  orig.cnot(0, 2);
+  Circuit routed(3);
+  routed.cnot(0, 1);
+  routed.swap(1, 2);
+  routed.cnot(0, 1);
+  EXPECT_TRUE(sim::implements_skeleton(orig, routed, {0, 1, 2}, {0, 2, 1}));
+  // Wrong final layout must fail.
+  EXPECT_FALSE(sim::implements_skeleton(orig, routed, {0, 1, 2}, {0, 1, 2}));
+}
+
+TEST(ImplementsSkeleton, WiderPhysicalRegister) {
+  Circuit orig(2);
+  orig.cnot(0, 1);
+  Circuit routed(5);
+  routed.cnot(3, 1);
+  EXPECT_TRUE(sim::implements_skeleton(orig, routed, {3, 1}, {3, 1}));
+  EXPECT_FALSE(sim::implements_skeleton(orig, routed, {1, 3}, {1, 3}));
+}
+
+TEST(ImplementsSkeleton, LayoutSizeValidated) {
+  Circuit orig(2);
+  orig.cnot(0, 1);
+  EXPECT_THROW(sim::implements_skeleton(orig, orig, {0}, {0, 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qxmap

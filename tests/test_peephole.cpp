@@ -1,0 +1,186 @@
+#include "opt/peephole.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/architectures.hpp"
+#include "bench_circuits/generators.hpp"
+#include "exact/exact_mapper.hpp"
+#include "exact/swap_synthesis.hpp"
+#include "sim/unitary.hpp"
+
+namespace qxmap {
+namespace {
+
+TEST(Peephole, CancelsAdjacentHadamards) {
+  Circuit c(1);
+  c.h(0);
+  c.h(0);
+  int cancelled = 0;
+  const Circuit out = opt::cancel_inverse_pairs(c, &cancelled);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(cancelled, 1);
+}
+
+TEST(Peephole, CancelsCnotPairs) {
+  Circuit c(2);
+  c.cnot(0, 1);
+  c.cnot(0, 1);
+  EXPECT_TRUE(opt::cancel_inverse_pairs(c).empty());
+  // Opposite orientation does not cancel.
+  Circuit d(2);
+  d.cnot(0, 1);
+  d.cnot(1, 0);
+  EXPECT_EQ(opt::cancel_inverse_pairs(d).size(), 2u);
+}
+
+TEST(Peephole, InterveningGateBlocksCancellation) {
+  Circuit c(2);
+  c.cnot(0, 1);
+  c.t(1);
+  c.cnot(0, 1);
+  EXPECT_EQ(opt::cancel_inverse_pairs(c).size(), 3u);
+}
+
+TEST(Peephole, SpectatorGateDoesNotBlock) {
+  Circuit c(3);
+  c.cnot(0, 1);
+  c.t(2);  // untouched qubit
+  c.cnot(0, 1);
+  EXPECT_EQ(opt::cancel_inverse_pairs(c).size(), 1u);
+}
+
+TEST(Peephole, BarrierBlocksCancellation) {
+  Circuit c(1);
+  c.h(0);
+  c.append(Gate::barrier());
+  c.h(0);
+  EXPECT_EQ(opt::cancel_inverse_pairs(c).size(), 3u);
+}
+
+TEST(Peephole, SAndSdgCancel) {
+  Circuit c(1);
+  c.s(0);
+  c.sdg(0);
+  EXPECT_TRUE(opt::cancel_inverse_pairs(c).empty());
+}
+
+TEST(Peephole, OppositeRotationsCancel) {
+  Circuit c(1);
+  c.append(Gate::single(OpKind::Rz, 0, {0.7}));
+  c.append(Gate::single(OpKind::Rz, 0, {-0.7}));
+  EXPECT_TRUE(opt::cancel_inverse_pairs(c).empty());
+}
+
+TEST(Peephole, CascadingCancellation) {
+  // H X X H collapses completely once the fixpoint loop reruns the pass.
+  Circuit c(1);
+  c.h(0);
+  c.x(0);
+  c.x(0);
+  c.h(0);
+  const Circuit out = opt::optimize(c);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Peephole, MergesDiagonalRuns) {
+  Circuit c(1);
+  c.t(0);
+  c.t(0);
+  int merged = 0;
+  const Circuit out = opt::merge_diagonal_runs(c, &merged);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.gate(0).kind, OpKind::S);  // T·T = S
+  EXPECT_EQ(merged, 1);
+}
+
+TEST(Peephole, MergedPhasesCanVanish) {
+  Circuit c(1);
+  c.s(0);
+  c.s(0);
+  c.z(0);  // S·S·Z = Z·Z = I
+  EXPECT_TRUE(opt::merge_diagonal_runs(c).empty());
+}
+
+TEST(Peephole, DiagonalMergePreservesUnitary) {
+  Circuit c(2);
+  c.t(0);
+  c.z(0);
+  c.append(Gate::single(OpKind::Rz, 0, {0.3}));
+  c.cnot(0, 1);
+  c.sdg(1);
+  c.tdg(1);
+  EXPECT_TRUE(sim::same_unitary(c, opt::merge_diagonal_runs(c)));
+}
+
+TEST(Peephole, SimplifiesReversedCnotSandwich) {
+  Circuit c(2);
+  c.h(0);
+  c.h(1);
+  c.cnot(0, 1);
+  c.h(0);
+  c.h(1);
+  int rewritten = 0;
+  const Circuit out = opt::simplify_reversed_cnots(c, std::nullopt, &rewritten);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.gate(0), Gate::cnot(1, 0));
+  EXPECT_EQ(rewritten, 1);
+  EXPECT_TRUE(sim::same_unitary(c, out));
+}
+
+TEST(Peephole, DirectionSimplificationRespectsCoupling) {
+  // On QX4 only (1,0) is allowed; rewriting the sandwich around CX(0,1)
+  // into CX(1,0) is legal, but the opposite rewrite must be suppressed.
+  Circuit sandwich(5);
+  sandwich.h(0);
+  sandwich.h(1);
+  sandwich.cnot(0, 1);
+  sandwich.h(0);
+  sandwich.h(1);
+  const Circuit out = opt::simplify_reversed_cnots(sandwich, arch::ibm_qx4(), nullptr);
+  ASSERT_EQ(out.size(), 1u);
+
+  Circuit blocked(5);
+  blocked.h(0);
+  blocked.h(1);
+  blocked.cnot(1, 0);  // rewriting would produce illegal CX(0,1)
+  blocked.h(0);
+  blocked.h(1);
+  EXPECT_EQ(opt::simplify_reversed_cnots(blocked, arch::ibm_qx4(), nullptr).size(), 5u);
+}
+
+TEST(Peephole, OptimizeIsIdempotent) {
+  const Circuit c = bench::random_circuit(4, 20, 10, 5, "idem");
+  const Circuit once = opt::optimize(c);
+  const Circuit twice = opt::optimize(once);
+  EXPECT_EQ(once, twice);
+}
+
+class PeepholeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PeepholeProperty, PreservesUnitaryOnRandomCircuits) {
+  const Circuit c = bench::random_circuit(4, 25, 12, GetParam(), "prop");
+  opt::PeepholeStats stats;
+  const Circuit out = opt::optimize(c, std::nullopt, &stats);
+  EXPECT_LE(out.size(), c.size());
+  EXPECT_TRUE(sim::same_unitary(c, out));
+  EXPECT_EQ(static_cast<int>(c.size() - out.size()), stats.gates_removed());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PeepholeProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(Peephole, MappedCircuitStaysExecutable) {
+  const auto cm = arch::ibm_qx4();
+  const Circuit c = bench::random_circuit(4, 6, 8, 42, "mapped");
+  exact::ExactOptions eopt;
+  eopt.budget = std::chrono::milliseconds(30000);
+  const auto res = exact::map_exact(c, cm, eopt);
+  ASSERT_EQ(res.status, reason::Status::Optimal);
+  const Circuit optimized = opt::optimize(res.mapped, cm);
+  EXPECT_LE(optimized.size(), res.mapped.size());
+  EXPECT_TRUE(exact::satisfies_coupling(optimized, cm));
+  EXPECT_TRUE(sim::same_unitary(res.mapped, optimized));
+}
+
+}  // namespace
+}  // namespace qxmap

@@ -1,0 +1,126 @@
+#include "common/permutation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace qxmap {
+namespace {
+
+TEST(Permutation, IdentityConstruction) {
+  const Permutation p(4);
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_TRUE(p.is_identity());
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(p(i), i);
+}
+
+TEST(Permutation, ExplicitConstructionValidates) {
+  EXPECT_NO_THROW(Permutation({2, 0, 1}));
+  EXPECT_THROW(Permutation({0, 0, 1}), std::invalid_argument);
+  EXPECT_THROW(Permutation({0, 3, 1}), std::invalid_argument);
+  EXPECT_THROW(Permutation({0, -1, 1}), std::invalid_argument);
+}
+
+TEST(Permutation, CompositionOrder) {
+  // a: 0->1->2->0 cycle; b: swap 0 and 1.
+  const Permutation a({1, 2, 0});
+  const Permutation b({1, 0, 2});
+  const Permutation ab = a.then(b);  // apply a first, then b
+  EXPECT_EQ(ab(0), 0);  // a: 0->1, b: 1->0
+  EXPECT_EQ(ab(1), 2);  // a: 1->2, b: 2->2
+  EXPECT_EQ(ab(2), 1);  // a: 2->0, b: 0->1
+}
+
+TEST(Permutation, InverseRoundTrip) {
+  const Permutation p({3, 1, 4, 0, 2});
+  EXPECT_TRUE(p.then(p.inverse()).is_identity());
+  EXPECT_TRUE(p.inverse().then(p).is_identity());
+}
+
+TEST(Permutation, WithTranspositionActsOnTargets) {
+  // Identity, then swap the states at positions 1 and 2.
+  const Permutation id(3);
+  const Permutation t = id.with_transposition(1, 2);
+  EXPECT_EQ(t(0), 0);
+  EXPECT_EQ(t(1), 2);
+  EXPECT_EQ(t(2), 1);
+  // Applying the same transposition twice restores the identity.
+  EXPECT_TRUE(t.with_transposition(1, 2).is_identity());
+}
+
+TEST(Permutation, WithTranspositionComposesAfter) {
+  const Permutation p({1, 2, 0});  // 0->1, 1->2, 2->0
+  const Permutation q = p.with_transposition(0, 1);
+  // Token from 0 went to 1; swapping positions 0,1 moves it to 0.
+  EXPECT_EQ(q(0), 0);
+  EXPECT_EQ(q(1), 2);
+  EXPECT_EQ(q(2), 1);
+}
+
+TEST(Permutation, RankUnrankRoundTrip) {
+  for (std::size_t m = 1; m <= 5; ++m) {
+    const auto all = Permutation::all(m);
+    EXPECT_EQ(all.size(), Permutation::factorial(m));
+    std::set<std::uint64_t> ranks;
+    for (const auto& p : all) {
+      const auto r = p.rank();
+      EXPECT_LT(r, Permutation::factorial(m));
+      EXPECT_TRUE(ranks.insert(r).second) << "duplicate rank " << r;
+      EXPECT_EQ(Permutation::from_rank(m, r), p);
+    }
+  }
+}
+
+TEST(Permutation, AllIsSortedByRank) {
+  const auto all = Permutation::all(4);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].rank(), i);
+  }
+}
+
+TEST(Permutation, FactorialValues) {
+  EXPECT_EQ(Permutation::factorial(0), 1u);
+  EXPECT_EQ(Permutation::factorial(1), 1u);
+  EXPECT_EQ(Permutation::factorial(5), 120u);
+  EXPECT_EQ(Permutation::factorial(20), 2432902008176640000ULL);
+  EXPECT_THROW(Permutation::factorial(21), std::out_of_range);
+}
+
+TEST(Permutation, NontrivialCycles) {
+  const Permutation p({1, 0, 2, 4, 3});
+  const auto cycles = p.nontrivial_cycles();
+  ASSERT_EQ(cycles.size(), 2u);
+  EXPECT_EQ(cycles[0], (std::vector<int>{0, 1}));
+  EXPECT_EQ(cycles[1], (std::vector<int>{3, 4}));
+}
+
+TEST(Permutation, MinTranspositions) {
+  EXPECT_EQ(Permutation(4).min_transpositions(), 0);
+  EXPECT_EQ(Permutation({1, 0, 2}).min_transpositions(), 1);
+  EXPECT_EQ(Permutation({1, 2, 0}).min_transpositions(), 2);
+  EXPECT_EQ(Permutation({1, 0, 3, 2}).min_transpositions(), 2);
+}
+
+TEST(Permutation, ToString) {
+  EXPECT_EQ(Permutation({2, 0, 1}).to_string(), "[2 0 1]");
+}
+
+class PermutationGroupProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PermutationGroupProperty, InverseDistributesOverComposition) {
+  const std::size_t m = GetParam();
+  const auto all = Permutation::all(m);
+  // (a.then(b))^-1 == b^-1.then(a^-1) for a sample of pairs.
+  for (std::size_t i = 0; i < all.size(); i += 7) {
+    for (std::size_t j = 0; j < all.size(); j += 11) {
+      const auto lhs = all[i].then(all[j]).inverse();
+      const auto rhs = all[j].inverse().then(all[i].inverse());
+      EXPECT_EQ(lhs, rhs);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallGroups, PermutationGroupProperty, ::testing::Values(2u, 3u, 4u));
+
+}  // namespace
+}  // namespace qxmap

@@ -1,0 +1,134 @@
+#include "qasm/lexer.hpp"
+#include "qasm/parser.hpp"
+#include "qasm/writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace qxmap {
+namespace {
+
+TEST(QasmLexer, RejectsGarbage) {
+  EXPECT_THROW(qasm::parse("qreg q[2]; @"), qasm::LexError);
+  EXPECT_THROW(qasm::parse("qreg q[2]; \"unterminated"), qasm::LexError);
+}
+
+TEST(QasmParser, MinimalProgram) {
+  const Circuit c = qasm::parse(R"(
+    OPENQASM 2.0;
+    include "qelib1.inc";
+    qreg q[3];
+    creg c[3];
+    h q[0];
+    cx q[0], q[1];
+    t q[2];
+  )");
+  EXPECT_EQ(c.num_qubits(), 3);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.gate(0), Gate::single(OpKind::H, 0));
+  EXPECT_EQ(c.gate(1), Gate::cnot(0, 1));
+  EXPECT_EQ(c.gate(2), Gate::single(OpKind::T, 2));
+}
+
+TEST(QasmParser, HeaderIsOptional) {
+  const Circuit c = qasm::parse("qreg q[1]; x q[0];");
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(QasmParser, MultipleQregsAreFlattened) {
+  const Circuit c = qasm::parse("qreg a[2]; qreg b[2]; cx a[1], b[0];");
+  EXPECT_EQ(c.num_qubits(), 4);
+  EXPECT_EQ(c.gate(0), Gate::cnot(1, 2));
+}
+
+TEST(QasmParser, ParameterExpressions) {
+  const Circuit c = qasm::parse("qreg q[1]; rz(pi/2) q[0]; u3(pi, -pi/4, 2*0.5) q[0];");
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_DOUBLE_EQ(c.gate(0).params[0], std::numbers::pi / 2);
+  EXPECT_DOUBLE_EQ(c.gate(1).params[0], std::numbers::pi);
+  EXPECT_DOUBLE_EQ(c.gate(1).params[1], -std::numbers::pi / 4);
+  EXPECT_DOUBLE_EQ(c.gate(1).params[2], 1.0);
+}
+
+TEST(QasmParser, ExponentOperator) {
+  const Circuit c = qasm::parse("qreg q[1]; rz(2^3) q[0];");
+  EXPECT_DOUBLE_EQ(c.gate(0).params[0], 8.0);
+}
+
+TEST(QasmParser, MeasureAndBarrier) {
+  const Circuit c = qasm::parse(R"(
+    qreg q[2]; creg c[2];
+    barrier q;
+    measure q[1] -> c[1];
+  )");
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.gate(0).kind, OpKind::Barrier);
+  EXPECT_EQ(c.gate(1), Gate::measure(1));
+}
+
+TEST(QasmParser, CcxDecomposesToCliffordT) {
+  const Circuit c = qasm::parse("qreg q[3]; ccx q[0], q[1], q[2];");
+  const auto counts = c.counts();
+  EXPECT_EQ(counts.cnot, 6);
+  EXPECT_EQ(counts.single_qubit, 9);  // 2 H + 4 T + 3 Tdg
+}
+
+TEST(QasmParser, SwapGate) {
+  const Circuit c = qasm::parse("qreg q[2]; swap q[0], q[1];");
+  EXPECT_EQ(c.gate(0), Gate::swap(0, 1));
+}
+
+TEST(QasmParser, Errors) {
+  EXPECT_THROW(qasm::parse("qreg q[2]; cx q[0], q[2];"), qasm::ParseError);  // out of range
+  EXPECT_THROW(qasm::parse("qreg q[2]; cx q[0];"), qasm::ParseError);        // arity
+  EXPECT_THROW(qasm::parse("qreg q[2]; zz q[0];"), qasm::ParseError);        // unknown gate
+  EXPECT_THROW(qasm::parse("cx q[0], q[1];"), qasm::ParseError);             // undeclared qreg
+  EXPECT_THROW(qasm::parse("qreg q[0];"), qasm::ParseError);                 // empty register
+  EXPECT_THROW(qasm::parse("qreg q[2]; qreg q[2];"), qasm::ParseError);      // duplicate
+  EXPECT_THROW(qasm::parse("qreg q[1]; gate g a { x a; }"), qasm::ParseError);
+  EXPECT_THROW(qasm::parse("qreg q[1]; measure q[0] -> c[0];"), qasm::ParseError);
+}
+
+TEST(QasmWriter, RoundTrip) {
+  Circuit c(3, "rt");
+  c.h(0);
+  c.cnot(2, 1);
+  c.append(Gate::single(OpKind::Rz, 0, {0.25}));
+  c.swap(0, 2);
+  const std::string text = qasm::write(c);
+  const Circuit back = qasm::parse(text);
+  ASSERT_EQ(back.size(), c.size());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_EQ(back.gate(i).kind, c.gate(i).kind);
+    EXPECT_EQ(back.gate(i).target, c.gate(i).target);
+    EXPECT_EQ(back.gate(i).control, c.gate(i).control);
+    for (std::size_t p = 0; p < c.gate(i).params.size(); ++p) {
+      EXPECT_NEAR(back.gate(i).params[p], c.gate(i).params[p], 1e-9);
+    }
+  }
+}
+
+TEST(QasmWriter, ExpandSwapsOption) {
+  Circuit c(2);
+  c.swap(0, 1);
+  qasm::WriterOptions opt;
+  opt.expand_swaps = true;
+  const Circuit back = qasm::parse(qasm::write(c, opt));
+  EXPECT_EQ(back.counts().swap, 0);
+  EXPECT_EQ(back.counts().cnot, 3);
+  EXPECT_EQ(back.counts().single_qubit, 4);
+}
+
+TEST(QasmWriter, MeasureAllOption) {
+  Circuit c(2);
+  c.h(0);
+  qasm::WriterOptions opt;
+  opt.emit_measure_all = true;
+  const Circuit back = qasm::parse(qasm::write(c, opt));
+  EXPECT_EQ(back.size(), 3u);  // h + 2 measures
+}
+
+}  // namespace
+}  // namespace qxmap

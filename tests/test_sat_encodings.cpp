@@ -1,0 +1,161 @@
+#include "sat/encodings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qxmap {
+namespace {
+
+using sat::Lit;
+using sat::neg;
+using sat::pos;
+using sat::Solver;
+using sat::SolveResult;
+
+/// Enumerates all models of the current formula over the first `n` vars by
+/// blocking; returns the set of assignments as bitmasks.
+std::vector<std::uint32_t> all_models(Solver& s, int n) {
+  std::vector<std::uint32_t> models;
+  while (s.solve() == SolveResult::Satisfiable) {
+    std::uint32_t mask = 0;
+    std::vector<Lit> block;
+    for (sat::Var v = 0; v < n; ++v) {
+      if (s.model_value(v)) mask |= 1u << v;
+      block.push_back(s.model_value(v) ? neg(v) : pos(v));
+    }
+    models.push_back(mask);
+    s.add_clause(block);
+    if (models.size() > 4096) break;
+  }
+  return models;
+}
+
+int popcount_in(std::uint32_t mask, int n) {
+  int c = 0;
+  for (int i = 0; i < n; ++i) {
+    if ((mask >> i) & 1u) ++c;
+  }
+  return c;
+}
+
+class AmoSize : public ::testing::TestWithParam<int> {};
+
+TEST_P(AmoSize, AtMostOneAllowsExactlyNPlusOneModels) {
+  const int n = GetParam();
+  Solver s;
+  std::vector<Lit> lits;
+  for (int i = 0; i < n; ++i) lits.push_back(pos(s.new_var()));
+  sat::add_at_most_one(s, lits);
+  const auto models = all_models(s, n);
+  // Empty assignment + n singletons.
+  EXPECT_EQ(models.size(), static_cast<std::size_t>(n) + 1);
+  for (const auto mask : models) EXPECT_LE(popcount_in(mask, n), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallAndLadder, AmoSize, ::testing::Values(1, 2, 3, 6, 7, 10, 15));
+
+class ExactlyOneSize : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExactlyOneSize, ExactlyOneAllowsExactlyNModels) {
+  const int n = GetParam();
+  Solver s;
+  std::vector<Lit> lits;
+  for (int i = 0; i < n; ++i) lits.push_back(pos(s.new_var()));
+  sat::add_exactly_one(s, lits);
+  const auto models = all_models(s, n);
+  EXPECT_EQ(models.size(), static_cast<std::size_t>(n));
+  for (const auto mask : models) EXPECT_EQ(popcount_in(mask, n), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallAndLadder, ExactlyOneSize, ::testing::Values(1, 2, 5, 8, 12));
+
+TEST(Encodings, MakeAndTruthTable) {
+  for (int av = 0; av <= 1; ++av) {
+    for (int bv = 0; bv <= 1; ++bv) {
+      Solver s;
+      const auto a = s.new_var();
+      const auto b = s.new_var();
+      const Lit t = sat::make_and(s, pos(a), pos(b));
+      s.add_clause(av ? pos(a) : neg(a));
+      s.add_clause(bv ? pos(b) : neg(b));
+      ASSERT_EQ(s.solve(), SolveResult::Satisfiable);
+      EXPECT_EQ(s.model_value(t), av == 1 && bv == 1);
+    }
+  }
+}
+
+TEST(Encodings, MakeOrTruthTable) {
+  for (std::uint32_t mask = 0; mask < 8; ++mask) {
+    Solver s;
+    std::vector<Lit> lits;
+    for (int i = 0; i < 3; ++i) lits.push_back(pos(s.new_var()));
+    const Lit t = sat::make_or(s, lits);
+    for (int i = 0; i < 3; ++i) {
+      s.add_clause(((mask >> i) & 1u) ? lits[static_cast<std::size_t>(i)]
+                                      : ~lits[static_cast<std::size_t>(i)]);
+    }
+    ASSERT_EQ(s.solve(), SolveResult::Satisfiable);
+    EXPECT_EQ(s.model_value(t), mask != 0);
+  }
+}
+
+TEST(Encodings, MakeOrEmptyIsFalse) {
+  Solver s;
+  const Lit t = sat::make_or(s, {});
+  ASSERT_EQ(s.solve(), SolveResult::Satisfiable);
+  EXPECT_FALSE(s.model_value(t));
+}
+
+TEST(Encodings, MakeEqualTruthTable) {
+  for (int av = 0; av <= 1; ++av) {
+    for (int bv = 0; bv <= 1; ++bv) {
+      Solver s;
+      const auto a = s.new_var();
+      const auto b = s.new_var();
+      const Lit t = sat::make_equal(s, pos(a), pos(b));
+      s.add_clause(av ? pos(a) : neg(a));
+      s.add_clause(bv ? pos(b) : neg(b));
+      ASSERT_EQ(s.solve(), SolveResult::Satisfiable);
+      EXPECT_EQ(s.model_value(t), av == bv);
+    }
+  }
+}
+
+TEST(Encodings, AddEqualForcesEquality) {
+  Solver s;
+  const auto a = s.new_var();
+  const auto b = s.new_var();
+  sat::add_equal(s, pos(a), pos(b));
+  s.add_clause(pos(a));
+  ASSERT_EQ(s.solve(), SolveResult::Satisfiable);
+  EXPECT_TRUE(s.model_value(b));
+  s.add_clause(neg(b));
+  EXPECT_EQ(s.solve(), SolveResult::Unsatisfiable);
+}
+
+TEST(Encodings, ImpliesEqualOnlyBindsWhenAntecedentHolds) {
+  Solver s;
+  const auto sel = s.new_var();
+  const auto a = s.new_var();
+  const auto b = s.new_var();
+  sat::add_implies_equal(s, pos(sel), pos(a), pos(b));
+  // With sel false, a and b are free: a=1, b=0 must be satisfiable.
+  s.add_clause(neg(sel));
+  s.add_clause(pos(a));
+  s.add_clause(neg(b));
+  EXPECT_EQ(s.solve(), SolveResult::Satisfiable);
+}
+
+TEST(Encodings, ImpliesEqualBindsWhenAntecedentTrue) {
+  Solver s;
+  const auto sel = s.new_var();
+  const auto a = s.new_var();
+  const auto b = s.new_var();
+  sat::add_implies_equal(s, pos(sel), pos(a), pos(b));
+  s.add_clause(pos(sel));
+  s.add_clause(pos(a));
+  s.add_clause(neg(b));
+  EXPECT_EQ(s.solve(), SolveResult::Unsatisfiable);
+}
+
+}  // namespace
+}  // namespace qxmap

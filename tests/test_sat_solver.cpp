@@ -1,0 +1,222 @@
+#include "sat/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace qxmap {
+namespace {
+
+using sat::Lit;
+using sat::neg;
+using sat::pos;
+using sat::Solver;
+using sat::SolveResult;
+
+TEST(SatSolver, EmptyFormulaIsSat) {
+  Solver s;
+  EXPECT_EQ(s.solve(), SolveResult::Satisfiable);
+}
+
+TEST(SatSolver, SingleUnit) {
+  Solver s;
+  const auto v = s.new_var();
+  s.add_clause(pos(v));
+  EXPECT_EQ(s.solve(), SolveResult::Satisfiable);
+  EXPECT_TRUE(s.model_value(v));
+}
+
+TEST(SatSolver, ConflictingUnitsUnsat) {
+  Solver s;
+  const auto v = s.new_var();
+  EXPECT_TRUE(s.add_clause(pos(v)));
+  EXPECT_FALSE(s.add_clause(neg(v)));
+  EXPECT_EQ(s.solve(), SolveResult::Unsatisfiable);
+  EXPECT_TRUE(s.proven_unsat());
+}
+
+TEST(SatSolver, TautologyDropped) {
+  Solver s;
+  const auto v = s.new_var();
+  EXPECT_TRUE(s.add_clause(std::vector<Lit>{pos(v), neg(v)}));
+  EXPECT_EQ(s.solve(), SolveResult::Satisfiable);
+}
+
+TEST(SatSolver, DuplicateLiteralsMerged) {
+  Solver s;
+  const auto v = s.new_var();
+  s.add_clause(std::vector<Lit>{pos(v), pos(v), pos(v)});
+  EXPECT_EQ(s.solve(), SolveResult::Satisfiable);
+  EXPECT_TRUE(s.model_value(v));
+}
+
+TEST(SatSolver, ImplicationChainPropagates) {
+  Solver s;
+  std::vector<sat::Var> vars;
+  for (int i = 0; i < 50; ++i) vars.push_back(s.new_var());
+  for (int i = 0; i + 1 < 50; ++i) s.add_clause(neg(vars[static_cast<std::size_t>(i)]), pos(vars[static_cast<std::size_t>(i + 1)]));
+  s.add_clause(pos(vars[0]));
+  EXPECT_EQ(s.solve(), SolveResult::Satisfiable);
+  for (const auto v : vars) EXPECT_TRUE(s.model_value(v));
+}
+
+TEST(SatSolver, XorChainUnsat) {
+  // x1 xor x2 = 1, x2 xor x3 = 1, x3 xor x1 = 1 is unsatisfiable (odd cycle).
+  Solver s;
+  const auto a = s.new_var();
+  const auto b = s.new_var();
+  const auto c = s.new_var();
+  const auto add_xor_true = [&](sat::Var u, sat::Var v) {
+    s.add_clause(pos(u), pos(v));
+    s.add_clause(neg(u), neg(v));
+  };
+  add_xor_true(a, b);
+  add_xor_true(b, c);
+  add_xor_true(c, a);
+  EXPECT_EQ(s.solve(), SolveResult::Unsatisfiable);
+}
+
+/// Pigeonhole principle PHP(n+1, n): n+1 pigeons into n holes — classic
+/// resolution-hard UNSAT family that exercises clause learning.
+void build_php(Solver& s, int pigeons, int holes) {
+  std::vector<std::vector<sat::Var>> x(static_cast<std::size_t>(pigeons));
+  for (auto& row : x) {
+    for (int h = 0; h < holes; ++h) row.push_back(s.new_var());
+  }
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> clause;
+    for (int h = 0; h < holes; ++h) clause.push_back(pos(x[static_cast<std::size_t>(p)][static_cast<std::size_t>(h)]));
+    s.add_clause(clause);
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        s.add_clause(neg(x[static_cast<std::size_t>(p1)][static_cast<std::size_t>(h)]),
+                     neg(x[static_cast<std::size_t>(p2)][static_cast<std::size_t>(h)]));
+      }
+    }
+  }
+}
+
+TEST(SatSolver, PigeonholeUnsat) {
+  for (int holes = 2; holes <= 6; ++holes) {
+    Solver s;
+    build_php(s, holes + 1, holes);
+    EXPECT_EQ(s.solve(), SolveResult::Unsatisfiable) << "PHP(" << holes + 1 << "," << holes << ")";
+  }
+}
+
+TEST(SatSolver, PigeonholeExactFitSat) {
+  Solver s;
+  build_php(s, 5, 5);
+  EXPECT_EQ(s.solve(), SolveResult::Satisfiable);
+}
+
+/// Brute-force satisfiability of a clause list over `n` vars.
+bool brute_force_sat(int n, const std::vector<std::vector<Lit>>& clauses) {
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    bool all = true;
+    for (const auto& cl : clauses) {
+      bool any = false;
+      for (const Lit l : cl) {
+        const bool val = ((mask >> l.var()) & 1u) != 0;
+        if (val != l.negative()) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+class RandomThreeSat : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomThreeSat, AgreesWithBruteForce) {
+  Rng rng(GetParam());
+  const int n = 12;
+  // Near the phase transition (ratio ~4.3) both outcomes occur.
+  const int num_clauses = 51;
+  std::vector<std::vector<Lit>> clauses;
+  for (int c = 0; c < num_clauses; ++c) {
+    std::vector<Lit> cl;
+    for (int k = 0; k < 3; ++k) {
+      cl.push_back(Lit(static_cast<sat::Var>(rng.next_below(n)), rng.next_bool(0.5)));
+    }
+    clauses.push_back(std::move(cl));
+  }
+  Solver s;
+  for (int i = 0; i < n; ++i) s.new_var();
+  bool trivially_unsat = false;
+  for (const auto& cl : clauses) {
+    if (!s.add_clause(cl)) trivially_unsat = true;
+  }
+  const bool expected = brute_force_sat(n, clauses);
+  if (trivially_unsat) {
+    EXPECT_FALSE(expected);
+    return;
+  }
+  const SolveResult r = s.solve();
+  EXPECT_EQ(r == SolveResult::Satisfiable, expected);
+  if (r == SolveResult::Satisfiable) {
+    // The model must actually satisfy every clause.
+    for (const auto& cl : clauses) {
+      bool any = false;
+      for (const Lit l : cl) {
+        if (s.model_value(l)) any = true;
+      }
+      EXPECT_TRUE(any);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomThreeSat,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 10u, 11u, 12u,
+                                           13u, 14u, 15u, 16u, 17u, 18u, 19u, 20u));
+
+TEST(SatSolver, IncrementalStrengthening) {
+  // Solve, then add clauses and solve again (the optimiser's usage pattern).
+  Solver s;
+  std::vector<sat::Var> v;
+  for (int i = 0; i < 4; ++i) v.push_back(s.new_var());
+  s.add_clause(std::vector<Lit>{pos(v[0]), pos(v[1]), pos(v[2]), pos(v[3])});
+  int models = 0;
+  while (s.solve() == SolveResult::Satisfiable) {
+    ++models;
+    ASSERT_LE(models, 20);
+    // Block the found model.
+    std::vector<Lit> block;
+    for (const auto var : v) block.push_back(s.model_value(var) ? neg(var) : pos(var));
+    s.add_clause(block);
+  }
+  EXPECT_EQ(models, 15);  // 2^4 - 1 assignments satisfy the initial clause
+}
+
+TEST(SatSolver, InterruptReturnsUnknown) {
+  Solver s;
+  build_php(s, 11, 10);  // hard enough not to finish instantly
+  const auto r = s.solve([] { return true; });
+  EXPECT_EQ(r, SolveResult::Unknown);
+}
+
+TEST(SatSolver, StatsAccumulate) {
+  Solver s;
+  build_php(s, 6, 5);
+  s.solve();
+  EXPECT_GT(s.stats().conflicts, 0u);
+  EXPECT_GT(s.stats().decisions, 0u);
+  EXPECT_GT(s.stats().propagations, 0u);
+}
+
+TEST(SatSolver, UnknownVariableRejected) {
+  Solver s;
+  EXPECT_THROW(s.add_clause(pos(3)), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace qxmap

@@ -1,0 +1,127 @@
+#include "sim/statevector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qxmap {
+namespace {
+
+using sim::Statevector;
+
+TEST(Statevector, InitialState) {
+  const Statevector sv(3);
+  EXPECT_EQ(sv.num_qubits(), 3);
+  EXPECT_EQ(sv.dimension(), 8u);
+  EXPECT_NEAR(std::abs(sv.amplitude(0)), 1.0, 1e-12);
+  for (std::uint64_t i = 1; i < 8; ++i) EXPECT_NEAR(std::abs(sv.amplitude(i)), 0.0, 1e-12);
+}
+
+TEST(Statevector, BasisState) {
+  const auto sv = Statevector::basis(3, 5);
+  EXPECT_NEAR(std::abs(sv.amplitude(5)), 1.0, 1e-12);
+  EXPECT_THROW(Statevector::basis(2, 4), std::out_of_range);
+}
+
+TEST(Statevector, XFlipsBit) {
+  Statevector sv(2);
+  sv.apply(Gate::single(OpKind::X, 1));
+  EXPECT_NEAR(std::abs(sv.amplitude(0b10)), 1.0, 1e-12);
+}
+
+TEST(Statevector, HCreatesUniform) {
+  Statevector sv(1);
+  sv.apply(Gate::single(OpKind::H, 0));
+  EXPECT_NEAR(std::abs(sv.amplitude(0)), 1 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(std::abs(sv.amplitude(1)), 1 / std::sqrt(2.0), 1e-12);
+  // H is an involution.
+  sv.apply(Gate::single(OpKind::H, 0));
+  EXPECT_NEAR(std::abs(sv.amplitude(0)), 1.0, 1e-12);
+}
+
+TEST(Statevector, CnotOnBasisStates) {
+  for (std::uint64_t input = 0; input < 4; ++input) {
+    Statevector sv = Statevector::basis(2, input);
+    sv.apply(Gate::cnot(0, 1));  // control bit 0, target bit 1
+    const std::uint64_t expected = (input & 1u) ? input ^ 2u : input;
+    EXPECT_NEAR(std::abs(sv.amplitude(expected)), 1.0, 1e-12) << input;
+  }
+}
+
+TEST(Statevector, SwapGate) {
+  Statevector sv = Statevector::basis(2, 0b01);
+  sv.apply(Gate::swap(0, 1));
+  EXPECT_NEAR(std::abs(sv.amplitude(0b10)), 1.0, 1e-12);
+}
+
+TEST(Statevector, BellState) {
+  Statevector sv(2);
+  sv.apply(Gate::single(OpKind::H, 0));
+  sv.apply(Gate::cnot(0, 1));
+  EXPECT_NEAR(std::abs(sv.amplitude(0b00)), 1 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(std::abs(sv.amplitude(0b11)), 1 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(std::abs(sv.amplitude(0b01)), 0.0, 1e-12);
+}
+
+TEST(Statevector, TAndSdgPhases) {
+  Statevector sv = Statevector::basis(1, 1);
+  sv.apply(Gate::single(OpKind::T, 0));
+  sv.apply(Gate::single(OpKind::T, 0));
+  sv.apply(Gate::single(OpKind::Sdg, 0));
+  // T^2 = S; S * Sdg = I.
+  EXPECT_NEAR(sv.amplitude(1).real(), 1.0, 1e-12);
+  EXPECT_NEAR(sv.amplitude(1).imag(), 0.0, 1e-12);
+}
+
+TEST(Statevector, RotationsMatchU) {
+  // U2(phi, lambda) == Rz(phi) Ry(pi/2) Rz(lambda) up to global phase:
+  // check on both basis states via overlap.
+  Circuit a(1);
+  a.append(Gate::single(OpKind::U2, 0, {0.3, 1.1}));
+  Circuit b(1);
+  b.append(Gate::single(OpKind::Rz, 0, {1.1}));
+  b.append(Gate::single(OpKind::Ry, 0, {std::numbers::pi / 2}));
+  b.append(Gate::single(OpKind::Rz, 0, {0.3}));
+  for (std::uint64_t input = 0; input < 2; ++input) {
+    Statevector sa = Statevector::basis(1, input);
+    sa.apply_circuit(a);
+    Statevector sb = Statevector::basis(1, input);
+    sb.apply_circuit(b);
+    EXPECT_NEAR(sa.overlap_magnitude(sb), 1.0, 1e-9);
+  }
+}
+
+TEST(Statevector, NormPreserved) {
+  Statevector sv(4);
+  Circuit c(4);
+  c.h(0);
+  c.cnot(0, 2);
+  c.t(2);
+  c.cnot(2, 3);
+  c.h(3);
+  sv.apply_circuit(c);
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-12);
+}
+
+TEST(Statevector, BarrierIsNoop) {
+  Statevector sv(1);
+  sv.apply(Gate::barrier());
+  EXPECT_NEAR(std::abs(sv.amplitude(0)), 1.0, 1e-12);
+}
+
+TEST(Statevector, MeasureThrows) {
+  Statevector sv(1);
+  EXPECT_THROW(sv.apply(Gate::measure(0)), std::invalid_argument);
+}
+
+TEST(Statevector, RangeValidation) {
+  EXPECT_THROW(Statevector(-1), std::invalid_argument);
+  EXPECT_THROW(Statevector(25), std::invalid_argument);
+  Statevector small(1);
+  Circuit big(2);
+  big.h(1);
+  EXPECT_THROW(small.apply_circuit(big), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qxmap

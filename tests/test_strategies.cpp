@@ -1,0 +1,88 @@
+#include "exact/strategies.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/architectures.hpp"
+#include "bench_circuits/table1_suite.hpp"
+
+namespace qxmap {
+namespace {
+
+using exact::PermutationStrategy;
+using exact::permutation_points;
+
+std::vector<Gate> fig1b() {
+  return {Gate::cnot(2, 3), Gate::cnot(0, 1), Gate::cnot(1, 2), Gate::cnot(0, 1),
+          Gate::cnot(2, 1)};
+}
+
+TEST(Strategies, AllAllowsEveryGateButFirst) {
+  const auto pts = permutation_points(fig1b(), PermutationStrategy::All, arch::ibm_qx4());
+  EXPECT_EQ(pts, (std::vector<std::size_t>{1, 2, 3, 4}));
+}
+
+TEST(Strategies, DisjointMatchesExample10) {
+  // Example 10: G' = {g3, g4, g5} (1-based) -> 0-based {2, 3, 4}.
+  const auto pts =
+      permutation_points(fig1b(), PermutationStrategy::DisjointQubits, arch::ibm_qx4());
+  EXPECT_EQ(pts, (std::vector<std::size_t>{2, 3, 4}));
+}
+
+TEST(Strategies, OddGatesMatchesExample10) {
+  // Example 10: G' = {g3, g5} (1-based) -> 0-based {2, 4}.
+  const auto pts = permutation_points(fig1b(), PermutationStrategy::OddGates, arch::ibm_qx4());
+  EXPECT_EQ(pts, (std::vector<std::size_t>{2, 4}));
+}
+
+TEST(Strategies, TriangleMatchesExample10) {
+  // Example 10: G' = {g2} (1-based) -> 0-based {1}.
+  const auto pts =
+      permutation_points(fig1b(), PermutationStrategy::QubitTriangle, arch::ibm_qx4());
+  EXPECT_EQ(pts, (std::vector<std::size_t>{1}));
+}
+
+TEST(Strategies, TriangleRequiresTriangleInArchitecture) {
+  EXPECT_THROW(permutation_points(fig1b(), PermutationStrategy::QubitTriangle, arch::linear(5)),
+               std::invalid_argument);
+}
+
+TEST(Strategies, PointCountsNestAsExpected) {
+  // |G'(triangle)| <= |G'(odd)| <= |G'(all)| and disjoint <= all, on every
+  // Table-1 instance (the ordering the paper's Table 1 exhibits).
+  for (const auto& b : bench::table1_benchmarks()) {
+    const Circuit c = b.build();
+    std::vector<Gate> cnots;
+    for (const auto& g : c) {
+      if (g.is_cnot()) cnots.push_back(g);
+    }
+    const auto all = permutation_points(cnots, PermutationStrategy::All, arch::ibm_qx4());
+    const auto dis = permutation_points(cnots, PermutationStrategy::DisjointQubits, arch::ibm_qx4());
+    const auto odd = permutation_points(cnots, PermutationStrategy::OddGates, arch::ibm_qx4());
+    const auto tri = permutation_points(cnots, PermutationStrategy::QubitTriangle, arch::ibm_qx4());
+    EXPECT_LE(tri.size(), all.size());
+    EXPECT_LE(odd.size(), all.size());
+    EXPECT_LE(dis.size(), all.size());
+    EXPECT_EQ(all.size(), cnots.size() - 1);
+    EXPECT_EQ(odd.size(), (cnots.size() - 1) / 2);
+  }
+}
+
+TEST(Strategies, OddGatesPointsAreOdd1Based) {
+  std::vector<Gate> many;
+  for (int i = 0; i < 9; ++i) many.push_back(Gate::cnot(i % 2, 2 + (i % 2)));
+  const auto pts = permutation_points(many, PermutationStrategy::OddGates, arch::ibm_qx4());
+  for (const auto k : pts) {
+    EXPECT_EQ((k + 1) % 2, 1u);  // 1-based index k+1 is odd
+    EXPECT_GE(k, 2u);
+  }
+}
+
+TEST(Strategies, ToStringNames) {
+  EXPECT_EQ(exact::to_string(PermutationStrategy::All), "all");
+  EXPECT_EQ(exact::to_string(PermutationStrategy::DisjointQubits), "disjoint");
+  EXPECT_EQ(exact::to_string(PermutationStrategy::OddGates), "odd");
+  EXPECT_EQ(exact::to_string(PermutationStrategy::QubitTriangle), "triangle");
+}
+
+}  // namespace
+}  // namespace qxmap

@@ -1,0 +1,45 @@
+#include "common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qxmap {
+namespace {
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, SplitDropsEmptyPieces) {
+  EXPECT_EQ(split("a,b,,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split(",,", ','), (std::vector<std::string>{}));
+  EXPECT_EQ(split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(Strings, SplitWhitespace) {
+  EXPECT_EQ(split_whitespace("  t3  a b\tc\n"), (std::vector<std::string>{"t3", "a", "b", "c"}));
+  EXPECT_EQ(split_whitespace(""), (std::vector<std::string>{}));
+}
+
+TEST(Strings, ToLower) {
+  EXPECT_EQ(to_lower("IBM QX4"), "ibm qx4");
+  EXPECT_EQ(to_lower("already"), "already");
+}
+
+TEST(Strings, FormatFixed) {
+  EXPECT_EQ(format_fixed(1.25, 2), "1.25");
+  EXPECT_EQ(format_fixed(1.0, 0), "1");
+  EXPECT_EQ(format_fixed(-0.5, 1), "-0.5");
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_left("abcd", 2), "abcd");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_right("abcd", 2), "abcd");
+}
+
+}  // namespace
+}  // namespace qxmap

@@ -1,0 +1,62 @@
+#include "arch/subsets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/architectures.hpp"
+
+namespace qxmap {
+namespace {
+
+TEST(Subsets, AllSubsetsCounts) {
+  EXPECT_EQ(arch::all_subsets(5, 4).size(), 5u);
+  EXPECT_EQ(arch::all_subsets(5, 3).size(), 10u);
+  EXPECT_EQ(arch::all_subsets(5, 5).size(), 1u);
+  EXPECT_EQ(arch::all_subsets(5, 0).size(), 1u);
+  EXPECT_THROW(arch::all_subsets(3, 4), std::invalid_argument);
+  EXPECT_THROW(arch::all_subsets(3, -1), std::invalid_argument);
+}
+
+TEST(Subsets, AllSubsetsLexicographic) {
+  const auto subs = arch::all_subsets(4, 2);
+  ASSERT_EQ(subs.size(), 6u);
+  EXPECT_EQ(subs.front(), (std::vector<int>{0, 1}));
+  EXPECT_EQ(subs.back(), (std::vector<int>{2, 3}));
+  for (std::size_t i = 1; i < subs.size(); ++i) EXPECT_LT(subs[i - 1], subs[i]);
+}
+
+TEST(Subsets, ConnectedSubsetsQx4MatchExample9) {
+  // Example 9: of the C(5,4) = 5 subsets, only the 4 containing p3
+  // (0-based 2) are connected.
+  const auto subs = arch::connected_subsets(arch::ibm_qx4(), 4);
+  ASSERT_EQ(subs.size(), 4u);
+  for (const auto& s : subs) {
+    EXPECT_TRUE(std::find(s.begin(), s.end(), 2) != s.end())
+        << "subset missing the cut vertex p3";
+  }
+}
+
+TEST(Subsets, ConnectedSubsetsSize3OnQx4) {
+  const auto subs = arch::connected_subsets(arch::ibm_qx4(), 3);
+  // Qubit 2 is adjacent to every other qubit, so the connected triples are
+  // exactly the C(4,2) = 6 triples containing it (edges: 01 02 12 23 24 34).
+  EXPECT_EQ(subs.size(), 6u);
+  for (const auto& s : subs) EXPECT_TRUE(arch::ibm_qx4().subset_connected(s));
+}
+
+TEST(Subsets, LineGraphSubsetsAreIntervals) {
+  const auto subs = arch::connected_subsets(arch::linear(5), 3);
+  // Connected 3-subsets of a path are exactly the 3 contiguous windows.
+  ASSERT_EQ(subs.size(), 3u);
+  EXPECT_EQ(subs[0], (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(subs[1], (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(subs[2], (std::vector<int>{2, 3, 4}));
+}
+
+TEST(Subsets, FullSizeSubsetIsWholeGraph) {
+  const auto subs = arch::connected_subsets(arch::ibm_qx4(), 5);
+  ASSERT_EQ(subs.size(), 1u);
+  EXPECT_EQ(subs[0], (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace qxmap

@@ -1,0 +1,122 @@
+#include "arch/swap_costs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/architectures.hpp"
+
+namespace qxmap {
+namespace {
+
+/// Applies a swap sequence to the identity and returns the resulting
+/// permutation (token from i ends at result(i)).
+Permutation apply_sequence(std::size_t m, const std::vector<std::pair<int, int>>& seq) {
+  Permutation p(m);
+  for (const auto& [a, b] : seq) p = p.with_transposition(a, b);
+  return p;
+}
+
+TEST(SwapCostTable, IdentityIsFree) {
+  const arch::SwapCostTable table(arch::ibm_qx4());
+  EXPECT_EQ(table.swaps(Permutation(5)), 0);
+  EXPECT_TRUE(table.swap_sequence(Permutation(5)).empty());
+}
+
+TEST(SwapCostTable, SingleEdgeTransposition) {
+  const arch::SwapCostTable table(arch::ibm_qx4());
+  // Swapping an adjacent pair costs exactly one SWAP.
+  const Permutation p = Permutation(5).with_transposition(0, 1);
+  EXPECT_EQ(table.swaps(p), 1);
+  EXPECT_EQ(table.swap_sequence(p).size(), 1u);
+}
+
+TEST(SwapCostTable, NonAdjacentTranspositionCostsMore) {
+  const arch::SwapCostTable table(arch::ibm_qx4());
+  // 0 and 3 are two hops apart: swapping them needs 3 SWAPs.
+  const Permutation p = Permutation(5).with_transposition(0, 3);
+  EXPECT_EQ(table.swaps(p), 3);
+}
+
+TEST(SwapCostTable, EverySequenceRealisesItsPermutation) {
+  const auto cm = arch::ibm_qx4();
+  const arch::SwapCostTable table(cm);
+  for (const auto& pi : Permutation::all(5)) {
+    const auto seq = table.swap_sequence(pi);
+    EXPECT_EQ(static_cast<int>(seq.size()), table.swaps(pi));
+    EXPECT_EQ(apply_sequence(5, seq), pi);
+    // Every swap must lie on a coupling edge.
+    for (const auto& [a, b] : seq) EXPECT_TRUE(cm.coupled(a, b));
+  }
+}
+
+TEST(SwapCostTable, CostsLowerBoundedByCycleBound) {
+  // swaps(pi) >= m - #cycles (the unrestricted-transposition bound).
+  const arch::SwapCostTable table(arch::ibm_qx4());
+  for (const auto& pi : Permutation::all(5)) {
+    EXPECT_GE(table.swaps(pi), pi.min_transpositions());
+  }
+}
+
+TEST(SwapCostTable, CliqueMatchesCycleBoundExactly) {
+  const arch::SwapCostTable table(arch::clique(4));
+  for (const auto& pi : Permutation::all(4)) {
+    EXPECT_EQ(table.swaps(pi), pi.min_transpositions());
+  }
+}
+
+TEST(SwapCostTable, MaxSwapsOnQx4) {
+  const arch::SwapCostTable table(arch::ibm_qx4());
+  EXPECT_GE(table.max_swaps(), 4);
+  EXPECT_LE(table.max_swaps(), 7);
+}
+
+TEST(SwapCostTable, LineGraphWorstCase) {
+  // Reversing a 3-element line needs 3 swaps (bubble sort bound).
+  const arch::SwapCostTable table(arch::linear(3));
+  EXPECT_EQ(table.swaps(Permutation({2, 1, 0})), 3);
+}
+
+TEST(SwapCostTable, RejectsOversizedAndDisconnected) {
+  EXPECT_THROW(arch::SwapCostTable(arch::linear(9)), std::invalid_argument);
+  EXPECT_THROW(arch::SwapCostTable(arch::CouplingMap(4, {{0, 1}, {2, 3}})),
+               std::invalid_argument);
+}
+
+TEST(SwapCostTable, SizeMismatchThrows) {
+  const arch::SwapCostTable table(arch::ibm_qx4());
+  EXPECT_THROW(table.swaps(Permutation(4)), std::invalid_argument);
+}
+
+TEST(GreedySwapSequence, RealisesPermutationOnLargeGraphs) {
+  const auto cm = arch::ibm_qx5();
+  // A full 16-cycle: worst-ish case for routing.
+  std::vector<int> images(16);
+  for (int i = 0; i < 16; ++i) images[static_cast<std::size_t>(i)] = (i + 1) % 16;
+  const Permutation pi(images);
+  const auto seq = arch::greedy_swap_sequence(cm, pi);
+  EXPECT_EQ(apply_sequence(16, seq), pi);
+  for (const auto& [a, b] : seq) EXPECT_TRUE(cm.coupled(a, b));
+}
+
+TEST(GreedySwapSequence, MatchesExactOnSmallGraphs) {
+  // Upper bound property: greedy >= exact, and both realise pi.
+  const auto cm = arch::ibm_qx4();
+  const arch::SwapCostTable table(cm);
+  for (const auto& pi : Permutation::all(5)) {
+    const auto seq = arch::greedy_swap_sequence(cm, pi);
+    EXPECT_EQ(apply_sequence(5, seq), pi);
+    EXPECT_GE(static_cast<int>(seq.size()), table.swaps(pi));
+  }
+}
+
+TEST(GreedySwapSequence, IdentityNeedsNothing) {
+  EXPECT_TRUE(arch::greedy_swap_sequence(arch::ibm_tokyo(), Permutation(20)).empty());
+}
+
+TEST(GreedySwapSequence, DisconnectedRejected) {
+  EXPECT_THROW(arch::greedy_swap_sequence(arch::CouplingMap(4, {{0, 1}, {2, 3}}),
+                                          Permutation(4)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qxmap

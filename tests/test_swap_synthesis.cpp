@@ -1,0 +1,107 @@
+#include "exact/swap_synthesis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/architectures.hpp"
+#include "sim/unitary.hpp"
+
+namespace qxmap {
+namespace {
+
+TEST(SwapSynthesis, DirectedEdgeCosts7Gates) {
+  const auto cm = arch::ibm_qx4();
+  Circuit c(5);
+  exact::append_swap_realisation(c, cm, 1, 0);
+  EXPECT_EQ(c.size(), 7u);
+  EXPECT_EQ(c.counts().cnot, 3);
+  EXPECT_EQ(c.counts().single_qubit, 4);
+  EXPECT_TRUE(exact::satisfies_coupling(c, cm));
+}
+
+TEST(SwapSynthesis, DirectedEdgeRealisesSwapUnitary) {
+  const auto cm = arch::ibm_qx4();
+  Circuit realised(5);
+  exact::append_swap_realisation(realised, cm, 3, 4);
+  Circuit reference(5);
+  reference.swap(3, 4);
+  EXPECT_TRUE(sim::same_unitary(realised, reference));
+}
+
+TEST(SwapSynthesis, OrientationIndependent) {
+  const auto cm = arch::ibm_qx4();
+  Circuit a(5);
+  exact::append_swap_realisation(a, cm, 0, 1);
+  Circuit b(5);
+  exact::append_swap_realisation(b, cm, 1, 0);
+  EXPECT_TRUE(sim::same_unitary(a, b));
+}
+
+TEST(SwapSynthesis, BidirectedEdgeCosts3Gates) {
+  const auto cm = arch::ibm_tokyo();
+  Circuit c(20);
+  exact::append_swap_realisation(c, cm, 0, 1);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.counts().cnot, 3);
+  EXPECT_TRUE(exact::satisfies_coupling(c, cm));
+}
+
+TEST(SwapSynthesis, UncoupledPairRejected) {
+  Circuit c(5);
+  EXPECT_THROW(exact::append_swap_realisation(c, arch::ibm_qx4(), 0, 3), std::invalid_argument);
+}
+
+TEST(SwapSynthesis, CnotForwardIsBare) {
+  const auto cm = arch::ibm_qx4();
+  Circuit c(5);
+  exact::append_cnot_realisation(c, cm, 1, 0);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.gate(0), Gate::cnot(1, 0));
+}
+
+TEST(SwapSynthesis, CnotReversedCosts4H) {
+  const auto cm = arch::ibm_qx4();
+  Circuit c(5);
+  exact::append_cnot_realisation(c, cm, 0, 1);  // only (1,0) in CM
+  EXPECT_EQ(c.size(), 5u);
+  EXPECT_EQ(c.counts().single_qubit, 4);
+  EXPECT_TRUE(exact::satisfies_coupling(c, cm));
+  // And it still computes CNOT(0 -> 1).
+  Circuit reference(5);
+  reference.cnot(0, 1);
+  EXPECT_TRUE(sim::same_unitary(c, reference));
+}
+
+TEST(SwapSynthesis, CnotUncoupledRejected) {
+  Circuit c(5);
+  EXPECT_THROW(exact::append_cnot_realisation(c, arch::ibm_qx4(), 0, 4), std::invalid_argument);
+}
+
+TEST(SwapSynthesis, SwapGateCostPerArchitecture) {
+  EXPECT_EQ(exact::swap_gate_cost(arch::ibm_qx4()), 7);
+  EXPECT_EQ(exact::swap_gate_cost(arch::ibm_qx5()), 7);
+  EXPECT_EQ(exact::swap_gate_cost(arch::ibm_tokyo()), 3);
+  EXPECT_EQ(exact::swap_gate_cost(arch::clique(4)), 3);
+}
+
+TEST(SwapSynthesis, SatisfiesCouplingDetectsViolations) {
+  const auto cm = arch::ibm_qx4();
+  Circuit ok(5);
+  ok.cnot(1, 0);
+  ok.h(2);
+  EXPECT_TRUE(exact::satisfies_coupling(ok, cm));
+
+  Circuit wrong_direction(5);
+  wrong_direction.cnot(0, 1);
+  EXPECT_FALSE(exact::satisfies_coupling(wrong_direction, cm));
+
+  Circuit uncoupled(5);
+  uncoupled.cnot(0, 4);
+  EXPECT_FALSE(exact::satisfies_coupling(uncoupled, cm));
+
+  Circuit pseudo(5);
+  pseudo.swap(0, 1);
+  EXPECT_FALSE(exact::satisfies_coupling(pseudo, cm));
+}
+
+}  // namespace
+}  // namespace qxmap

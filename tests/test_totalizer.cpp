@@ -1,0 +1,96 @@
+#include "sat/totalizer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qxmap {
+namespace {
+
+using sat::Lit;
+using sat::neg;
+using sat::pos;
+using sat::Solver;
+using sat::SolveResult;
+
+TEST(Totalizer, EmptyInput) {
+  Solver s;
+  EXPECT_TRUE(sat::build_totalizer(s, {}).empty());
+}
+
+TEST(Totalizer, OutputsCountTrueInputsExactly) {
+  // For every forced input assignment over 5 inputs, the outputs must read
+  // the exact unary count.
+  const int n = 5;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    Solver s;
+    std::vector<Lit> inputs;
+    for (int i = 0; i < n; ++i) inputs.push_back(pos(s.new_var()));
+    const auto outputs = sat::build_totalizer(s, inputs);
+    ASSERT_EQ(outputs.size(), static_cast<std::size_t>(n));
+    int count = 0;
+    for (int i = 0; i < n; ++i) {
+      const bool v = ((mask >> i) & 1u) != 0;
+      if (v) ++count;
+      s.add_clause(v ? inputs[static_cast<std::size_t>(i)] : ~inputs[static_cast<std::size_t>(i)]);
+    }
+    ASSERT_EQ(s.solve(), SolveResult::Satisfiable);
+    for (int k = 1; k <= n; ++k) {
+      EXPECT_EQ(s.model_value(outputs[static_cast<std::size_t>(k - 1)]), count >= k)
+          << "mask " << mask << " k " << k;
+    }
+  }
+}
+
+class CardinalityBound : public ::testing::TestWithParam<int> {};
+
+TEST_P(CardinalityBound, AtMostKEnforced) {
+  const int n = 6;
+  const int bound = GetParam();
+  Solver s;
+  std::vector<Lit> inputs;
+  for (int i = 0; i < n; ++i) inputs.push_back(pos(s.new_var()));
+  sat::add_cardinality_at_most(s, inputs, bound);
+
+  // Forcing exactly `bound` inputs true stays satisfiable…
+  for (int i = 0; i < bound; ++i) s.add_clause(inputs[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(s.solve(), SolveResult::Satisfiable);
+  // …and one more pushes it over the limit.
+  if (bound < n) {
+    s.add_clause(inputs[static_cast<std::size_t>(bound)]);
+    EXPECT_EQ(s.solve(), SolveResult::Unsatisfiable);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, CardinalityBound, ::testing::Values(0, 1, 2, 3, 4, 5));
+
+TEST(Totalizer, NegativeBoundIsUnsat) {
+  Solver s;
+  std::vector<Lit> inputs{pos(s.new_var())};
+  sat::add_cardinality_at_most(s, inputs, -1);
+  EXPECT_EQ(s.solve(), SolveResult::Unsatisfiable);
+}
+
+TEST(Totalizer, LooseBoundIsNoop) {
+  Solver s;
+  std::vector<Lit> inputs;
+  for (int i = 0; i < 3; ++i) inputs.push_back(pos(s.new_var()));
+  sat::add_cardinality_at_most(s, inputs, 3);
+  for (const Lit l : inputs) s.add_clause(l);
+  EXPECT_EQ(s.solve(), SolveResult::Satisfiable);
+}
+
+TEST(Totalizer, MixedPolarityInputs) {
+  // Inputs may be arbitrary literals, including negations.
+  Solver s;
+  const auto a = s.new_var();
+  const auto b = s.new_var();
+  const std::vector<Lit> inputs{pos(a), neg(b)};
+  const auto outputs = sat::build_totalizer(s, inputs);
+  s.add_clause(pos(a));
+  s.add_clause(pos(b));  // neg(b) false -> count = 1
+  ASSERT_EQ(s.solve(), SolveResult::Satisfiable);
+  EXPECT_TRUE(s.model_value(outputs[0]));
+  EXPECT_FALSE(s.model_value(outputs[1]));
+}
+
+}  // namespace
+}  // namespace qxmap

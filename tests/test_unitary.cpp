@@ -1,0 +1,91 @@
+#include "sim/unitary.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qxmap {
+namespace {
+
+TEST(Unitary, IdentityByDefault) {
+  const sim::Unitary u(2);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_NEAR(std::abs(u.get(r, c) - (r == c ? 1.0 : 0.0)), 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Unitary, CircuitUnitaryOfEmptyCircuitIsIdentity) {
+  const auto u = sim::circuit_unitary(Circuit(2));
+  EXPECT_NEAR(u.distance_up_to_phase(sim::Unitary(2)), 0.0, 1e-12);
+}
+
+TEST(Unitary, GlobalPhaseIsIgnored) {
+  // Z = S * S; also Z = e^{i pi/2} * (Sdg * global...)? Use: X = H Z H and
+  // HH = I to build phase-free comparisons; for a pure phase test compare
+  // Rz(pi) (= diag(-i, i)) with Z (= diag(1, -1)): equal up to phase i.
+  Circuit a(1);
+  a.append(Gate::single(OpKind::Rz, 0, {std::numbers::pi}));
+  Circuit b(1);
+  b.z(0);
+  EXPECT_TRUE(sim::same_unitary(a, b));
+}
+
+TEST(Unitary, DifferentOperatorsDetected) {
+  Circuit a(1);
+  a.x(0);
+  Circuit b(1);
+  b.z(0);
+  EXPECT_FALSE(sim::same_unitary(a, b));
+}
+
+TEST(Unitary, QubitCountMismatchIsNotEqual) {
+  EXPECT_FALSE(sim::same_unitary(Circuit(1), Circuit(2)));
+}
+
+TEST(Unitary, HZHEqualsX) {
+  Circuit a(1);
+  a.h(0);
+  a.z(0);
+  a.h(0);
+  Circuit b(1);
+  b.x(0);
+  EXPECT_TRUE(sim::same_unitary(a, b));
+}
+
+TEST(Unitary, SwapEqualsThreeCnots) {
+  Circuit a(2);
+  a.swap(0, 1);
+  Circuit b(2);
+  b.cnot(0, 1);
+  b.cnot(1, 0);
+  b.cnot(0, 1);
+  EXPECT_TRUE(sim::same_unitary(a, b));
+}
+
+TEST(Unitary, Fig3SwapDecomposition) {
+  // SWAP == expanded 7-gate form (3 CX one direction + 4 H).
+  Circuit a(2);
+  a.swap(0, 1);
+  EXPECT_TRUE(sim::same_unitary(a, a.with_swaps_expanded()));
+}
+
+TEST(Unitary, ReversedCnotViaHadamards) {
+  // H⊗H CX(0,1) H⊗H == CX(1,0) — the 4-H direction switch of Fig. 3.
+  Circuit a(2);
+  a.h(0);
+  a.h(1);
+  a.cnot(0, 1);
+  a.h(0);
+  a.h(1);
+  Circuit b(2);
+  b.cnot(1, 0);
+  EXPECT_TRUE(sim::same_unitary(a, b));
+}
+
+TEST(Unitary, TooManyQubitsRejected) {
+  EXPECT_THROW(sim::circuit_unitary(Circuit(11)), std::invalid_argument);
+  EXPECT_THROW(sim::Unitary(11), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qxmap
