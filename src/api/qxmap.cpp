@@ -19,6 +19,12 @@ exact::MappingResult map(const Circuit& circuit, const arch::CouplingMap& archit
   throw std::invalid_argument("map: bad Method");
 }
 
-const char* version() { return "1.0.0"; }
+const char* version() {
+#ifdef QXMAP_VERSION_STRING
+  return QXMAP_VERSION_STRING;
+#else
+  return "1.0.0";
+#endif
+}
 
 }  // namespace qxmap

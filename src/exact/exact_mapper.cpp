@@ -179,7 +179,9 @@ MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
                                                            static_cast<long long>(instances.size())));
 
   MappingResult res;
-  res.engine_name = reason::to_string(options.engine);
+  // Report the engine that actually runs, not the requested kind: without
+  // Z3 support, make_engine(EngineKind::Z3) degrades to the CDCL backend.
+  res.engine_name = reason::make_engine(options.engine)->name();
   res.permutation_points = static_cast<int>(points.size()) + 1;
 
   std::optional<InstanceSolution> best;

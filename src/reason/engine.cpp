@@ -3,7 +3,9 @@
 #include <stdexcept>
 
 #include "reason/cdcl_engine.hpp"
+#if QXMAP_WITH_Z3
 #include "reason/z3_engine.hpp"
+#endif
 
 namespace qxmap::reason {
 
@@ -79,9 +81,24 @@ std::string to_string(EngineKind kind) {
   throw std::invalid_argument("to_string: bad EngineKind");
 }
 
+bool z3_available() {
+#if QXMAP_WITH_Z3
+  return true;
+#else
+  return false;
+#endif
+}
+
 std::unique_ptr<ReasoningEngine> make_engine(EngineKind kind) {
   switch (kind) {
-    case EngineKind::Z3: return std::make_unique<Z3Engine>();
+    case EngineKind::Z3:
+#if QXMAP_WITH_Z3
+      return std::make_unique<Z3Engine>();
+#else
+      // Z3 support compiled out: degrade to the built-in CDCL backend so
+      // callers that default to the paper's engine keep working.
+      return std::make_unique<CdclEngine>();
+#endif
     case EngineKind::Cdcl: return std::make_unique<CdclEngine>();
   }
   throw std::invalid_argument("make_engine: bad EngineKind");

@@ -20,7 +20,11 @@ Z3Engine::~Z3Engine() = default;
 
 int Z3Engine::new_bool() {
   const int id = static_cast<int>(impl_->vars.size());
-  impl_->vars.push_back(impl_->ctx.bool_const(("b" + std::to_string(id)).c_str()));
+  // Built via += because `"b" + std::to_string(id)` trips GCC 12's
+  // -Wrestrict false positive at -O3.
+  std::string name = "b";
+  name += std::to_string(id);
+  impl_->vars.push_back(impl_->ctx.bool_const(name.c_str()));
   return id;
 }
 

@@ -54,7 +54,12 @@ std::string to_dimacs(const Cnf& cnf) {
   std::ostringstream os;
   os << "p cnf " << cnf.num_vars << ' ' << cnf.clauses.size() << '\n';
   for (const auto& clause : cnf.clauses) {
-    for (const Lit l : clause) os << l.to_string() << ' ';
+    for (const Lit l : clause) {
+      // Same output as Lit::to_string(); streamed directly because the
+      // string concat trips GCC 12's -Wrestrict false positive at -O3.
+      if (l.negative()) os << '-';
+      os << l.var() + 1 << ' ';
+    }
     os << "0\n";
   }
   return os.str();

@@ -1,0 +1,62 @@
+/// Build-configuration invariants: the version string reported by the
+/// library matches the CMake project version (passed to this test via
+/// QXMAP_PROJECT_VERSION), and the default options pick the documented
+/// method/engine in both the Z3 and the Z3-less build.
+
+#include "api/qxmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+
+#include "reason/engine.hpp"
+
+namespace qxmap {
+namespace {
+
+TEST(BuildConfig, VersionMatchesCmakeProjectVersion) {
+#ifdef QXMAP_PROJECT_VERSION
+  EXPECT_STREQ(version(), QXMAP_PROJECT_VERSION);
+#else
+  GTEST_SKIP() << "QXMAP_PROJECT_VERSION not provided by the build";
+#endif
+}
+
+TEST(BuildConfig, VersionIsSemver) {
+  const std::string v = version();
+  int dots = 0;
+  for (const char ch : v) {
+    if (ch == '.') {
+      ++dots;
+    } else {
+      EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(ch))) << "version: " << v;
+    }
+  }
+  EXPECT_EQ(dots, 2) << "version: " << v;
+}
+
+TEST(BuildConfig, DefaultOptionsSelectExactMethod) {
+  const MapOptions options;
+  EXPECT_EQ(options.method, Method::Exact);
+  EXPECT_EQ(options.exact.strategy, exact::PermutationStrategy::All);
+}
+
+TEST(BuildConfig, DefaultEngineDegradesToCdclWithoutZ3) {
+  const MapOptions options;
+  const auto engine = reason::make_engine(options.exact.engine);
+  if (reason::z3_available()) {
+    EXPECT_EQ(engine->name(), "z3");
+  } else {
+    // Z3 compiled out: the paper's default engine transparently degrades to
+    // the built-in CDCL backend.
+    EXPECT_EQ(engine->name(), "cdcl");
+  }
+}
+
+TEST(BuildConfig, CdclEngineIsAlwaysAvailable) {
+  EXPECT_EQ(reason::make_engine(reason::EngineKind::Cdcl)->name(), "cdcl");
+}
+
+}  // namespace
+}  // namespace qxmap

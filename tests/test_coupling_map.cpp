@@ -40,7 +40,7 @@ TEST(CouplingMap, Neighbours) {
   const auto cm = arch::ibm_qx4();
   EXPECT_EQ(cm.neighbours(2), (std::vector<int>{0, 1, 3, 4}));
   EXPECT_EQ(cm.neighbours(0), (std::vector<int>{1, 2}));
-  EXPECT_THROW(cm.neighbours(5), std::out_of_range);
+  EXPECT_THROW((void)cm.neighbours(5), std::out_of_range);
 }
 
 TEST(CouplingMap, Connectivity) {

@@ -62,9 +62,9 @@ TEST(Distances, DisconnectedPairsGetSentinel) {
 
 TEST(Distances, Validation) {
   const arch::DistanceMatrix d(arch::ibm_qx4());
-  EXPECT_THROW(d.hops(-1, 0), std::out_of_range);
-  EXPECT_THROW(d.cnot_cost(0, 9), std::out_of_range);
-  EXPECT_THROW(d.cnot_cost(1, 1), std::invalid_argument);
+  EXPECT_THROW((void)d.hops(-1, 0), std::out_of_range);
+  EXPECT_THROW((void)d.cnot_cost(0, 9), std::out_of_range);
+  EXPECT_THROW((void)d.cnot_cost(1, 1), std::invalid_argument);
 }
 
 TEST(Distances, TriangleInequalityOnHops) {

@@ -94,9 +94,9 @@ TEST(Fidelity, InvalidErrorRatesRejected) {
   model.single_qubit_error = 1.0;
   Circuit c(1);
   c.h(0);
-  EXPECT_THROW(sim::log10_success(c, model), std::domain_error);
+  EXPECT_THROW((void)sim::log10_success(c, model), std::domain_error);
   model.single_qubit_error = -0.1;
-  EXPECT_THROW(sim::log10_success(c, model), std::domain_error);
+  EXPECT_THROW((void)sim::log10_success(c, model), std::domain_error);
 }
 
 }  // namespace

@@ -112,7 +112,7 @@ TEST(ImplementsSkeleton, WiderPhysicalRegister) {
 TEST(ImplementsSkeleton, LayoutSizeValidated) {
   Circuit orig(2);
   orig.cnot(0, 1);
-  EXPECT_THROW(sim::implements_skeleton(orig, orig, {0}, {0, 1}), std::invalid_argument);
+  EXPECT_THROW((void)sim::implements_skeleton(orig, orig, {0}, {0, 1}), std::invalid_argument);
 }
 
 }  // namespace

@@ -83,7 +83,7 @@ TEST(Permutation, FactorialValues) {
   EXPECT_EQ(Permutation::factorial(1), 1u);
   EXPECT_EQ(Permutation::factorial(5), 120u);
   EXPECT_EQ(Permutation::factorial(20), 2432902008176640000ULL);
-  EXPECT_THROW(Permutation::factorial(21), std::out_of_range);
+  EXPECT_THROW((void)Permutation::factorial(21), std::out_of_range);
 }
 
 TEST(Permutation, NontrivialCycles) {

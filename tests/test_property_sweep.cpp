@@ -1,0 +1,207 @@
+/// Property-style sweeps over common/permutation and common/gf2: algebraic
+/// identities (compose/invert, rank/from_rank round-trips, GF(2) rank
+/// invariants) checked over many seeded random instances via common/rng.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/gf2.hpp"
+#include "common/permutation.hpp"
+#include "common/rng.hpp"
+
+namespace qxmap {
+namespace {
+
+constexpr std::uint64_t kSeeds[] = {1, 2, 3, 5, 8, 13, 21, 34, 55, 89};
+
+Permutation random_permutation(std::size_t m, Rng& rng) {
+  std::vector<int> images(m);
+  std::iota(images.begin(), images.end(), 0);
+  rng.shuffle(images);
+  return Permutation(std::move(images));
+}
+
+/// Random invertible GF(2) matrix: start from the identity and apply row
+/// operations (each preserves invertibility).
+Gf2Matrix random_invertible(std::size_t n, Rng& rng, int ops = 64) {
+  Gf2Matrix m = Gf2Matrix::identity(n);
+  if (n < 2) return m;  // no distinct row pair to operate on
+  for (int k = 0; k < ops; ++k) {
+    const auto a = static_cast<std::size_t>(rng.next_below(n));
+    auto b = static_cast<std::size_t>(rng.next_below(n));
+    while (b == a) b = static_cast<std::size_t>(rng.next_below(n));
+    if (rng.next_bool(0.5)) {
+      m.xor_row(a, b);
+    } else {
+      m.swap_rows(a, b);
+    }
+  }
+  return m;
+}
+
+TEST(PermutationProperties, ComposeWithInverseIsIdentity) {
+  for (const auto seed : kSeeds) {
+    Rng rng(seed);
+    for (std::size_t m = 1; m <= 8; ++m) {
+      const Permutation p = random_permutation(m, rng);
+      EXPECT_TRUE(p.then(p.inverse()).is_identity()) << p.to_string();
+      EXPECT_TRUE(p.inverse().then(p).is_identity()) << p.to_string();
+      EXPECT_EQ(p.inverse().inverse(), p);
+    }
+  }
+}
+
+TEST(PermutationProperties, CompositionIsAssociativeAndAntiDistributesOverInverse) {
+  for (const auto seed : kSeeds) {
+    Rng rng(seed);
+    const std::size_t m = 7;
+    const Permutation a = random_permutation(m, rng);
+    const Permutation b = random_permutation(m, rng);
+    const Permutation c = random_permutation(m, rng);
+    EXPECT_EQ(a.then(b).then(c), a.then(b.then(c)));
+    // (a.then(b))^-1 = b^-1 . a^-1 in `then` order.
+    EXPECT_EQ(a.then(b).inverse(), b.inverse().then(a.inverse()));
+  }
+}
+
+TEST(PermutationProperties, RankRoundTripsThroughFromRank) {
+  for (const auto seed : kSeeds) {
+    Rng rng(seed);
+    for (std::size_t m = 1; m <= 8; ++m) {
+      const Permutation p = random_permutation(m, rng);
+      const std::uint64_t r = p.rank();
+      EXPECT_LT(r, Permutation::factorial(m));
+      EXPECT_EQ(Permutation::from_rank(m, r), p);
+      EXPECT_EQ(Permutation::from_rank(m, r).rank(), r);
+    }
+  }
+}
+
+TEST(PermutationProperties, TranspositionIsAnInvolution) {
+  for (const auto seed : kSeeds) {
+    Rng rng(seed);
+    const std::size_t m = 6;
+    const Permutation p = random_permutation(m, rng);
+    const int a = rng.next_int(0, static_cast<int>(m) - 1);
+    int b = rng.next_int(0, static_cast<int>(m) - 1);
+    if (a == b) b = (b + 1) % static_cast<int>(m);
+    const Permutation q = p.with_transposition(a, b);
+    EXPECT_NE(q, p);
+    EXPECT_EQ(q.with_transposition(a, b), p);
+    // One transposition changes the minimal transposition count by exactly 1.
+    EXPECT_EQ(std::abs(q.min_transpositions() - p.min_transpositions()), 1);
+  }
+}
+
+TEST(PermutationProperties, CycleStructureAccountsForEveryElement) {
+  for (const auto seed : kSeeds) {
+    Rng rng(seed);
+    const std::size_t m = 8;
+    const Permutation p = random_permutation(m, rng);
+    std::size_t in_cycles = 0;
+    int cycle_excess = 0;  // sum over cycles of (len - 1) = min_transpositions
+    for (const auto& cycle : p.nontrivial_cycles()) {
+      EXPECT_GE(cycle.size(), 2u);
+      in_cycles += cycle.size();
+      cycle_excess += static_cast<int>(cycle.size()) - 1;
+      // Each listed cycle is consistent with the permutation's action.
+      for (std::size_t i = 0; i < cycle.size(); ++i) {
+        EXPECT_EQ(p.at(static_cast<std::size_t>(cycle[i])), cycle[(i + 1) % cycle.size()]);
+      }
+    }
+    EXPECT_LE(in_cycles, m);
+    EXPECT_EQ(cycle_excess, p.min_transpositions());
+  }
+}
+
+TEST(Gf2Properties, PermutationMatricesRespectComposition) {
+  for (const auto seed : kSeeds) {
+    Rng rng(seed);
+    const std::size_t m = 6;
+    const Permutation a = random_permutation(m, rng);
+    const Permutation b = random_permutation(m, rng);
+    const Gf2Matrix ma = Gf2Matrix::from_permutation(a);
+    const Gf2Matrix mb = Gf2Matrix::from_permutation(b);
+    // from_permutation(pi) maps e_i -> e_{pi(i)}, so applying a then b is
+    // the product M_b * M_a.
+    EXPECT_EQ(mb.multiply(ma), Gf2Matrix::from_permutation(a.then(b)));
+    EXPECT_EQ(ma.rank(), m);
+    EXPECT_TRUE(ma.invertible());
+    EXPECT_EQ(ma.inverse(), Gf2Matrix::from_permutation(a.inverse()));
+  }
+}
+
+TEST(Gf2Properties, RowOperationsPreserveRank) {
+  for (const auto seed : kSeeds) {
+    Rng rng(seed);
+    for (const std::size_t n : {3u, 7u, 64u, 65u}) {
+      Gf2Matrix m = random_invertible(n, rng);
+      EXPECT_EQ(m.rank(), n);
+      EXPECT_TRUE(m.invertible());
+      // xor_row twice with the same pair restores the matrix.
+      const Gf2Matrix before = m;
+      m.xor_row(0, n - 1);
+      m.xor_row(0, n - 1);
+      EXPECT_EQ(m, before);
+      m.swap_rows(0, n - 1);
+      m.swap_rows(0, n - 1);
+      EXPECT_EQ(m, before);
+    }
+  }
+}
+
+TEST(Gf2Properties, InverseIsTwoSided) {
+  for (const auto seed : kSeeds) {
+    Rng rng(seed);
+    const std::size_t n = 9;
+    const Gf2Matrix m = random_invertible(n, rng);
+    const Gf2Matrix inv = m.inverse();
+    const Gf2Matrix id = Gf2Matrix::identity(n);
+    EXPECT_EQ(m.multiply(inv), id);
+    EXPECT_EQ(inv.multiply(m), id);
+    EXPECT_EQ(inv.inverse(), m);
+  }
+}
+
+TEST(Gf2Properties, ProductRankIsBoundedAndInvertiblesCompose) {
+  for (const auto seed : kSeeds) {
+    Rng rng(seed);
+    const std::size_t n = 8;
+    const Gf2Matrix a = random_invertible(n, rng);
+    Gf2Matrix singular(n);  // zero matrix: rank 0
+    EXPECT_EQ(singular.rank(), 0u);
+    EXPECT_FALSE(singular.invertible());
+    // rank(A * B) <= min(rank A, rank B); invertible * invertible stays full.
+    EXPECT_EQ(a.multiply(singular).rank(), 0u);
+    const Gf2Matrix b = random_invertible(n, rng);
+    EXPECT_EQ(a.multiply(b).rank(), n);
+  }
+}
+
+TEST(Gf2Properties, RankMatchesNumberOfIndependentRowsByConstruction) {
+  for (const auto seed : kSeeds) {
+    Rng rng(seed);
+    const std::size_t n = 10;
+    // Build a matrix whose first k rows are an invertible k x k block on the
+    // leading coordinates and whose remaining rows duplicate earlier rows:
+    // its rank is exactly k.
+    const auto k = static_cast<std::size_t>(rng.next_int(1, static_cast<int>(n)));
+    const Gf2Matrix block = random_invertible(k, rng);
+    Gf2Matrix m(n);
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = 0; j < k; ++j) m.set(i, j, block.get(i, j));
+    }
+    for (std::size_t i = k; i < n; ++i) {
+      const auto src = static_cast<std::size_t>(rng.next_below(k));
+      for (std::size_t j = 0; j < n; ++j) m.set(i, j, m.get(src, j));
+    }
+    EXPECT_EQ(m.rank(), k);
+    EXPECT_EQ(m.invertible(), k == n);
+  }
+}
+
+}  // namespace
+}  // namespace qxmap

@@ -1,0 +1,122 @@
+/// QASM round-trip golden tests: every circuit shape the examples exercise
+/// (the paper's running example, Table-1 instances, the generator
+/// workloads, the quickstart program) must survive write -> parse with
+/// identical gates. The writer always emits a single flattened qreg `q`,
+/// so round-tripped circuits agree gate-by-gate with the original.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_circuits/generators.hpp"
+#include "bench_circuits/table1_suite.hpp"
+#include "ir/circuit.hpp"
+#include "qasm/parser.hpp"
+#include "qasm/writer.hpp"
+
+namespace qxmap {
+namespace {
+
+/// Gate-by-gate equality with diagnostics on the first mismatch.
+void expect_same_gates(const Circuit& original, const Circuit& reparsed) {
+  ASSERT_EQ(reparsed.num_qubits(), original.num_qubits());
+  ASSERT_EQ(reparsed.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(reparsed.gate(i), original.gate(i))
+        << "gate " << i << ": " << original.gate(i).to_string() << " vs "
+        << reparsed.gate(i).to_string();
+  }
+}
+
+void expect_roundtrips(const Circuit& c) {
+  const std::string text = qasm::write(c);
+  const Circuit back = qasm::parse(text, c.name());
+  expect_same_gates(c, back);
+  // Writing the re-parsed circuit must be a fixed point.
+  EXPECT_EQ(qasm::write(back), text);
+}
+
+TEST(QasmRoundTrip, PaperExampleCircuit) {
+  expect_roundtrips(bench::paper_example_circuit());
+}
+
+TEST(QasmRoundTrip, QuickstartDefaultProgram) {
+  Circuit c(3, "quickstart");
+  c.h(0);
+  c.cnot(0, 1);
+  c.cnot(1, 2);
+  c.append(Gate::single(OpKind::T, 2));
+  c.cnot(0, 2);
+  expect_roundtrips(c);
+}
+
+TEST(QasmRoundTrip, AllTable1Benchmarks) {
+  for (const auto& b : bench::table1_benchmarks()) {
+    SCOPED_TRACE(b.name);
+    expect_roundtrips(b.build());
+  }
+}
+
+TEST(QasmRoundTrip, RandomGeneratorShapes) {
+  expect_roundtrips(bench::random_circuit(5, 20, 15, /*seed=*/42, "rand"));
+  expect_roundtrips(bench::random_cnot_circuit(5, 25, /*seed=*/7, "rand-cnot"));
+  expect_roundtrips(bench::layered_cnot_circuit(6, 8, /*seed=*/3, "layered"));
+  expect_roundtrips(bench::structured_circuit(8, 30, 40, /*seed=*/11, "structured"));
+}
+
+TEST(QasmRoundTrip, SwapPseudoGatesSurvive) {
+  Circuit c(3, "with-swaps");
+  c.h(0);
+  c.append(Gate::swap(0, 2));
+  c.cnot(2, 1);
+  c.append(Gate::swap(1, 0));
+  expect_roundtrips(c);
+}
+
+TEST(QasmRoundTrip, ExpandedSwapsReparseAsElementaryGates) {
+  Circuit c(2, "expanded");
+  c.append(Gate::swap(0, 1));
+  qasm::WriterOptions options;
+  options.expand_swaps = true;
+  const Circuit back = qasm::parse(qasm::write(c, options));
+  EXPECT_EQ(back.num_qubits(), 2);
+  // Fig. 3: one SWAP on a one-directional edge = 3 CX + 4 H.
+  EXPECT_EQ(back.size(), 7u);
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_FALSE(back.gate(i).is_swap());
+  }
+}
+
+TEST(QasmRoundTrip, ParameterizedGatesRoundTripWithinWriterPrecision) {
+  Circuit c(2, "params");
+  c.append(Gate::single(OpKind::Rz, 0, {0.12345}));
+  c.append(Gate::single(OpKind::U2, 1, {-1.5, 2.75}));
+  c.append(Gate::single(OpKind::U3, 0, {3.14159, -0.5, 0.001}));
+  const Circuit back = qasm::parse(qasm::write(c));
+  ASSERT_EQ(back.size(), c.size());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const Gate& a = c.gate(i);
+    const Gate& b = back.gate(i);
+    EXPECT_EQ(b.kind, a.kind);
+    EXPECT_EQ(b.target, a.target);
+    ASSERT_EQ(b.params.size(), a.params.size());
+    for (std::size_t p = 0; p < a.params.size(); ++p) {
+      // The writer emits 12 fixed digits; re-parse must agree to that.
+      EXPECT_NEAR(b.params[p], a.params[p], 1e-11);
+    }
+  }
+}
+
+TEST(QasmRoundTrip, MeasureAndBarrierSurvive) {
+  Circuit c(2, "measured");
+  c.h(0);
+  c.append(Gate::barrier());
+  c.cnot(0, 1);
+  c.append(Gate::measure(0));
+  c.append(Gate::measure(1));
+  expect_roundtrips(c);
+}
+
+}  // namespace
+}  // namespace qxmap

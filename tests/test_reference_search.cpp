@@ -127,9 +127,9 @@ TEST(ReferenceSearch, CostIsMultipleOfGateCosts) {
 TEST(ReferenceSearch, Validation) {
   const auto cm = arch::ibm_qx4();
   const arch::SwapCostTable table(cm);
-  EXPECT_THROW(minimal_cost_reference({Gate::cnot(0, 1)}, 6, cm, table, {}, qx_costs()),
+  EXPECT_THROW((void)minimal_cost_reference({Gate::cnot(0, 1)}, 6, cm, table, {}, qx_costs()),
                std::invalid_argument);
-  EXPECT_THROW(minimal_cost_reference({Gate::cnot(0, 1)}, 2, cm, table, {}, CostModel{}),
+  EXPECT_THROW((void)minimal_cost_reference({Gate::cnot(0, 1)}, 2, cm, table, {}, CostModel{}),
                std::invalid_argument);
 }
 

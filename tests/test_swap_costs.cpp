@@ -83,7 +83,7 @@ TEST(SwapCostTable, RejectsOversizedAndDisconnected) {
 
 TEST(SwapCostTable, SizeMismatchThrows) {
   const arch::SwapCostTable table(arch::ibm_qx4());
-  EXPECT_THROW(table.swaps(Permutation(4)), std::invalid_argument);
+  EXPECT_THROW((void)table.swaps(Permutation(4)), std::invalid_argument);
 }
 
 TEST(GreedySwapSequence, RealisesPermutationOnLargeGraphs) {
