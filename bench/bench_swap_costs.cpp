@@ -1,11 +1,15 @@
 /// Micro-benchmarks for the swaps(π) machinery (Eq. 5 preprocessing):
-/// exhaustive table construction per architecture, sequence reconstruction,
-/// and the token-swapping fallback on the large machines.
+/// exhaustive table construction per architecture, cached retrieval through
+/// SwapCostCache, sequence reconstruction, the token-swapping fallback on
+/// the large machines, and repeated map() calls with a warm vs. cold cache.
 
 #include <benchmark/benchmark.h>
 
+#include "api/qxmap.hpp"
 #include "arch/architectures.hpp"
+#include "arch/swap_cost_cache.hpp"
 #include "arch/swap_costs.hpp"
+#include "bench_circuits/generators.hpp"
 
 namespace {
 
@@ -29,6 +33,61 @@ void BM_TableConstructionLinear(benchmark::State& state) {
 }
 BENCHMARK(BM_TableConstructionLinear)->Arg(4)->Arg(5)->Arg(6)->Arg(7)->Arg(8)
     ->Unit(benchmark::kMillisecond);
+
+void BM_TableCachedRetrievalQx4(benchmark::State& state) {
+  // Contrast with BM_TableConstructionQx4: after the first miss, every
+  // retrieval is a fingerprint hash lookup instead of a 5!-state BFS.
+  arch::SwapCostCache cache(8);
+  const auto cm = arch::ibm_qx4();
+  benchmark::DoNotOptimize(cache.table(cm));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.table(cm));
+  }
+}
+BENCHMARK(BM_TableCachedRetrievalQx4);
+
+/// Workload isolating the swaps(π) rebuild share of a map() call: a single
+/// CNOT over 7 logical qubits on linear(8) makes the solve trivial while
+/// each subset instance needs a 7!-state table.
+Circuit seven_qubit_single_cnot() {
+  Circuit c(7, "bench/cache");
+  c.cnot(0, 1);
+  return c;
+}
+
+MapOptions subset_map_options() {
+  MapOptions options;
+  options.exact.engine = reason::EngineKind::Cdcl;
+  options.exact.use_subsets = true;
+  options.exact.num_threads = 1;
+  return options;
+}
+
+void BM_RepeatedExactMapColdCache(benchmark::State& state) {
+  // Every map() call pays the swaps(π) table construction for each subset
+  // instance: the cache is cleared between iterations.
+  const auto cm = arch::linear(8);
+  const auto c = seven_qubit_single_cnot();
+  const auto options = subset_map_options();
+  for (auto _ : state) {
+    arch::SwapCostCache::instance().clear();
+    benchmark::DoNotOptimize(map(c, cm, options));
+  }
+}
+BENCHMARK(BM_RepeatedExactMapColdCache)->Unit(benchmark::kMillisecond);
+
+void BM_RepeatedExactMapWarmCache(benchmark::State& state) {
+  // Identical workload with the process-wide cache left warm: the swaps(π)
+  // tables of the induced subset maps are rebuilt zero times per call.
+  const auto cm = arch::linear(8);
+  const auto c = seven_qubit_single_cnot();
+  const auto options = subset_map_options();
+  benchmark::DoNotOptimize(map(c, cm, options));  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map(c, cm, options));
+  }
+}
+BENCHMARK(BM_RepeatedExactMapWarmCache)->Unit(benchmark::kMillisecond);
 
 void BM_SwapLookup(benchmark::State& state) {
   const arch::SwapCostTable table(arch::ibm_qx4());

@@ -145,11 +145,10 @@ int main(int argc, char** argv) {
     }
     std::vector<std::size_t> all_points;
     for (std::size_t k = 1; k < cnots.size(); ++k) all_points.push_back(k);
-    const arch::SwapCostTable table(arch::ibm_qx4());
     exact::CostModel costs;
     costs.swap_cost = 7;
     const auto ref =
-        exact::minimal_cost_reference(cnots, b.n, arch::ibm_qx4(), table, all_points, costs);
+        exact::minimal_cost_reference(cnots, b.n, arch::ibm_qx4(), all_points, costs);
     const long long cmin = original + ref.cost_f;
 
     exact::ExactOptions base;

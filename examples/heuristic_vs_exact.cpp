@@ -19,7 +19,6 @@ int main(int argc, char** argv) {
   if (argc > 1) names.assign(argv + 1, argv + argc);
 
   const auto qx4 = arch::ibm_qx4();
-  const arch::SwapCostTable table(qx4);
 
   std::cout << pad_right("benchmark", 14) << pad_left("orig", 6) << pad_left("cmin", 6)
             << pad_left("stochastic", 12) << pad_left("astar", 8) << pad_left("stoch +%", 10)
@@ -40,7 +39,7 @@ int main(int argc, char** argv) {
     exact::CostModel costs;
     costs.swap_cost = 7;
     const auto ref =
-        exact::minimal_cost_reference(cnots, b.n, qx4, table, points, costs);
+        exact::minimal_cost_reference(cnots, b.n, qx4, points, costs);
     const long long cmin = b.original_cost() + ref.cost_f;
 
     heuristic::StochasticSwapOptions sopt;

@@ -13,11 +13,19 @@
 /// `map()` dispatches between the paper's exact method (default), the
 /// Sec. 4 performance-optimised variants (via MapOptions::exact), and the
 /// two heuristic baselines.
+///
+/// Performance knobs: `MapOptions::exact.num_threads` shards the Sec. 4.1
+/// subset instances across worker threads (0 = hardware concurrency;
+/// results are thread-count invariant), and every mapper fetches its
+/// per-architecture routing tables from the process-wide
+/// `arch::SwapCostCache` — repeated `map()` calls on the same coupling map
+/// never rebuild the swaps(π) table.
 
 #pragma once
 
 #include "arch/architectures.hpp"
 #include "arch/coupling_map.hpp"
+#include "arch/swap_cost_cache.hpp"
 #include "exact/exact_mapper.hpp"
 #include "exact/types.hpp"
 #include "heuristic/astar_mapper.hpp"

@@ -28,6 +28,18 @@ CouplingMap::CouplingMap(int num_physical, std::vector<std::pair<int, int>> edge
     neighbours_[static_cast<std::size_t>(b)].push_back(a);
   }
   for (auto& nb : neighbours_) std::sort(nb.begin(), nb.end());
+
+  // Built with append() rather than operator+ chains: GCC 12's -Wrestrict
+  // false-positives on the latter (same workaround as dimacs/z3_engine).
+  fingerprint_ += 'm';
+  fingerprint_ += std::to_string(m_);
+  fingerprint_ += ':';
+  for (const auto& [c, t] : edges_) {
+    if (fingerprint_.back() != ':') fingerprint_ += ';';
+    fingerprint_ += std::to_string(c);
+    fingerprint_ += '>';
+    fingerprint_ += std::to_string(t);
+  }
 }
 
 bool CouplingMap::allows(int control, int target) const {

@@ -39,6 +39,13 @@ class CouplingMap {
     return undirected_;
   }
 
+  /// Canonical structural fingerprint: qubit count plus the sorted directed
+  /// edge list ("m5:1>0;2>0;…"). Two maps share a fingerprint iff they have
+  /// the same qubit count and the same directed edges — the name is
+  /// deliberately excluded, and a directed edge never aliases its bidirected
+  /// counterpart. Cache key of arch::SwapCostCache.
+  [[nodiscard]] const std::string& fingerprint() const noexcept { return fingerprint_; }
+
   /// Undirected neighbours of qubit `p`.
   [[nodiscard]] const std::vector<int>& neighbours(int p) const;
 
@@ -60,6 +67,7 @@ class CouplingMap {
  private:
   int m_;
   std::string name_;
+  std::string fingerprint_;
   std::vector<std::pair<int, int>> edges_;
   std::vector<std::pair<int, int>> undirected_;
   std::vector<std::vector<int>> neighbours_;

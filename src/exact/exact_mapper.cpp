@@ -1,10 +1,17 @@
 #include "exact/exact_mapper.hpp"
 
+#include <atomic>
 #include <chrono>
+#include <exception>
+#include <limits>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
+#include <thread>
 
 #include "arch/subsets.hpp"
+#include "arch/swap_cost_cache.hpp"
 #include "arch/swap_costs.hpp"
 #include "exact/encoder.hpp"
 #include "exact/strategies.hpp"
@@ -22,7 +29,7 @@ using Clock = std::chrono::steady_clock;
 struct InstanceSolution {
   Encoding::Solution solution;
   std::vector<int> subset;  // local physical index -> global physical qubit
-  arch::SwapCostTable table;
+  std::shared_ptr<const arch::SwapCostTable> table;
   reason::Status status;
 };
 
@@ -78,7 +85,7 @@ Reconstruction reconstruct(const Circuit& original, const arch::CouplingMap& cm,
     // CNOT: first apply the permutation scheduled before this gate, if any.
     if (point_idx < points.size() && points[point_idx] == k) {
       const Permutation& pi = best.solution.point_perms[point_idx];
-      for (const auto& [a, b] : best.table.swap_sequence(pi)) {
+      for (const auto& [a, b] : best.table->swap_sequence(pi)) {
         const int ga = subset[static_cast<std::size_t>(a)];
         const int gb = subset[static_cast<std::size_t>(b)];
         append_swap_realisation(out.mapped, cm, ga, gb);
@@ -129,6 +136,24 @@ MappingResult map_without_cnots(const Circuit& circuit, const arch::CouplingMap&
   res.verified = true;
   res.verify_message = "no CNOT constraints to satisfy";
   return res;
+}
+
+/// Per-subset outcome collected by the worker pool. Workers write disjoint
+/// slots, so no slot-level synchronisation is needed.
+struct InstanceOutcome {
+  reason::Status status = reason::Status::Unknown;
+  std::optional<Encoding::Solution> solution;
+  std::shared_ptr<const arch::SwapCostTable> table;
+};
+
+std::size_t resolve_num_threads(int requested, std::size_t num_instances) {
+  if (requested < 0) {
+    throw std::invalid_argument("map_exact: num_threads must be >= 0");
+  }
+  std::size_t threads = requested == 0
+                            ? std::max(1u, std::thread::hardware_concurrency())
+                            : static_cast<std::size_t>(requested);
+  return std::min(threads, num_instances);
 }
 
 }  // namespace
@@ -184,28 +209,113 @@ MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
   res.engine_name = reason::make_engine(options.engine)->name();
   res.permutation_points = static_cast<int>(points.size()) + 1;
 
+  // --- Shard the subset instances across a worker pool (Sec. 4.1) --------
+  //
+  // Each shard owns its engine (the CDCL solver is not thread-safe) and
+  // pulls instance indices from a shared counter. A shared atomic bound
+  // carries the best model cost found so far: later shards start their
+  // Eq. (5) search with objective <= bound already enforced, so instances
+  // that cannot beat the incumbent terminate quickly as bounded-Unsat.
+  //
+  // Determinism: the reduction below selects the lowest cost with ties
+  // broken on the lowest subset index. A shard's reported optimum is
+  // independent of the bound it observed (the bound is inclusive and never
+  // drops below the final best cost), so the selected (cost, index) pair is
+  // bit-identical at every thread count; the winning *model* is then
+  // re-derived canonically after the reduction. When a shard proves a
+  // zero-cost solution — the objective's lower bound — instances at
+  // *higher* indices are skipped: they can at best tie and lose the index
+  // tie-break. Lower indices still run, preserving the tie-break winner.
+  constexpr long long kNoBound = std::numeric_limits<long long>::max();
+  std::atomic<std::size_t> next_instance{0};
+  std::atomic<long long> shared_bound{kNoBound};
+  std::atomic<long long> zero_index{kNoBound};  // lowest index proving cost 0
+  std::vector<InstanceOutcome> outcomes(instances.size());
+  std::mutex error_mutex;
+  std::exception_ptr worker_error;
+
+  const auto worker = [&] {
+    try {
+      for (;;) {
+        const std::size_t i = next_instance.fetch_add(1, std::memory_order_relaxed);
+        if (i >= instances.size()) return;
+        if (static_cast<long long>(i) > zero_index.load(std::memory_order_acquire)) continue;
+        InstanceOutcome& out = outcomes[i];
+        const arch::CouplingMap induced = cm.induced(instances[i]);
+        out.table = arch::SwapCostCache::instance().table(induced);
+        auto engine = reason::make_engine(options.engine);
+        const Encoding enc(*engine, cnots, n, induced, *out.table, points, costs);
+        const long long bound = shared_bound.load(std::memory_order_acquire);
+        if (bound != kNoBound) engine->set_upper_bound(bound);
+        const reason::Outcome outcome = engine->minimize(per_instance_budget);
+        out.status = outcome.status;
+        if (outcome.status != reason::Status::Optimal &&
+            outcome.status != reason::Status::Feasible) {
+          continue;
+        }
+        out.solution = enc.decode();
+        const long long cost = out.solution->cost_f;
+        long long cur = shared_bound.load(std::memory_order_acquire);
+        while (cost < cur &&
+               !shared_bound.compare_exchange_weak(cur, cost, std::memory_order_acq_rel)) {
+        }
+        if (cost == 0) {
+          long long zi = zero_index.load(std::memory_order_acquire);
+          const auto me = static_cast<long long>(i);
+          while (me < zi &&
+                 !zero_index.compare_exchange_weak(zi, me, std::memory_order_acq_rel)) {
+          }
+        }
+      }
+    } catch (...) {
+      {
+        const std::lock_guard<std::mutex> guard(error_mutex);
+        if (!worker_error) worker_error = std::current_exception();
+      }
+      // Drain the queue so the other workers stop promptly instead of
+      // solving instances whose results the rethrow below will discard.
+      next_instance.store(instances.size(), std::memory_order_relaxed);
+    }
+  };
+
+  const std::size_t num_threads = resolve_num_threads(options.num_threads, instances.size());
+  if (num_threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(num_threads);
+    for (std::size_t t = 0; t < num_threads; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+  if (worker_error) std::rethrow_exception(worker_error);
+
+  // --- Deterministic reduction -------------------------------------------
+  // Truncate at the first zero-cost subset (everything after it was either
+  // skipped or can only lose the tie-break), then scan in index order.
+  std::size_t effective = instances.size();
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (outcomes[i].solution && outcomes[i].solution->cost_f == 0) {
+      effective = i + 1;
+      break;
+    }
+  }
+
   std::optional<InstanceSolution> best;
   bool any_feasible_not_optimal = false;
   bool any_unknown = false;
-
-  for (const auto& subset : instances) {
-    const arch::CouplingMap induced = cm.induced(subset);
-    arch::SwapCostTable table(induced);
-    auto engine = reason::make_engine(options.engine);
-    const Encoding enc(*engine, cnots, n, induced, table, points, costs);
-    const reason::Outcome outcome = engine->minimize(per_instance_budget);
+  for (std::size_t i = 0; i < effective; ++i) {
+    InstanceOutcome& out = outcomes[i];
     ++res.instances_solved;
-
-    if (outcome.status == reason::Status::Unsat) continue;
-    if (outcome.status == reason::Status::Unknown) {
+    if (out.status == reason::Status::Unsat) continue;
+    if (out.status == reason::Status::Unknown) {
       any_unknown = true;
       continue;
     }
-    if (outcome.status == reason::Status::Feasible) any_feasible_not_optimal = true;
-
-    Encoding::Solution sol = enc.decode();
-    if (!best || sol.cost_f < best->solution.cost_f) {
-      best = InstanceSolution{std::move(sol), subset, std::move(table), outcome.status};
+    if (out.status == reason::Status::Feasible) any_feasible_not_optimal = true;
+    if (!out.solution) continue;
+    if (!best || out.solution->cost_f < best->solution.cost_f) {
+      best = InstanceSolution{std::move(*out.solution), instances[i], std::move(out.table),
+                              out.status};
     }
   }
 
@@ -213,6 +323,31 @@ MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
     res.status = any_unknown ? reason::Status::Unknown : reason::Status::Unsat;
     res.seconds = std::chrono::duration<double>(Clock::now() - start).count();
     return res;
+  }
+
+  // --- Canonical model re-derivation -------------------------------------
+  // A shard's decoded model can depend on the bound it happened to observe
+  // (the bound changes the search path, and several optimal models may
+  // exist), while its reported *cost* cannot. With more than one instance
+  // the winner is therefore re-solved once under the canonical bound C* —
+  // fully determined by the inputs — so the emitted layouts are
+  // bit-identical at every thread count. The bounded re-solve is cheap: a
+  // model of cost C* is known to exist and nothing below it does.
+  if (instances.size() > 1) {
+    const long long canonical = best->solution.cost_f;
+    const arch::CouplingMap induced = cm.induced(best->subset);
+    auto engine = reason::make_engine(options.engine);
+    const Encoding enc(*engine, cnots, n, induced, *best->table, points, costs);
+    engine->set_upper_bound(canonical);
+    const reason::Outcome outcome = engine->minimize(per_instance_budget);
+    if (outcome.status == reason::Status::Optimal ||
+        outcome.status == reason::Status::Feasible) {
+      Encoding::Solution sol = enc.decode();
+      if (sol.cost_f <= canonical) best->solution = std::move(sol);
+    }
+    // Otherwise the budget expired mid-re-solve; keep the phase-1 model
+    // (correct, merely not canonical — determinism is forfeit on timeouts
+    // anyway).
   }
 
   Reconstruction rec = reconstruct(circuit, cm, *best, points);

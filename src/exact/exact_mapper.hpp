@@ -8,7 +8,12 @@
 ///  2. choose permutation points G' per the configured strategy (Sec. 4.2);
 ///  3. build one symbolic instance over all m physical qubits — or, with
 ///     ExactOptions::use_subsets, one per connected n-subset (Sec. 4.1) —
-///     and minimize Eq. (5) with the configured reasoning engine;
+///     and minimize Eq. (5) with the configured reasoning engine; subset
+///     instances are sharded across ExactOptions::num_threads workers, each
+///     owning its engine, with a shared atomic bound feeding every shard's
+///     Eq. (5) upper bound and a deterministic lowest-cost/lowest-index
+///     reduction (results are bit-identical at any thread count); swaps(π)
+///     tables come from the process-wide arch::SwapCostCache;
 ///  4. decode the best model into layouts/permutations, synthesize SWAP
 ///     chains along coupling edges, re-attach the single-qubit gates, and
 ///     H-conjugate direction-reversed CNOTs (Fig. 3);

@@ -6,6 +6,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "arch/swap_cost_cache.hpp"
 #include "common/permutation.hpp"
 
 namespace qxmap::exact {
@@ -127,6 +128,14 @@ ReferenceResult minimal_cost_reference(const std::vector<Gate>& cnots, int num_l
   const long long best = *std::min_element(dp.begin(), dp.end());
   if (best >= kInf) return {false, 0};
   return {true, best};
+}
+
+ReferenceResult minimal_cost_reference(const std::vector<Gate>& cnots, int num_logical,
+                                       const arch::CouplingMap& cm,
+                                       const std::vector<std::size_t>& perm_points,
+                                       const CostModel& costs) {
+  const auto table = arch::SwapCostCache::instance().table(cm);
+  return minimal_cost_reference(cnots, num_logical, cm, *table, perm_points, costs);
 }
 
 }  // namespace qxmap::exact

@@ -44,4 +44,12 @@ struct ReferenceResult {
                                                      const std::vector<std::size_t>& perm_points,
                                                      const CostModel& costs);
 
+/// Convenience overload fetching the swaps(π) table from the process-wide
+/// arch::SwapCostCache instead of taking a caller-built one.
+[[nodiscard]] ReferenceResult minimal_cost_reference(const std::vector<Gate>& cnots,
+                                                     int num_logical,
+                                                     const arch::CouplingMap& cm,
+                                                     const std::vector<std::size_t>& perm_points,
+                                                     const CostModel& costs);
+
 }  // namespace qxmap::exact

@@ -38,7 +38,18 @@ struct ExactOptions {
   /// Sec. 4.1: solve one instance per connected n-subset of physical qubits
   /// instead of one instance over all m.
   bool use_subsets = false;
-  /// Total solver budget, split evenly across subset instances.
+  /// Worker threads sharding the subset instances (0 = hardware
+  /// concurrency). Each shard owns its reasoning engine — the CDCL solver
+  /// is not thread-safe — and publishes its best model cost to a shared
+  /// bound that lets later shards strengthen their Eq. (5) upper bound. The
+  /// reduction is deterministic (lowest cost, then lowest subset index), so
+  /// every thread count yields bit-identical results as long as the solver
+  /// budget does not expire mid-search.
+  int num_threads = 0;
+  /// Total solver budget, split evenly across subset instances. The
+  /// canonical re-derivation of the winning instance (which keeps results
+  /// thread-count invariant) may spend up to one extra per-instance share
+  /// on top of this total.
   std::chrono::milliseconds budget{10000};
   CostModel costs;
   /// Verify the result (GF(2) skeleton always; statevector when the
@@ -62,7 +73,10 @@ struct MappingResult {
   int cnots_reversed = 0;
   reason::Status status = reason::Status::Unknown;
   double seconds = 0.0;
-  int instances_solved = 0;         ///< subset instances attempted (Sec. 4.1)
+  int instances_solved = 0;         ///< subset instances contributing to the reduction
+                                    ///< (Sec. 4.1); once a subset proves cost 0, all
+                                    ///< later subsets are skipped — they can at best tie
+                                    ///< and lose the deterministic index tie-break
   int permutation_points = 0;       ///< |G'| + 1 (the paper's |G'| column counts
                                     ///< the free initial mapping too)
   std::string engine_name;

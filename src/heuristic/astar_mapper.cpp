@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "arch/distances.hpp"
+#include "arch/swap_cost_cache.hpp"
 #include "exact/swap_synthesis.hpp"
 #include "ir/layers.hpp"
 #include "sim/equivalence.hpp"
@@ -98,7 +99,8 @@ exact::MappingResult map_astar(const Circuit& circuit, const arch::CouplingMap& 
     throw std::invalid_argument("map_astar: decompose SWAPs before mapping");
   }
 
-  const arch::DistanceMatrix dist(cm);
+  const auto dist_handle = arch::SwapCostCache::instance().distances(cm);
+  const arch::DistanceMatrix& dist = *dist_handle;
 
   exact::MappingResult res;
   res.engine_name = "astar";

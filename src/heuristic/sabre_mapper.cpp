@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "arch/distances.hpp"
+#include "arch/swap_cost_cache.hpp"
 #include "common/rng.hpp"
 #include "exact/swap_synthesis.hpp"
 #include "sim/linear_reversible.hpp"
@@ -248,7 +249,8 @@ exact::MappingResult map_sabre(const Circuit& circuit, const arch::CouplingMap& 
     throw std::invalid_argument("map_sabre: decompose SWAPs before mapping");
   }
 
-  const arch::DistanceMatrix dist(cm);
+  const auto dist_handle = arch::SwapCostCache::instance().distances(cm);
+  const arch::DistanceMatrix& dist = *dist_handle;
   Rng rng(options.seed);
   const Circuit rev = reversed(circuit);
 

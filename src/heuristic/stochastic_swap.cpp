@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "arch/distances.hpp"
+#include "arch/swap_cost_cache.hpp"
 #include "common/rng.hpp"
 #include "exact/swap_synthesis.hpp"
 #include "ir/layers.hpp"
@@ -215,7 +216,8 @@ exact::MappingResult map_stochastic_swap(const Circuit& circuit, const arch::Cou
     throw std::invalid_argument("map_stochastic_swap: trials and runs must be >= 1");
   }
 
-  const arch::DistanceMatrix dist(cm);
+  const auto dist_handle = arch::SwapCostCache::instance().distances(cm);
+  const arch::DistanceMatrix& dist = *dist_handle;
   const auto layers = asap_layers(circuit);
 
   std::optional<RunState> best;

@@ -115,8 +115,17 @@ void CdclEngine::add_cost_bound(long long bound) {
   }
 }
 
+void CdclEngine::set_upper_bound(long long bound) {
+  if (bound < 0) throw std::invalid_argument("CdclEngine::set_upper_bound: negative bound");
+  upper_bound_ = bound;
+}
+
 Outcome CdclEngine::minimize(std::chrono::milliseconds budget) {
   const auto deadline = std::chrono::steady_clock::now() + budget;
+  // Known external bound: start with objective <= bound already enforced.
+  // Binary-search probes rebuild from stored_clauses_ and re-derive their
+  // own bound from the (now bounded) first model, so this covers both modes.
+  if (upper_bound_) add_cost_bound(*upper_bound_);
   return mode_ == OptimizationMode::BinarySearch ? minimize_binary(deadline)
                                                  : minimize_descending(deadline);
 }

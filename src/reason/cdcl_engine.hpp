@@ -13,6 +13,7 @@
 #pragma once
 
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "reason/engine.hpp"
@@ -39,6 +40,9 @@ class CdclEngine final : public ReasoningEngine {
   int new_bool() override;
   void add_clause(const std::vector<int>& lits) override;
   void add_cost(int var, long long weight) override;
+  /// Enforces objective <= bound via the GTE before the first solve, so the
+  /// descending loop starts below an externally known model cost.
+  void set_upper_bound(long long bound) override;
   Outcome minimize(std::chrono::milliseconds budget) override;
   [[nodiscard]] bool value(int var) const override;
   [[nodiscard]] std::string name() const override { return "cdcl"; }
@@ -56,6 +60,7 @@ class CdclEngine final : public ReasoningEngine {
 
   sat::Solver solver_;
   OptimizationMode mode_ = OptimizationMode::DescendingLinear;
+  std::optional<long long> upper_bound_;
   std::vector<std::vector<sat::Lit>> stored_clauses_;  // for binary-search probes
   std::vector<std::pair<int, long long>> cost_terms_;  // (var, weight)
   // Generalized-totalizer root: ge_[w] ↔ "objective >= w" for attainable w,

@@ -31,6 +31,8 @@ void ReasoningEngine::add_at_most_one(const std::vector<int>& lits) {
   add_clause({-lits[n - 1], -reg[n - 2]});
 }
 
+void ReasoningEngine::set_upper_bound(long long /*bound*/) {}
+
 void ReasoningEngine::add_at_least_one(const std::vector<int>& lits) { add_clause(lits); }
 
 void ReasoningEngine::add_exactly_one(const std::vector<int>& lits) {

@@ -49,6 +49,15 @@ class ReasoningEngine {
   /// weight must be positive.
   virtual void add_cost(int var, long long weight) = 0;
 
+  /// Optimisation hint: a model of cost `bound` is already known elsewhere
+  /// (e.g. from another subset instance, Sec. 4.1), so only models with
+  /// objective <= bound are of interest. Engines may enforce the bound to
+  /// prune the search, in which case costlier-only formulas come back as
+  /// Unsat; callers must treat that as "cannot beat the bound", not as true
+  /// unsatisfiability. Call at most once, before minimize(). The default
+  /// implementation ignores the hint.
+  virtual void set_upper_bound(long long bound);
+
   /// Minimizes the objective subject to the clauses within `budget`.
   virtual Outcome minimize(std::chrono::milliseconds budget) = 0;
 

@@ -44,11 +44,10 @@ TEST_P(ExactVsReference, EngineNeverBeatsAndAlwaysMatchesReference) {
     if (g.is_cnot()) cnots.push_back(g);
   }
   const auto cm = arch::ibm_qx4();
-  const arch::SwapCostTable table(cm);
   const auto points = exact::permutation_points(cnots, param.strategy, cm);
   exact::CostModel costs;
   costs.swap_cost = 7;
-  const auto ref = exact::minimal_cost_reference(cnots, 4, cm, table, points, costs);
+  const auto ref = exact::minimal_cost_reference(cnots, 4, cm, points, costs);
 
   exact::ExactOptions opt;
   opt.engine = param.engine;
@@ -152,10 +151,9 @@ TEST_P(HeuristicFloor, NoHeuristicBeatsTheCertifiedMinimum) {
   }
   std::vector<std::size_t> pts;
   for (std::size_t k = 1; k < cnots.size(); ++k) pts.push_back(k);
-  const arch::SwapCostTable table(cm);
   exact::CostModel costs;
   costs.swap_cost = 7;
-  const auto ref = exact::minimal_cost_reference(cnots, 5, cm, table, pts, costs);
+  const auto ref = exact::minimal_cost_reference(cnots, 5, cm, pts, costs);
   ASSERT_TRUE(ref.feasible);
 
   heuristic::StochasticSwapOptions sopt;

@@ -35,10 +35,9 @@ long long certified_minimum(const Circuit& c) {
   std::vector<std::size_t> pts;
   for (std::size_t k = 1; k < cnots.size(); ++k) pts.push_back(k);
   const auto cm = arch::ibm_qx4();
-  const arch::SwapCostTable table(cm);
   exact::CostModel costs;
   costs.swap_cost = 7;
-  const auto r = exact::minimal_cost_reference(cnots, c.num_qubits(), cm, table, pts, costs);
+  const auto r = exact::minimal_cost_reference(cnots, c.num_qubits(), cm, pts, costs);
   EXPECT_TRUE(r.feasible);
   return r.cost_f;
 }
@@ -76,7 +75,9 @@ TEST_P(ExactMapperTest, SubsetModePreservesMinimalityOnSmallCases) {
     ASSERT_EQ(res.status, Status::Optimal);
     // Sec. 4.1: still minimal on all evaluated cases.
     EXPECT_EQ(res.cost_f, certified_minimum(c)) << "seed " << seed;
-    EXPECT_GE(res.instances_solved, 2);
+    // A zero-cost subset short-circuits the remaining instances (nothing can
+    // beat the objective's lower bound); otherwise every subset is solved.
+    EXPECT_GE(res.instances_solved, res.cost_f == 0 ? 1 : 2);
     EXPECT_TRUE(res.verified) << res.verify_message;
   }
 }

@@ -1,0 +1,190 @@
+/// Determinism/concurrency harness for the parallel exact mapper: thread-
+/// count invariance of the subset shard-and-reduce, the shared-bound early
+/// termination, the zero-cost short-circuit, and oversubscription (more
+/// threads than subsets).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <vector>
+
+#include "arch/architectures.hpp"
+#include "arch/subsets.hpp"
+#include "bench_circuits/generators.hpp"
+#include "exact/exact_mapper.hpp"
+#include "reason/cdcl_engine.hpp"
+
+namespace qxmap {
+namespace {
+
+using exact::ExactOptions;
+using exact::map_exact;
+using exact::MappingResult;
+using reason::EngineKind;
+using reason::Status;
+
+ExactOptions subset_options(EngineKind kind, int num_threads) {
+  ExactOptions opt;
+  opt.engine = kind;
+  opt.use_subsets = true;
+  opt.num_threads = num_threads;
+  opt.budget = std::chrono::milliseconds(30000);
+  return opt;
+}
+
+/// Everything that must be bit-identical across thread counts.
+void expect_identical(const MappingResult& a, const MappingResult& b, const std::string& what) {
+  EXPECT_EQ(a.status, b.status) << what;
+  EXPECT_EQ(a.cost_f, b.cost_f) << what;
+  EXPECT_EQ(a.swaps_inserted, b.swaps_inserted) << what;
+  EXPECT_EQ(a.cnots_reversed, b.cnots_reversed) << what;
+  EXPECT_EQ(a.mapped.counts().single_qubit, b.mapped.counts().single_qubit) << what;
+  EXPECT_EQ(a.initial_layout, b.initial_layout) << what;
+  EXPECT_EQ(a.final_layout, b.final_layout) << what;
+  EXPECT_EQ(a.instances_solved, b.instances_solved) << what;
+  EXPECT_EQ(a.mapped, b.mapped) << what;
+  EXPECT_EQ(a.routed_skeleton, b.routed_skeleton) << what;
+}
+
+class ExactParallelTest : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(ExactParallelTest, ThreadCountInvarianceOnRandomCircuits) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const Circuit c = bench::random_circuit(3, 2, 6, seed, "par3");
+    const auto serial = map_exact(c, arch::ibm_qx4(), subset_options(GetParam(), 1));
+    ASSERT_EQ(serial.status, Status::Optimal) << "seed " << seed;
+    for (const int threads : {2, 8}) {
+      const auto parallel = map_exact(c, arch::ibm_qx4(), subset_options(GetParam(), threads));
+      expect_identical(serial, parallel,
+                       "seed " + std::to_string(seed) + ", threads " + std::to_string(threads));
+    }
+  }
+}
+
+TEST_P(ExactParallelTest, HardwareConcurrencyDefaultMatchesSerial) {
+  const Circuit c = bench::random_circuit(4, 3, 5, 7, "par4");
+  const auto serial = map_exact(c, arch::ibm_qx4(), subset_options(GetParam(), 1));
+  const auto automatic = map_exact(c, arch::ibm_qx4(), subset_options(GetParam(), 0));
+  ASSERT_EQ(serial.status, Status::Optimal);
+  expect_identical(serial, automatic, "num_threads = 0");
+}
+
+TEST_P(ExactParallelTest, OversubscriptionMoreThreadsThanSubsets) {
+  // QX4 has exactly 4 connected 4-subsets; ask for 16 threads.
+  const auto subsets = arch::connected_subsets(arch::ibm_qx4(), 4);
+  ASSERT_EQ(subsets.size(), 4u);
+  const Circuit c = bench::random_circuit(4, 2, 6, 11, "over");
+  const auto serial = map_exact(c, arch::ibm_qx4(), subset_options(GetParam(), 1));
+  const auto oversubscribed = map_exact(c, arch::ibm_qx4(), subset_options(GetParam(), 16));
+  ASSERT_EQ(serial.status, Status::Optimal);
+  expect_identical(serial, oversubscribed, "16 threads, 4 subsets");
+}
+
+TEST_P(ExactParallelTest, ZeroCostSolutionShortCircuitsLaterSubsets) {
+  // A single CNOT always embeds on the first connected 2-subset with cost 0
+  // (the initial mapping is free), so of QX4's six 2-subsets only the first
+  // may be solved — later subsets can at best tie and lose the index
+  // tie-break.
+  Circuit c(2, "zero");
+  c.cnot(0, 1);
+  ASSERT_EQ(arch::connected_subsets(arch::ibm_qx4(), 2).size(), 6u);
+  for (const int threads : {1, 2, 8}) {
+    const auto res = map_exact(c, arch::ibm_qx4(), subset_options(GetParam(), threads));
+    ASSERT_EQ(res.status, Status::Optimal) << threads;
+    EXPECT_EQ(res.cost_f, 0) << threads;
+    EXPECT_EQ(res.instances_solved, 1) << threads;
+    EXPECT_TRUE(res.verified) << res.verify_message;
+  }
+}
+
+TEST_P(ExactParallelTest, NegativeThreadCountIsRejected) {
+  Circuit c(2, "bad");
+  c.cnot(0, 1);
+  auto opt = subset_options(GetParam(), -1);
+  EXPECT_THROW((void)map_exact(c, arch::ibm_qx4(), opt), std::invalid_argument);
+}
+
+TEST_P(ExactParallelTest, ParallelismAppliesOnlyWithMultipleInstances) {
+  // Full-architecture mode has a single instance; any thread count must
+  // behave exactly like the serial full solve.
+  const Circuit c = bench::random_circuit(4, 2, 4, 3, "full");
+  auto serial_opt = subset_options(GetParam(), 1);
+  serial_opt.use_subsets = false;
+  auto parallel_opt = subset_options(GetParam(), 8);
+  parallel_opt.use_subsets = false;
+  const auto serial = map_exact(c, arch::ibm_qx4(), serial_opt);
+  const auto parallel = map_exact(c, arch::ibm_qx4(), parallel_opt);
+  ASSERT_EQ(serial.status, Status::Optimal);
+  EXPECT_EQ(serial.instances_solved, 1);
+  expect_identical(serial, parallel, "single-instance mode");
+}
+
+INSTANTIATE_TEST_SUITE_P(BothEngines, ExactParallelTest,
+                         ::testing::Values(EngineKind::Cdcl, EngineKind::Z3));
+
+// --- Shared-bound correctness at the engine level --------------------------
+//
+// The shards feed each other Eq. (5) upper bounds via
+// ReasoningEngine::set_upper_bound; these tests pin down the contract the
+// mapper relies on: a bound at or above the optimum never changes the
+// reported optimum, and a bound below it comes back as (bounded) Unsat.
+
+namespace bound {
+
+/// Builds "pay 3 for a, 5 for b, at least one of a/b" — optimum 3 (a alone).
+struct SmallObjective {
+  reason::CdclEngine engine;
+  int a;
+  int b;
+  SmallObjective() {
+    a = engine.new_bool();
+    b = engine.new_bool();
+    engine.add_clause({a + 1, b + 1});
+    engine.add_cost(a, 3);
+    engine.add_cost(b, 5);
+  }
+};
+
+}  // namespace bound
+
+TEST(SharedBoundContract, BoundAboveOptimumKeepsOptimum) {
+  bound::SmallObjective p;
+  p.engine.set_upper_bound(7);
+  const auto out = p.engine.minimize(std::chrono::milliseconds(5000));
+  EXPECT_EQ(out.status, Status::Optimal);
+  EXPECT_EQ(out.cost, 3);
+}
+
+TEST(SharedBoundContract, BoundEqualToOptimumKeepsOptimum) {
+  // The mapper publishes bounds inclusively: a tying instance must still
+  // find its model so the deterministic index tie-break sees it.
+  bound::SmallObjective p;
+  p.engine.set_upper_bound(3);
+  const auto out = p.engine.minimize(std::chrono::milliseconds(5000));
+  EXPECT_EQ(out.status, Status::Optimal);
+  EXPECT_EQ(out.cost, 3);
+}
+
+TEST(SharedBoundContract, BoundBelowOptimumTerminatesAsBoundedUnsat) {
+  bound::SmallObjective p;
+  p.engine.set_upper_bound(2);
+  const auto out = p.engine.minimize(std::chrono::milliseconds(5000));
+  EXPECT_EQ(out.status, Status::Unsat);
+}
+
+TEST(SharedBoundContract, BinarySearchModeHonoursTheBound) {
+  bound::SmallObjective p;
+  p.engine.set_mode(reason::OptimizationMode::BinarySearch);
+  p.engine.set_upper_bound(3);
+  const auto out = p.engine.minimize(std::chrono::milliseconds(5000));
+  EXPECT_EQ(out.status, Status::Optimal);
+  EXPECT_EQ(out.cost, 3);
+}
+
+TEST(SharedBoundContract, NegativeBoundIsRejected) {
+  bound::SmallObjective p;
+  EXPECT_THROW(p.engine.set_upper_bound(-1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qxmap

@@ -26,10 +26,9 @@ long long certified_minimum(const Circuit& c, const arch::CouplingMap& cm) {
   }
   std::vector<std::size_t> pts;
   for (std::size_t k = 1; k < cnots.size(); ++k) pts.push_back(k);
-  const arch::SwapCostTable table(cm);
   exact::CostModel costs;
   costs.swap_cost = exact::swap_gate_cost(cm);
-  const auto r = exact::minimal_cost_reference(cnots, c.num_qubits(), cm, table, pts, costs);
+  const auto r = exact::minimal_cost_reference(cnots, c.num_qubits(), cm, pts, costs);
   EXPECT_TRUE(r.feasible);
   return r.cost_f;
 }

@@ -146,10 +146,9 @@ TEST(Integration, HeadlineClaimShapeHoldsInMiniature) {
     }
     std::vector<std::size_t> pts;
     for (std::size_t k = 1; k < cnots.size(); ++k) pts.push_back(k);
-    const arch::SwapCostTable table(cm);
     exact::CostModel costs;
     costs.swap_cost = 7;
-    const auto ref = exact::minimal_cost_reference(cnots, 5, cm, table, pts, costs);
+    const auto ref = exact::minimal_cost_reference(cnots, 5, cm, pts, costs);
     ASSERT_TRUE(ref.feasible);
     heuristic::StochasticSwapOptions sopt;
     sopt.seed = seed;

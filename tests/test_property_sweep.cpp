@@ -1,6 +1,8 @@
 /// Property-style sweeps over common/permutation and common/gf2: algebraic
 /// identities (compose/invert, rank/from_rank round-trips, GF(2) rank
-/// invariants) checked over many seeded random instances via common/rng.
+/// invariants) checked over many seeded random instances via common/rng —
+/// plus a seeded random-circuit sweep asserting the parallel exact mapper
+/// agrees with its serial run on every built-in architecture.
 
 #include <gtest/gtest.h>
 
@@ -8,9 +10,12 @@
 #include <numeric>
 #include <vector>
 
+#include "arch/architectures.hpp"
+#include "bench_circuits/generators.hpp"
 #include "common/gf2.hpp"
 #include "common/permutation.hpp"
 #include "common/rng.hpp"
+#include "exact/exact_mapper.hpp"
 
 namespace qxmap {
 namespace {
@@ -200,6 +205,35 @@ TEST(Gf2Properties, RankMatchesNumberOfIndependentRowsByConstruction) {
     }
     EXPECT_EQ(m.rank(), k);
     EXPECT_EQ(m.invertible(), k == n);
+  }
+}
+
+TEST(ExactParallelProperties, SerialAndParallelAgreeOnEveryBuiltInArchitecture) {
+  // Subset mode needs n < m, and the induced instances stay tabulable
+  // (n <= 8) even on the 16/20-qubit machines, so a 3-qubit skeleton
+  // exercises every built-in coupling map.
+  for (const auto& name : arch::known_names()) {
+    const auto cm = arch::by_name(name);
+    for (const std::uint64_t seed : {1u, 2u, 3u}) {
+      const Circuit c = bench::random_cnot_circuit(3, 4, seed, "sweep/" + name);
+      exact::ExactOptions opt;
+      opt.engine = reason::EngineKind::Cdcl;
+      opt.use_subsets = true;
+      opt.budget = std::chrono::milliseconds(60000);
+      opt.num_threads = 1;
+      const auto serial = exact::map_exact(c, cm, opt);
+      ASSERT_EQ(serial.status, reason::Status::Optimal) << name << " seed " << seed;
+      opt.num_threads = 4;
+      const auto parallel = exact::map_exact(c, cm, opt);
+      EXPECT_EQ(parallel.status, serial.status) << name << " seed " << seed;
+      EXPECT_EQ(parallel.cost_f, serial.cost_f) << name << " seed " << seed;
+      EXPECT_EQ(parallel.swaps_inserted, serial.swaps_inserted) << name << " seed " << seed;
+      EXPECT_EQ(parallel.cnots_reversed, serial.cnots_reversed) << name << " seed " << seed;
+      EXPECT_EQ(parallel.instances_solved, serial.instances_solved) << name << " seed " << seed;
+      EXPECT_EQ(parallel.initial_layout, serial.initial_layout) << name << " seed " << seed;
+      EXPECT_EQ(parallel.mapped, serial.mapped) << name << " seed " << seed;
+      EXPECT_TRUE(serial.verified) << serial.verify_message;
+    }
   }
 }
 

@@ -23,10 +23,9 @@ long long certified_minimum(const Circuit& c, const arch::CouplingMap& cm) {
   }
   std::vector<std::size_t> pts;
   for (std::size_t k = 1; k < cnots.size(); ++k) pts.push_back(k);
-  const arch::SwapCostTable table(cm);
   exact::CostModel costs;
   costs.swap_cost = exact::swap_gate_cost(cm);
-  return exact::minimal_cost_reference(cnots, c.num_qubits(), cm, table, pts, costs).cost_f;
+  return exact::minimal_cost_reference(cnots, c.num_qubits(), cm, pts, costs).cost_f;
 }
 
 TEST(Sabre, ProducesValidMappingsOnQx4) {
