@@ -20,9 +20,15 @@
 /// gates).
 ///
 /// Usage: table1 [--budget-ms N] [--engine z3|cdcl] [--max-cnots N]
-///               [--benchmark NAME] [--skip-min]
+///               [--benchmark NAME] [--skip-min] [--json PATH]
+///
+/// `--json PATH` additionally writes the tracked performance baseline
+/// (BENCH_table1.json at the repo root): one row per benchmark with the
+/// Sec. 4.1 subsets configuration — row schema {circuit, arch, cost,
+/// wall_ms, proven}, under top-level {schema, method, engine, budget_ms}.
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -49,6 +55,7 @@ struct Config {
   int max_cnots = 1000;
   std::optional<std::string> only;
   bool skip_min = false;
+  std::optional<std::string> json_path;
 };
 
 Config parse_args(int argc, char** argv) {
@@ -70,6 +77,8 @@ Config parse_args(int argc, char** argv) {
       cfg.only = next();
     } else if (arg == "--skip-min") {
       cfg.skip_min = true;
+    } else if (arg == "--json") {
+      cfg.json_path = next();
     } else {
       std::cerr << "unknown argument: " << arg << '\n';
       std::exit(2);
@@ -132,6 +141,14 @@ int main(int argc, char** argv) {
   int count_added = 0;
   int rows = 0;
 
+  struct JsonRow {
+    std::string circuit;
+    long long cost = -1;
+    double wall_ms = 0.0;
+    bool proven = false;
+  };
+  std::vector<JsonRow> json_rows;
+
   for (const auto& b : bench::table1_benchmarks()) {
     if (cfg.only && b.name != *cfg.only) continue;
     if (b.cnot > cfg.max_cnots) continue;
@@ -161,6 +178,8 @@ int main(int argc, char** argv) {
     auto subset_opt = base;
     subset_opt.use_subsets = true;
     const Cell subset_cell = run_exact(circuit, subset_opt);
+    json_rows.push_back(
+        {b.name, subset_cell.c, subset_cell.seconds * 1000.0, subset_cell.proven});
 
     const auto strategy_cell = [&](exact::PermutationStrategy s) {
       auto opt = base;
@@ -200,6 +219,30 @@ int main(int argc, char** argv) {
       ++count_added;
     }
     ++rows;
+  }
+
+  if (cfg.json_path) {
+    std::ofstream out(*cfg.json_path);
+    if (!out) {
+      std::cerr << "cannot open " << *cfg.json_path << " for writing\n";
+      return 1;
+    }
+    out << "{\n"
+        << "  \"schema\": \"qxmap-table1-baseline-v1\",\n"
+        << "  \"method\": \"exact + subsets (Sec. 4.1)\",\n"
+        << "  \"engine\": \"" << reason::to_string(cfg.engine) << "\",\n"
+        << "  \"budget_ms\": " << cfg.budget_ms << ",\n"
+        << "  \"rows\": [\n";
+    for (std::size_t i = 0; i < json_rows.size(); ++i) {
+      const auto& r = json_rows[i];
+      out << "    {\"circuit\": \"" << r.circuit << "\", \"arch\": \"ibm_qx4\", \"cost\": "
+          << r.cost << ", \"wall_ms\": " << format_fixed(r.wall_ms, 1)
+          << ", \"proven\": " << (r.proven ? "true" : "false") << '}'
+          << (i + 1 < json_rows.size() ? "," : "") << '\n';
+    }
+    out << "  ]\n}\n";
+    std::cout << "\nwrote baseline: " << *cfg.json_path << " (" << json_rows.size()
+              << " rows)\n";
   }
 
   if (rows > 0) {

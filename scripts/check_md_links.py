@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Markdown link lint: every relative link in the given files must resolve.
+
+Usage: check_md_links.py FILE.md [FILE.md ...]
+
+External links (http/https/mailto) are not fetched — this is an offline
+check that documentation does not drift from the tree (renamed files,
+deleted docs, moved tests). Anchors are stripped before resolution.
+Exits non-zero listing every broken link as file:line: target.
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def check(path: str) -> list[str]:
+    base = os.path.dirname(path)
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    bad = []
+    for match in LINK_RE.finditer(text):
+        raw = match.group(1)
+        if raw.startswith(EXTERNAL):
+            continue
+        target = raw.split("#", 1)[0]
+        if not target:  # pure intra-file anchor
+            continue
+        resolved = os.path.normpath(os.path.join(base, target))
+        if not os.path.exists(resolved):
+            line = text.count("\n", 0, match.start()) + 1
+            bad.append(f"{path}:{line}: broken link -> {raw}")
+    return bad
+
+
+def main(paths: list[str]) -> int:
+    if not paths:
+        print("usage: check_md_links.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    bad = []
+    for path in paths:
+        bad.extend(check(path))
+    for entry in bad:
+        print(entry)
+    if bad:
+        return 1
+    print(f"checked {len(paths)} file(s): all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

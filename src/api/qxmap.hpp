@@ -14,6 +14,14 @@
 /// Sec. 4 performance-optimised variants (via MapOptions::exact), and the
 /// two heuristic baselines.
 ///
+/// The QASM front-end accepts full OpenQASM 2.0 — user-defined `gate`
+/// declarations (macro-expanded into the U/CX IR), `if (creg == n)`
+/// conditionals (carried on `Gate::condition` and preserved verbatim by
+/// every mapper), parameter expressions, and `include` resolution
+/// configurable through `qasm::ParseOptions` (include search paths,
+/// expansion depth). See docs/qasm-support.md for the construct-by-
+/// construct support matrix.
+///
 /// Performance knobs: `MapOptions::exact.num_threads` shards the Sec. 4.1
 /// subset instances across worker threads (0 = hardware concurrency;
 /// results are thread-count invariant), and every mapper fetches its

@@ -74,12 +74,9 @@ Reconstruction reconstruct(const Circuit& original, const arch::CouplingMap& cm,
       out.mapped.append(g);
       continue;
     }
-    if (g.kind == OpKind::Measure) {
-      out.mapped.append(Gate::measure(cur[static_cast<std::size_t>(g.target)]));
-      continue;
-    }
-    if (g.is_single_qubit()) {
-      out.mapped.append(Gate::single(g.kind, cur[static_cast<std::size_t>(g.target)], g.params));
+    if (g.kind == OpKind::Measure || g.is_single_qubit()) {
+      // remapped() keeps params and any classical guard.
+      out.mapped.append(g.remapped(cur[static_cast<std::size_t>(g.target)]));
       continue;
     }
     // CNOT: first apply the permutation scheduled before this gate, if any.
@@ -113,7 +110,7 @@ Reconstruction reconstruct(const Circuit& original, const arch::CouplingMap& cm,
     const int pt = cur[static_cast<std::size_t>(g.target)];
     out.skeleton.cnot(pc, pt);
     if (!cm.allows(pc, pt)) ++out.reversed;
-    append_cnot_realisation(out.mapped, cm, pc, pt);
+    append_cnot_realisation(out.mapped, cm, pc, pt, g.condition);
     ++k;
   }
   out.final_layout = cur;

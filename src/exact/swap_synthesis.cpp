@@ -26,17 +26,18 @@ void append_swap_realisation(Circuit& c, const arch::CouplingMap& cm, int a, int
   c.cnot(u, v);
 }
 
-void append_cnot_realisation(Circuit& c, const arch::CouplingMap& cm, int control, int target) {
+void append_cnot_realisation(Circuit& c, const arch::CouplingMap& cm, int control, int target,
+                             const std::optional<Condition>& condition) {
   if (cm.allows(control, target)) {
-    c.cnot(control, target);
+    c.append(Gate::cnot(control, target).with_condition(condition));
     return;
   }
   if (cm.allows(target, control)) {
-    c.h(control);
-    c.h(target);
-    c.cnot(target, control);
-    c.h(control);
-    c.h(target);
+    c.append(Gate::single(OpKind::H, control).with_condition(condition));
+    c.append(Gate::single(OpKind::H, target).with_condition(condition));
+    c.append(Gate::cnot(target, control).with_condition(condition));
+    c.append(Gate::single(OpKind::H, control).with_condition(condition));
+    c.append(Gate::single(OpKind::H, target).with_condition(condition));
     return;
   }
   throw std::invalid_argument("append_cnot_realisation: qubits not coupled");

@@ -3,6 +3,8 @@
 
 #pragma once
 
+#include <optional>
+
 #include "arch/coupling_map.hpp"
 #include "ir/circuit.hpp"
 
@@ -16,9 +18,12 @@ namespace qxmap::exact {
 void append_swap_realisation(Circuit& c, const arch::CouplingMap& cm, int a, int b);
 
 /// Appends CNOT(control → target) on coupled qubits, H-conjugating when only
-/// the reverse edge exists (4 extra H gates).
+/// the reverse edge exists (4 extra H gates). A classical guard, when given,
+/// is applied to every emitted gate (the realisation as a whole is the
+/// guarded operation).
 /// \throws std::invalid_argument if the qubits are not coupled.
-void append_cnot_realisation(Circuit& c, const arch::CouplingMap& cm, int control, int target);
+void append_cnot_realisation(Circuit& c, const arch::CouplingMap& cm, int control, int target,
+                             const std::optional<Condition>& condition = {});
 
 /// The per-SWAP gate cost on this architecture: 7 if any coupling is
 /// one-directional, 3 if every coupling is bidirected. This is the weight of

@@ -139,20 +139,16 @@ exact::MappingResult map_astar(const Circuit& circuit, const arch::CouplingMap& 
         res.mapped.append(g);
         continue;
       }
-      if (g.kind == OpKind::Measure) {
-        res.mapped.append(Gate::measure(layout[static_cast<std::size_t>(g.target)]));
-        continue;
-      }
-      if (g.is_single_qubit()) {
-        res.mapped.append(
-            Gate::single(g.kind, layout[static_cast<std::size_t>(g.target)], g.params));
+      if (g.kind == OpKind::Measure || g.is_single_qubit()) {
+        // remapped() keeps params and any classical guard.
+        res.mapped.append(g.remapped(layout[static_cast<std::size_t>(g.target)]));
         continue;
       }
       const int pc = layout[static_cast<std::size_t>(g.control)];
       const int pt = layout[static_cast<std::size_t>(g.target)];
       res.routed_skeleton.cnot(pc, pt);
       if (!cm.allows(pc, pt)) ++res.cnots_reversed;
-      exact::append_cnot_realisation(res.mapped, cm, pc, pt);
+      exact::append_cnot_realisation(res.mapped, cm, pc, pt, g.condition);
     }
   }
   res.final_layout = layout;

@@ -76,17 +76,15 @@ PassResult run_pass(const Circuit& circuit, const arch::CouplingMap& cm,
     if (emit != nullptr) {
       if (g.kind == OpKind::Barrier) {
         emit->append(g);
-      } else if (g.kind == OpKind::Measure) {
-        emit->append(Gate::measure(result.layout[static_cast<std::size_t>(g.target)]));
-      } else if (g.is_single_qubit()) {
-        emit->append(
-            Gate::single(g.kind, result.layout[static_cast<std::size_t>(g.target)], g.params));
+      } else if (g.kind == OpKind::Measure || g.is_single_qubit()) {
+        // remapped() keeps params and any classical guard.
+        emit->append(g.remapped(result.layout[static_cast<std::size_t>(g.target)]));
       } else {
         const int pc = result.layout[static_cast<std::size_t>(g.control)];
         const int pt = result.layout[static_cast<std::size_t>(g.target)];
         skeleton->cnot(pc, pt);
         if (!cm.allows(pc, pt)) ++result.reversed;
-        exact::append_cnot_realisation(*emit, cm, pc, pt);
+        exact::append_cnot_realisation(*emit, cm, pc, pt, g.condition);
       }
     }
     for (const std::size_t succ : dag.succs[gi]) {

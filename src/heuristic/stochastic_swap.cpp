@@ -47,19 +47,16 @@ void emit_gate(RunState& st, const arch::CouplingMap& cm, const Gate& g) {
     st.mapped.append(g);
     return;
   }
-  if (g.kind == OpKind::Measure) {
-    st.mapped.append(Gate::measure(st.layout[static_cast<std::size_t>(g.target)]));
-    return;
-  }
-  if (g.is_single_qubit()) {
-    st.mapped.append(Gate::single(g.kind, st.layout[static_cast<std::size_t>(g.target)], g.params));
+  if (g.kind == OpKind::Measure || g.is_single_qubit()) {
+    // remapped() keeps params and any classical guard.
+    st.mapped.append(g.remapped(st.layout[static_cast<std::size_t>(g.target)]));
     return;
   }
   const int pc = st.layout[static_cast<std::size_t>(g.control)];
   const int pt = st.layout[static_cast<std::size_t>(g.target)];
   st.skeleton.cnot(pc, pt);
   if (!cm.allows(pc, pt)) ++st.reversed;
-  exact::append_cnot_realisation(st.mapped, cm, pc, pt);
+  exact::append_cnot_realisation(st.mapped, cm, pc, pt, g.condition);
 }
 
 /// All CNOTs of `gates` executable (coupled in some direction) under layout?

@@ -46,7 +46,10 @@ std::vector<std::size_t> Circuit::cnot_positions() const {
 Circuit Circuit::cnot_skeleton() const {
   Circuit out(num_qubits_, name_.empty() ? std::string{} : name_ + "/cnot-skeleton");
   for (const auto& g : gates_) {
-    if (g.is_cnot()) out.append(g);
+    if (!g.is_cnot()) continue;
+    // The skeleton only captures connectivity constraints; classical guards
+    // are dropped (a guarded CNOT must be routable either way).
+    out.append(Gate::cnot(g.control, g.target));
   }
   return out;
 }
@@ -59,16 +62,17 @@ Circuit Circuit::with_swaps_expanded() const {
       continue;
     }
     // SWAP(a,b) = CX(a,b) CX(b,a) CX(a,b); the middle CX is realised as
-    // H a; H b; CX(a,b); H a; H b — the 7-operation form of Fig. 3.
+    // H a; H b; CX(a,b); H a; H b — the 7-operation form of Fig. 3. A
+    // classical guard on the SWAP rides along to every expanded gate.
     const int a = g.target;
     const int b = g.control;
-    out.cnot(a, b);
-    out.h(a);
-    out.h(b);
-    out.cnot(a, b);
-    out.h(a);
-    out.h(b);
-    out.cnot(a, b);
+    out.append(Gate::cnot(a, b).with_condition(g.condition));
+    out.append(Gate::single(OpKind::H, a).with_condition(g.condition));
+    out.append(Gate::single(OpKind::H, b).with_condition(g.condition));
+    out.append(Gate::cnot(a, b).with_condition(g.condition));
+    out.append(Gate::single(OpKind::H, a).with_condition(g.condition));
+    out.append(Gate::single(OpKind::H, b).with_condition(g.condition));
+    out.append(Gate::cnot(a, b).with_condition(g.condition));
   }
   return out;
 }

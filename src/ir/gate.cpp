@@ -1,6 +1,7 @@
 #include "ir/gate.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "common/strings.hpp"
 
@@ -122,6 +123,19 @@ Gate Gate::measure(int q) {
   return g;
 }
 
+Gate Gate::remapped(int new_target, int new_control) const {
+  Gate g = *this;
+  g.target = new_target;
+  g.control = new_control;
+  return g;
+}
+
+Gate Gate::with_condition(std::optional<Condition> cond) && {
+  Gate g = std::move(*this);
+  g.condition = std::move(cond);
+  return g;
+}
+
 std::vector<int> Gate::qubits() const {
   if (kind == OpKind::Barrier) return {};
   if (control >= 0) return {control, target};
@@ -129,7 +143,11 @@ std::vector<int> Gate::qubits() const {
 }
 
 std::string Gate::to_string() const {
-  std::string s(kind_name(kind));
+  std::string s;
+  if (condition) {
+    s += "if(" + condition->creg + "==" + std::to_string(condition->value) + ") ";
+  }
+  s += kind_name(kind);
   if (!params.empty()) {
     s += '(';
     for (std::size_t i = 0; i < params.size(); ++i) {

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,19 @@ enum class OpKind : std::uint8_t {
 /// Lower-case QASM-style mnemonic ("h", "cx", "u3", …).
 [[nodiscard]] std::string_view kind_name(OpKind k) noexcept;
 
+/// Classical guard on a gate, from OpenQASM 2.0 `if (creg == value) op;`.
+/// The gate executes only when the named classical register holds `value`.
+/// Mappers treat guarded gates transparently (the guard rides along to every
+/// elementary gate the operation lowers to); the QASM writer re-emits the
+/// `if` prefix and the creg declaration.
+struct Condition {
+  std::string creg;         ///< source-level classical register name
+  int width = 0;            ///< declared width of that register (bits)
+  std::uint64_t value = 0;  ///< comparison value
+
+  friend bool operator==(const Condition& a, const Condition& b) = default;
+};
+
 /// One quantum gate. Qubit indices refer to *logical* qubits in an unmapped
 /// circuit and to *physical* qubits in a mapped circuit; the IR itself is
 /// agnostic.
@@ -68,6 +82,8 @@ struct Gate {
   int control = -1;
   /// Angle parameters, length == parameter_count(kind).
   std::vector<double> params;
+  /// Classical guard (`if (creg == value)`); unguarded when empty.
+  std::optional<Condition> condition;
 
   /// Factory helpers keep construction sites short and validated.
   [[nodiscard]] static Gate single(OpKind k, int q);
@@ -80,6 +96,17 @@ struct Gate {
   [[nodiscard]] bool is_single_qubit() const noexcept { return is_single_qubit_kind(kind); }
   [[nodiscard]] bool is_cnot() const noexcept { return kind == OpKind::Cnot; }
   [[nodiscard]] bool is_swap() const noexcept { return kind == OpKind::Swap; }
+  [[nodiscard]] bool is_conditional() const noexcept { return condition.has_value(); }
+
+  /// Copy of this gate with its qubit operands replaced; kind, params and
+  /// condition are preserved. Mappers use this to re-target gates from
+  /// logical to physical qubits without dropping the classical guard.
+  [[nodiscard]] Gate remapped(int new_target, int new_control = -1) const;
+
+  /// Copy of this gate carrying the given classical guard (or none). Used
+  /// wherever one guarded source operation expands to several elementary
+  /// gates that must all inherit the guard.
+  [[nodiscard]] Gate with_condition(std::optional<Condition> cond) &&;
 
   /// The qubits this gate touches (1 or 2 entries; empty for Barrier).
   [[nodiscard]] std::vector<int> qubits() const;

@@ -10,8 +10,12 @@ namespace {
 constexpr double kTwoPi = 2 * std::numbers::pi;
 constexpr double kAngleEps = 1e-12;
 
-/// True iff the two gates are adjacent inverses of each other.
+/// True iff the two gates are adjacent inverses of each other. Classically
+/// guarded gates never participate: the creg a guard reads can change
+/// between the two gates (a measure writes it without sharing a qubit), so
+/// only a full dataflow analysis could cancel them soundly.
 bool are_inverse_pair(const Gate& a, const Gate& b) {
+  if (a.is_conditional() || b.is_conditional()) return false;
   const auto self_inverse = [](OpKind k) {
     return k == OpKind::H || k == OpKind::X || k == OpKind::Y || k == OpKind::Z;
   };
@@ -104,7 +108,7 @@ Circuit cancel_inverse_pairs(const Circuit& c, int* cancelled) {
   std::vector<bool> alive;
   int count = 0;
   for (const auto& g : c) {
-    if (g.kind == OpKind::Barrier || g.kind == OpKind::Measure) {
+    if (g.kind == OpKind::Barrier || g.kind == OpKind::Measure || g.is_conditional()) {
       kept.push_back(g);
       alive.push_back(true);
       continue;
@@ -151,7 +155,7 @@ Circuit merge_diagonal_runs(const Circuit& c, int* merged) {
   std::size_t i = 0;
   while (i < c.size()) {
     const Gate& g = c.gate(i);
-    if (!g.is_single_qubit() || !is_diagonal(g)) {
+    if (!g.is_single_qubit() || g.is_conditional() || !is_diagonal(g)) {
       out.append(g);
       ++i;
       continue;
@@ -162,8 +166,8 @@ Circuit merge_diagonal_runs(const Circuit& c, int* merged) {
     double phase = diagonal_phase(g);
     std::size_t j = i + 1;
     int run = 1;
-    while (j < c.size() && c.gate(j).is_single_qubit() && is_diagonal(c.gate(j)) &&
-           c.gate(j).target == g.target) {
+    while (j < c.size() && c.gate(j).is_single_qubit() && !c.gate(j).is_conditional() &&
+           is_diagonal(c.gate(j)) && c.gate(j).target == g.target) {
       phase += diagonal_phase(c.gate(j));
       ++run;
       ++j;
@@ -187,13 +191,14 @@ Circuit simplify_reversed_cnots(const Circuit& c, const std::optional<arch::Coup
   int count = 0;
   std::size_t i = 0;
   const auto is_h = [&](std::size_t idx, int q) {
-    return idx < c.size() && c.gate(idx).kind == OpKind::H && c.gate(idx).target == q;
+    return idx < c.size() && c.gate(idx).kind == OpKind::H && c.gate(idx).target == q &&
+           !c.gate(idx).is_conditional();
   };
   while (i < c.size()) {
     // Match H a; H b; CX(a,b); H a; H b (the two leading/trailing H's in
-    // either order).
+    // either order). Guarded gates never match (see are_inverse_pair).
     if (i + 4 < c.size() && c.gate(i).kind == OpKind::H && c.gate(i + 1).kind == OpKind::H &&
-        c.gate(i + 2).is_cnot()) {
+        c.gate(i + 2).is_cnot() && !c.gate(i + 2).is_conditional()) {
       const int ctl = c.gate(i + 2).control;
       const int tgt = c.gate(i + 2).target;
       const bool leading = (is_h(i, ctl) && is_h(i + 1, tgt)) ||

@@ -1,0 +1,113 @@
+#include "qasm/expr.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <string>
+
+namespace qxmap::qasm {
+
+struct Expr::Node {
+  enum class Kind { Number, Pi, Param, Unary, Binary } kind = Kind::Number;
+  double value = 0.0;
+  int param = -1;
+  UnaryOp uop = UnaryOp::Neg;
+  BinaryOp bop = BinaryOp::Add;
+  std::shared_ptr<const Node> lhs;
+  std::shared_ptr<const Node> rhs;
+
+  [[nodiscard]] double eval(const std::vector<double>& args) const {
+    switch (kind) {
+      case Kind::Number:
+        return value;
+      case Kind::Pi:
+        return std::numbers::pi;
+      case Kind::Param:
+        if (param < 0 || static_cast<std::size_t>(param) >= args.size()) {
+          throw std::out_of_range("Expr::eval: parameter index " + std::to_string(param) +
+                                  " out of range (have " + std::to_string(args.size()) + ")");
+        }
+        return args[static_cast<std::size_t>(param)];
+      case Kind::Unary:
+        switch (uop) {
+          case UnaryOp::Neg: return -lhs->eval(args);
+          case UnaryOp::Sin: return std::sin(lhs->eval(args));
+          case UnaryOp::Cos: return std::cos(lhs->eval(args));
+          case UnaryOp::Tan: return std::tan(lhs->eval(args));
+          case UnaryOp::Exp: return std::exp(lhs->eval(args));
+          case UnaryOp::Ln: return std::log(lhs->eval(args));
+          case UnaryOp::Sqrt: return std::sqrt(lhs->eval(args));
+        }
+        return 0.0;
+      case Kind::Binary:
+        switch (bop) {
+          case BinaryOp::Add: return lhs->eval(args) + rhs->eval(args);
+          case BinaryOp::Sub: return lhs->eval(args) - rhs->eval(args);
+          case BinaryOp::Mul: return lhs->eval(args) * rhs->eval(args);
+          case BinaryOp::Div: return lhs->eval(args) / rhs->eval(args);
+          case BinaryOp::Pow: return std::pow(lhs->eval(args), rhs->eval(args));
+        }
+        return 0.0;
+    }
+    return 0.0;
+  }
+
+  [[nodiscard]] bool constant() const noexcept {
+    switch (kind) {
+      case Kind::Number:
+      case Kind::Pi:
+        return true;
+      case Kind::Param:
+        return false;
+      case Kind::Unary:
+        return lhs->constant();
+      case Kind::Binary:
+        return lhs->constant() && rhs->constant();
+    }
+    return true;
+  }
+};
+
+Expr Expr::number(double value) {
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::Number;
+  n->value = value;
+  return Expr(std::move(n));
+}
+
+Expr Expr::pi() {
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::Pi;
+  return Expr(std::move(n));
+}
+
+Expr Expr::parameter(int index) {
+  if (index < 0) throw std::invalid_argument("Expr::parameter: negative index");
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::Param;
+  n->param = index;
+  return Expr(std::move(n));
+}
+
+Expr Expr::unary(UnaryOp op, Expr operand) {
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::Unary;
+  n->uop = op;
+  n->lhs = std::move(operand.node_);
+  return Expr(std::move(n));
+}
+
+Expr Expr::binary(BinaryOp op, Expr lhs, Expr rhs) {
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::Binary;
+  n->bop = op;
+  n->lhs = std::move(lhs.node_);
+  n->rhs = std::move(rhs.node_);
+  return Expr(std::move(n));
+}
+
+double Expr::eval(const std::vector<double>& args) const { return node_->eval(args); }
+
+bool Expr::is_constant() const noexcept { return node_->constant(); }
+
+}  // namespace qxmap::qasm

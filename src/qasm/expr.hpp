@@ -1,0 +1,60 @@
+/// \file expr.hpp
+/// Parameter-expression AST for the OpenQASM 2.0 front-end.
+///
+/// One expression grammar serves both contexts the language allows:
+/// arguments of builtin gate applications (evaluated immediately, no free
+/// parameters) and arguments inside `gate … { … }` bodies, where an
+/// expression may reference the definition's formal parameters. A gate
+/// definition stores its body expressions un-evaluated; each call site
+/// evaluates them against the actual parameter values.
+///
+/// Grammar (handled by the parser, which builds this AST):
+///   expr    := term (('+'|'-') term)*
+///   term    := factor (('*'|'/') factor)*
+///   factor  := primary ('^' factor)?          // right-associative
+///   primary := number | 'pi' | param | '-' factor
+///            | func '(' expr ')' | '(' expr ')'
+///   func    := sin | cos | tan | exp | ln | sqrt
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+namespace qxmap::qasm {
+
+/// Unary operations: arithmetic negation plus the qelib math functions.
+enum class UnaryOp { Neg, Sin, Cos, Tan, Exp, Ln, Sqrt };
+
+/// Binary arithmetic operations ('^' is power, right-associative).
+enum class BinaryOp { Add, Sub, Mul, Div, Pow };
+
+/// An immutable expression tree. Copies are cheap (shared nodes).
+class Expr {
+ public:
+  /// Literal numeric value.
+  [[nodiscard]] static Expr number(double value);
+  /// The constant pi.
+  [[nodiscard]] static Expr pi();
+  /// Reference to the `index`-th formal parameter of the enclosing gate
+  /// definition (0-based).
+  [[nodiscard]] static Expr parameter(int index);
+  [[nodiscard]] static Expr unary(UnaryOp op, Expr operand);
+  [[nodiscard]] static Expr binary(BinaryOp op, Expr lhs, Expr rhs);
+
+  /// Evaluates the tree; `args[i]` is the value bound to formal parameter i.
+  /// \throws std::out_of_range if the tree references a parameter index
+  ///         beyond `args` (cannot happen for parser-built trees, which
+  ///         resolve parameter names against the definition's formal list).
+  [[nodiscard]] double eval(const std::vector<double>& args) const;
+
+  /// True when the tree references no formal parameters (evaluable with {}).
+  [[nodiscard]] bool is_constant() const noexcept;
+
+ private:
+  struct Node;
+  explicit Expr(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+  std::shared_ptr<const Node> node_;
+};
+
+}  // namespace qxmap::qasm

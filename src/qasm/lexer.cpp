@@ -90,6 +90,12 @@ std::vector<Token> tokenize(std::string_view src) {
       out.push_back(std::move(tok));
       continue;
     }
+    if (c == '=' && i + 1 < src.size() && src[i + 1] == '=') {
+      tok.kind = TokenKind::EqEq;
+      advance(2);
+      out.push_back(std::move(tok));
+      continue;
+    }
 
     switch (c) {
       case ';': tok.kind = TokenKind::Semicolon; break;

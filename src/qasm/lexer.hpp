@@ -25,6 +25,7 @@ enum class TokenKind {
   LBrace,
   RBrace,
   Arrow,        ///< ->
+  EqEq,         ///< == (classical conditions)
   Plus,
   Minus,
   Star,
@@ -42,12 +43,21 @@ struct Token {
   int column = 0;
 };
 
-/// Error raised on malformed input; carries the source location.
+/// Error raised on malformed input; carries the source location (1-based).
 class LexError : public std::runtime_error {
  public:
   LexError(const std::string& message, int line, int column)
       : std::runtime_error("qasm lex error at " + std::to_string(line) + ':' +
-                           std::to_string(column) + ": " + message) {}
+                           std::to_string(column) + ": " + message),
+        line_(line),
+        column_(column) {}
+
+  [[nodiscard]] int line() const noexcept { return line_; }
+  [[nodiscard]] int column() const noexcept { return column_; }
+
+ private:
+  int line_;
+  int column_;
 };
 
 /// Tokenizes the whole input. Line comments (`// …`) are skipped.

@@ -1,6 +1,10 @@
 #include "qasm/writer.hpp"
 
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 
 #include "common/strings.hpp"
@@ -10,6 +14,9 @@ namespace qxmap::qasm {
 namespace {
 
 void emit_gate(std::ostringstream& os, const Gate& g) {
+  if (g.condition) {
+    os << "if(" << g.condition->creg << "==" << g.condition->value << ") ";
+  }
   switch (g.kind) {
     case OpKind::Barrier:
       os << "barrier q;\n";
@@ -48,7 +55,26 @@ std::string write(const Circuit& circuit, const WriterOptions& options) {
   os << "include \"qelib1.inc\";\n";
   if (!c.name().empty()) os << "// " << c.name() << '\n';
   os << "qreg q[" << c.num_qubits() << "];\n";
-  os << "creg c[" << c.num_qubits() << "];\n";
+
+  // Classical registers: the default measure target `c`, widened if a
+  // condition also references a creg named "c", plus one declaration per
+  // distinct condition creg.
+  std::map<std::string, int> cond_cregs;
+  for (const auto& g : c) {
+    if (!g.condition) continue;
+    int& width = cond_cregs[g.condition->creg];
+    width = std::max(width, g.condition->width);
+  }
+  int default_width = c.num_qubits();
+  if (const auto it = cond_cregs.find("c"); it != cond_cregs.end()) {
+    default_width = std::max(default_width, it->second);
+    cond_cregs.erase(it);
+  }
+  os << "creg c[" << default_width << "];\n";
+  for (const auto& [name, width] : cond_cregs) {
+    os << "creg " << name << '[' << width << "];\n";
+  }
+
   for (const auto& g : c) emit_gate(os, g);
   if (options.emit_measure_all) {
     for (int q = 0; q < c.num_qubits(); ++q) {
@@ -60,9 +86,13 @@ std::string write(const Circuit& circuit, const WriterOptions& options) {
 
 void write_file(const Circuit& c, const std::string& path, const WriterOptions& options) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open file for writing: " + path);
+  if (!out) {
+    throw std::runtime_error("qasm: cannot open '" + path + "' for writing: " +
+                             std::strerror(errno));
+  }
   out << write(c, options);
-  if (!out) throw std::runtime_error("write failed: " + path);
+  out.flush();
+  if (!out) throw std::runtime_error("qasm: write to '" + path + "' failed");
 }
 
 }  // namespace qxmap::qasm

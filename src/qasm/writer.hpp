@@ -4,7 +4,10 @@
 /// Mapped circuits round-trip: `parse(write(c))` reproduces `c` up to the
 /// register naming (a single qreg `q` is always emitted). SWAP pseudo-gates
 /// are written as `swap` by default or expanded to the 7-gate Fig. 3 form
-/// with `Options::expand_swaps`.
+/// with `Options::expand_swaps`. Classically guarded gates re-emit their
+/// `if(creg==value)` prefix, and every creg referenced by a guard is
+/// re-declared at its recorded width (a guard creg named `c` shares the
+/// default measure register, widened as needed).
 
 #pragma once
 

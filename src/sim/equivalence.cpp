@@ -11,10 +11,15 @@ namespace qxmap::sim {
 
 namespace {
 
-Circuit strip_measures(const Circuit& c) {
+/// Drops the non-unitary parts before the statevector comparison: measures,
+/// and classically guarded gates (whether a guarded gate fires depends on
+/// measurement outcomes, which a unitary check cannot model). Mapping
+/// re-emits guarded gates positionally, so stripping them from both sides
+/// leaves exactly the unitary core to compare.
+Circuit strip_nonunitary(const Circuit& c) {
   Circuit out(c.num_qubits(), c.name());
   for (const auto& g : c) {
-    if (g.kind != OpKind::Measure) out.append(g);
+    if (g.kind != OpKind::Measure && !g.is_conditional()) out.append(g);
   }
   return out;
 }
@@ -33,8 +38,8 @@ std::uint64_t embed(std::uint64_t x, const std::vector<int>& layout) {
 EquivalenceResult check_mapped_circuit(const Circuit& original_in, const Circuit& mapped_in,
                                        const std::vector<int>& initial_layout,
                                        const std::vector<int>& final_layout, double tolerance) {
-  const Circuit original = strip_measures(original_in);
-  const Circuit mapped = strip_measures(mapped_in);
+  const Circuit original = strip_nonunitary(original_in);
+  const Circuit mapped = strip_nonunitary(mapped_in);
   const int n = original.num_qubits();
   const int m = mapped.num_qubits();
 

@@ -29,8 +29,11 @@ struct EquivalenceResult {
 /// Full statevector check (use for small circuits; mapped circuit must have
 /// at most 16 qubits). `initial_layout[j]` / `final_layout[j]` give the
 /// physical qubit holding logical qubit j before / after the mapped circuit.
-/// SWAP pseudo-gates in `mapped` are simulated natively. Measure gates are
-/// stripped from both circuits before comparison.
+/// SWAP pseudo-gates in `mapped` are simulated natively. Measure gates and
+/// classically guarded (`if`-conditioned) gates are stripped from both
+/// circuits before comparison — a unitary check cannot model
+/// measurement-dependent branches, and mapping preserves guarded gates
+/// positionally, so the unitary cores remain directly comparable.
 [[nodiscard]] EquivalenceResult check_mapped_circuit(const Circuit& original,
                                                      const Circuit& mapped,
                                                      const std::vector<int>& initial_layout,

@@ -75,6 +75,10 @@ void Statevector::apply(const Gate& g) {
   if (g.kind == OpKind::Measure) {
     throw std::invalid_argument("Statevector::apply: Measure not supported in unitary simulation");
   }
+  if (g.is_conditional()) {
+    throw std::invalid_argument(
+        "Statevector::apply: classically guarded gate not supported in unitary simulation");
+  }
 
   if (g.is_single_qubit()) {
     const auto m = single_qubit_matrix(g);

@@ -1,0 +1,19 @@
+// One-bit ripple-carry adder stage built from the classic majority/unmaj
+// user-defined gates (cf. the OpenQASM 2.0 paper's adder example); `gate`
+// bodies were rejected by the pre-1.1 front-end.
+OPENQASM 2.0;
+include "qelib1.inc";
+gate majority a,b,c { cx c,b; cx c,a; ccx a,b,c; }
+gate unmaj a,b,c { ccx a,b,c; cx c,a; cx a,b; }
+qreg cin[1];
+qreg a[1];
+qreg b[1];
+qreg cout[1];
+creg ans[2];
+x a[0];
+x b[0];
+majority cin[0], b[0], a[0];
+cx a[0], cout[0];
+unmaj cin[0], b[0], a[0];
+measure b[0] -> ans[0];
+measure cout[0] -> ans[1];

@@ -1,0 +1,13 @@
+// Parameterized user-defined gates whose bodies evaluate full expression
+// trees (nested calls, sin/ln/exp/sqrt/cos/tan, unary minus, powers) at
+// each call site.
+OPENQASM 2.0;
+include "qelib1.inc";
+gate twist(t,p) a { rz(t/2) a; ry(sin(p)*pi) a; rz(-t/2) a; }
+gate twirl(t) a,b { twist(t, t/4) a; cx a,b; twist(-t, ln(exp(t))) b; }
+qreg q[2];
+creg c[2];
+twirl(pi/3) q[0], q[1];
+rx(sqrt(2)^2) q[0];
+u2(cos(0), tan(0)) q[1];
+measure q -> c;

@@ -1,0 +1,17 @@
+// qelib1 macro gates (cz, cy, ch, rzz), whole-register broadcast and a raw
+// swap across two registers.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg a[2];
+qreg b[2];
+creg ca[2];
+creg cb[2];
+h a;
+cz a[0], b[0];
+cy a[1], b[1];
+rzz(pi/4) a[0], a[1];
+ch b[0], b[1];
+swap a[1], b[0];
+barrier a, b;
+measure a -> ca;
+measure b -> cb;

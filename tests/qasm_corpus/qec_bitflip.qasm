@@ -1,0 +1,22 @@
+// 3-qubit bit-flip code with syndrome-conditioned corrections: combines a
+// user-defined encoder gate, `if` statements on a 2-bit syndrome register,
+// and broadcast measure.
+OPENQASM 2.0;
+include "qelib1.inc";
+gate encode d0,d1,d2 { cx d0,d1; cx d0,d2; }
+qreg d[3];
+qreg s[2];
+creg syn[2];
+creg out[3];
+encode d[0], d[1], d[2];
+x d[0];
+cx d[0], s[0];
+cx d[1], s[0];
+cx d[1], s[1];
+cx d[2], s[1];
+measure s[0] -> syn[0];
+measure s[1] -> syn[1];
+if (syn == 1) x d[0];
+if (syn == 3) x d[1];
+if (syn == 2) x d[2];
+measure d -> out;

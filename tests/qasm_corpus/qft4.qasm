@@ -1,0 +1,18 @@
+// 4-qubit quantum Fourier transform: the controlled-phase gate cu1 comes
+// from the bundled qelib1.inc macro library (previously an unknown gate),
+// with pi/2^k parameter expressions.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+creg c[4];
+h q[0];
+cu1(pi/2) q[1], q[0];
+h q[1];
+cu1(pi/4) q[2], q[0];
+cu1(pi/2) q[2], q[1];
+h q[2];
+cu1(pi/2^3) q[3], q[0];
+cu1(pi/4) q[3], q[1];
+cu1(pi/2) q[3], q[2];
+h q[3];
+measure q -> c;

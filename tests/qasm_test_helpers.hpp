@@ -1,0 +1,32 @@
+/// Shared gate-for-gate comparison for the QASM round-trip suites: exact on
+/// kind, operands and classical guard; writer-precision on angle parameters
+/// (the writer emits 12 fixed decimals, so pi-derived angles re-parse to
+/// within 1e-11, not bit-exactly).
+
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "ir/circuit.hpp"
+
+namespace qxmap::testutil {
+
+inline void expect_same_gates_within_writer_precision(const Circuit& original,
+                                                      const Circuit& reparsed) {
+  ASSERT_EQ(reparsed.num_qubits(), original.num_qubits());
+  ASSERT_EQ(reparsed.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const Gate& a = original.gate(i);
+    const Gate& b = reparsed.gate(i);
+    EXPECT_EQ(b.kind, a.kind) << "gate " << i << ": " << a.to_string();
+    EXPECT_EQ(b.target, a.target) << "gate " << i << ": " << a.to_string();
+    EXPECT_EQ(b.control, a.control) << "gate " << i << ": " << a.to_string();
+    EXPECT_EQ(b.condition, a.condition) << "gate " << i << ": " << a.to_string();
+    ASSERT_EQ(b.params.size(), a.params.size());
+    for (std::size_t p = 0; p < a.params.size(); ++p) {
+      EXPECT_NEAR(b.params[p], a.params[p], 1e-11) << "gate " << i << ": " << a.to_string();
+    }
+  }
+}
+
+}  // namespace qxmap::testutil

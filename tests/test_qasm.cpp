@@ -5,14 +5,43 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <numbers>
+#include <string>
 
 namespace qxmap {
 namespace {
 
+/// Asserts that parsing `src` raises a ParseError at the given 1-based
+/// location whose message contains `substring`. Every rejection path in the
+/// parser is pinned down this way (see docs/qasm-support.md).
+void expect_parse_error(std::string_view src, int line, int column, std::string_view substring,
+                        const qasm::ParseOptions& options = {}) {
+  try {
+    (void)qasm::parse(src, {}, options);
+    FAIL() << "expected ParseError for: " << src;
+  } catch (const qasm::ParseError& e) {
+    EXPECT_EQ(e.line(), line) << e.what();
+    EXPECT_EQ(e.column(), column) << e.what();
+    EXPECT_NE(std::string(e.what()).find(substring), std::string::npos)
+        << "message missing \"" << substring << "\": " << e.what();
+  }
+}
+
 TEST(QasmLexer, RejectsGarbage) {
   EXPECT_THROW(qasm::parse("qreg q[2]; @"), qasm::LexError);
   EXPECT_THROW(qasm::parse("qreg q[2]; \"unterminated"), qasm::LexError);
+}
+
+TEST(QasmLexer, LexErrorCarriesLocation) {
+  try {
+    (void)qasm::parse("qreg q[2];\n  @");
+    FAIL() << "expected LexError";
+  } catch (const qasm::LexError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_EQ(e.column(), 3);
+  }
 }
 
 TEST(QasmParser, MinimalProgram) {
@@ -57,6 +86,18 @@ TEST(QasmParser, ExponentOperator) {
   EXPECT_DOUBLE_EQ(c.gate(0).params[0], 8.0);
 }
 
+TEST(QasmParser, ExpressionFunctions) {
+  const Circuit c = qasm::parse(
+      "qreg q[1];"
+      "rz(sin(pi/2) + sqrt(4)) q[0];"
+      "rx(ln(exp(2))) q[0];"
+      "ry(cos(0) - tan(0)) q[0];");
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_NEAR(c.gate(0).params[0], 3.0, 1e-12);
+  EXPECT_NEAR(c.gate(1).params[0], 2.0, 1e-12);
+  EXPECT_NEAR(c.gate(2).params[0], 1.0, 1e-12);
+}
+
 TEST(QasmParser, MeasureAndBarrier) {
   const Circuit c = qasm::parse(R"(
     qreg q[2]; creg c[2];
@@ -75,21 +116,308 @@ TEST(QasmParser, CcxDecomposesToCliffordT) {
   EXPECT_EQ(counts.single_qubit, 9);  // 2 H + 4 T + 3 Tdg
 }
 
+TEST(QasmParser, SpecBuiltinUAndCX) {
+  // `U` and `CX` are the two builtins of the OpenQASM 2.0 spec itself.
+  const Circuit c = qasm::parse("qreg q[2]; U(pi/2, 0, pi) q[0]; CX q[0], q[1];");
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.gate(0).kind, OpKind::U3);
+  EXPECT_DOUBLE_EQ(c.gate(0).params[0], std::numbers::pi / 2);
+  EXPECT_EQ(c.gate(1), Gate::cnot(0, 1));
+}
+
 TEST(QasmParser, SwapGate) {
   const Circuit c = qasm::parse("qreg q[2]; swap q[0], q[1];");
   EXPECT_EQ(c.gate(0), Gate::swap(0, 1));
 }
 
-TEST(QasmParser, Errors) {
-  EXPECT_THROW(qasm::parse("qreg q[2]; cx q[0], q[2];"), qasm::ParseError);  // out of range
-  EXPECT_THROW(qasm::parse("qreg q[2]; cx q[0];"), qasm::ParseError);        // arity
-  EXPECT_THROW(qasm::parse("qreg q[2]; zz q[0];"), qasm::ParseError);        // unknown gate
-  EXPECT_THROW(qasm::parse("cx q[0], q[1];"), qasm::ParseError);             // undeclared qreg
-  EXPECT_THROW(qasm::parse("qreg q[0];"), qasm::ParseError);                 // empty register
-  EXPECT_THROW(qasm::parse("qreg q[2]; qreg q[2];"), qasm::ParseError);      // duplicate
-  EXPECT_THROW(qasm::parse("qreg q[1]; gate g a { x a; }"), qasm::ParseError);
-  EXPECT_THROW(qasm::parse("qreg q[1]; measure q[0] -> c[0];"), qasm::ParseError);
+// -- user-defined gates -----------------------------------------------------
+
+TEST(QasmParser, CustomGateExpands) {
+  const Circuit c = qasm::parse(R"(
+qreg q[2];
+gate bellpair a,b { h a; cx a,b; }
+bellpair q[0], q[1];
+bellpair q[1], q[0];
+)");
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.gate(0), Gate::single(OpKind::H, 0));
+  EXPECT_EQ(c.gate(1), Gate::cnot(0, 1));
+  EXPECT_EQ(c.gate(2), Gate::single(OpKind::H, 1));
+  EXPECT_EQ(c.gate(3), Gate::cnot(1, 0));
 }
+
+TEST(QasmParser, CustomGatesNest) {
+  const Circuit c = qasm::parse(R"(
+qreg q[3];
+gate bellpair a,b { h a; cx a,b; }
+gate ghz a,b,c { bellpair a,b; cx b,c; }
+ghz q[0], q[1], q[2];
+)");
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.gate(0), Gate::single(OpKind::H, 0));
+  EXPECT_EQ(c.gate(1), Gate::cnot(0, 1));
+  EXPECT_EQ(c.gate(2), Gate::cnot(1, 2));
+}
+
+TEST(QasmParser, CustomGateParametersEvaluatePerCallSite) {
+  const Circuit c = qasm::parse(R"(
+qreg q[1];
+gate twist(t) a { rz(t/2) a; rx(-t) a; }
+twist(pi) q[0];
+twist(pi/2) q[0];
+)");
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_DOUBLE_EQ(c.gate(0).params[0], std::numbers::pi / 2);
+  EXPECT_DOUBLE_EQ(c.gate(1).params[0], -std::numbers::pi);
+  EXPECT_DOUBLE_EQ(c.gate(2).params[0], std::numbers::pi / 4);
+  EXPECT_DOUBLE_EQ(c.gate(3).params[0], -std::numbers::pi / 2);
+}
+
+TEST(QasmParser, CustomGateBodyBarrierIsEmitted) {
+  const Circuit c = qasm::parse("qreg q[2]; gate g a,b { h a; barrier a,b; h b; } g q[0], q[1];");
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.gate(1).kind, OpKind::Barrier);
+}
+
+TEST(QasmParser, BundledQelibGatesExpandToPrimitives) {
+  const Circuit cz = qasm::parse("include \"qelib1.inc\"; qreg q[2]; cz q[0], q[1];");
+  ASSERT_EQ(cz.size(), 3u);
+  EXPECT_EQ(cz.gate(0), Gate::single(OpKind::H, 1));
+  EXPECT_EQ(cz.gate(1), Gate::cnot(0, 1));
+  EXPECT_EQ(cz.gate(2), Gate::single(OpKind::H, 1));
+
+  const Circuit cu1 = qasm::parse("include \"qelib1.inc\"; qreg q[2]; cu1(pi/2) q[0], q[1];");
+  EXPECT_EQ(cu1.counts().cnot, 2);
+  EXPECT_EQ(cu1.counts().single_qubit, 3);
+  EXPECT_DOUBLE_EQ(cu1.gate(0).params[0], std::numbers::pi / 4);
+
+  // cswap goes through the primitive ccx, which decomposes to Clifford+T.
+  const Circuit cswap =
+      qasm::parse("include \"qelib1.inc\"; qreg q[3]; cswap q[0], q[1], q[2];");
+  EXPECT_EQ(cswap.counts().cnot, 8);
+}
+
+TEST(QasmParser, OpaqueDeclarationParsesButApplicationIsRejected) {
+  const Circuit c = qasm::parse("opaque magic(a) x,y; qreg q[2]; h q[0];");
+  EXPECT_EQ(c.size(), 1u);
+  expect_parse_error("opaque magic x,y;\nqreg q[2];\nmagic q[0], q[1];", 3, 1,
+                     "opaque gate 'magic' cannot be applied");
+}
+
+// -- classical conditionals -------------------------------------------------
+
+TEST(QasmParser, IfConditionIsRecordedOnGates) {
+  const Circuit c = qasm::parse(R"(
+qreg q[2];
+creg flag[2];
+if (flag == 3) x q[0];
+if (flag == 0) cx q[0], q[1];
+)");
+  ASSERT_EQ(c.size(), 2u);
+  ASSERT_TRUE(c.gate(0).is_conditional());
+  EXPECT_EQ(c.gate(0).condition->creg, "flag");
+  EXPECT_EQ(c.gate(0).condition->width, 2);
+  EXPECT_EQ(c.gate(0).condition->value, 3u);
+  ASSERT_TRUE(c.gate(1).is_conditional());
+  EXPECT_EQ(c.gate(1).condition->value, 0u);
+}
+
+TEST(QasmParser, IfAppliesToEveryGateOfAnExpandedCall) {
+  const Circuit c = qasm::parse(R"(
+qreg q[2];
+creg f[1];
+gate duo a,b { h a; cx a,b; }
+if (f == 1) duo q[0], q[1];
+)");
+  ASSERT_EQ(c.size(), 2u);
+  for (const auto& g : c) {
+    ASSERT_TRUE(g.is_conditional());
+    EXPECT_EQ(g.condition->creg, "f");
+    EXPECT_EQ(g.condition->value, 1u);
+  }
+}
+
+TEST(QasmParser, IfMeasure) {
+  const Circuit c = qasm::parse("qreg q[1]; creg f[1]; creg o[1]; if (f == 1) measure q[0] -> o[0];");
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.gate(0).kind, OpKind::Measure);
+  ASSERT_TRUE(c.gate(0).is_conditional());
+  EXPECT_EQ(c.gate(0).condition->creg, "f");
+}
+
+// -- whole-register broadcast -----------------------------------------------
+
+TEST(QasmParser, BroadcastSingleQubitGate) {
+  const Circuit c = qasm::parse("qreg q[3]; h q;");
+  ASSERT_EQ(c.size(), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(c.gate(static_cast<std::size_t>(i)).target, i);
+}
+
+TEST(QasmParser, BroadcastTwoQubitGate) {
+  const Circuit c = qasm::parse("qreg a[2]; qreg b[2]; cx a, b;");
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.gate(0), Gate::cnot(0, 2));
+  EXPECT_EQ(c.gate(1), Gate::cnot(1, 3));
+}
+
+TEST(QasmParser, BroadcastMixedFixedAndRegister) {
+  const Circuit c = qasm::parse("qreg a[1]; qreg b[2]; cx a[0], b;");
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.gate(0), Gate::cnot(0, 1));
+  EXPECT_EQ(c.gate(1), Gate::cnot(0, 2));
+}
+
+TEST(QasmParser, BroadcastMeasure) {
+  const Circuit c = qasm::parse("qreg q[3]; creg c[3]; measure q -> c;");
+  ASSERT_EQ(c.size(), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(c.gate(static_cast<std::size_t>(i)), Gate::measure(i));
+}
+
+// -- includes ---------------------------------------------------------------
+
+TEST(QasmParser, IncludeSearchPathsResolveUserIncludes) {
+  const std::string dir = ::testing::TempDir();
+  const std::string inc = dir + "/mygates_qxmap_test.inc";
+  {
+    std::ofstream out(inc);
+    out << "gate flip a { x a; }\n";
+  }
+  qasm::ParseOptions options;
+  options.include_paths.push_back(dir);
+  const Circuit c =
+      qasm::parse("include \"mygates_qxmap_test.inc\"; qreg q[1]; flip q[0];", {}, options);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.gate(0), Gate::single(OpKind::X, 0));
+  std::remove(inc.c_str());
+}
+
+TEST(QasmParser, IncludesResolveRelativeToIncludingFile) {
+  const std::string dir = ::testing::TempDir();
+  const std::string inc = dir + "/neighbor_qxmap_test.inc";
+  const std::string main_file = dir + "/main_qxmap_test.qasm";
+  {
+    std::ofstream out(inc);
+    out << "gate flip a { x a; }\n";
+  }
+  {
+    std::ofstream out(main_file);
+    out << "include \"neighbor_qxmap_test.inc\";\nqreg q[1];\nflip q[0];\n";
+  }
+  const Circuit c = qasm::parse_file(main_file);
+  EXPECT_EQ(c.size(), 1u);
+  std::remove(inc.c_str());
+  std::remove(main_file.c_str());
+}
+
+TEST(QasmParser, CircularIncludeIsRejected) {
+  const std::string dir = ::testing::TempDir();
+  const std::string a = dir + "/cyc_a_qxmap_test.inc";
+  const std::string b = dir + "/cyc_b_qxmap_test.inc";
+  {
+    std::ofstream out(a);
+    out << "include \"cyc_b_qxmap_test.inc\";\n";
+  }
+  {
+    std::ofstream out(b);
+    out << "include \"cyc_a_qxmap_test.inc\";\n";
+  }
+  qasm::ParseOptions options;
+  options.include_paths.push_back(dir);
+  try {
+    (void)qasm::parse("include \"cyc_a_qxmap_test.inc\"; qreg q[1];", {}, options);
+    FAIL() << "expected ParseError";
+  } catch (const qasm::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("circular include"), std::string::npos) << e.what();
+  }
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+TEST(QasmParser, LegacySkipIncludesOption) {
+  qasm::ParseOptions options;
+  options.resolve_includes = false;
+  const Circuit c = qasm::parse("include \"no_such_file.inc\"; qreg q[1]; x q[0];", {}, options);
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(QasmParser, ExpansionDepthLimit) {
+  qasm::ParseOptions options;
+  options.max_expansion_depth = 1;
+  expect_parse_error(
+      "qreg q[1];\n"
+      "gate g1 a { x a; }\n"
+      "gate g2 a { g1 a; }\n"
+      "gate g3 a { g2 a; }\n"
+      "g3 q[0];",
+      5, 1, "max_expansion_depth", options);
+}
+
+// -- diagnostics: every rejection path asserts line, column and message -----
+
+TEST(QasmParser, DiagnosticsCarryLocationAndExcerpt) {
+  // Rejections at known locations; one source construct per case.
+  expect_parse_error("qreg q[2]; cx q[0], q[2];", 1, 21, "qubit index out of range");
+  expect_parse_error("qreg q[2];\ncx q[0];", 2, 1, "expects 2 qubit(s), got 1");
+  expect_parse_error("qreg q[2];\nzz q[0];", 2, 1, "unknown gate 'zz'");
+  expect_parse_error("cx q[0], q[1];", 1, 4, "unknown qreg 'q'");
+  expect_parse_error("qreg q[0];", 1, 8, "register size must be positive");
+  expect_parse_error("qreg q[2];\nqreg q[2];", 2, 6, "duplicate qreg 'q'");
+  expect_parse_error("creg c[1];\ncreg c[1];", 2, 6, "duplicate creg 'c'");
+  expect_parse_error("qreg q[1];\nmeasure q[0] -> c[0];", 2, 17, "unknown creg 'c'");
+  expect_parse_error("qreg q[1]; creg c[1];\nmeasure q[0] -> c[5];", 2, 17,
+                     "classical bit index out of range");
+  expect_parse_error("qreg q[1];\nreset q[0];", 2, 1, "'reset' is not supported");
+  expect_parse_error("qreg q[1];\nrz(pi) q[0], q[0];", 2, 1, "expects 1 qubit(s), got 2");
+  expect_parse_error("qreg q[1];\nrz() q[0];", 2, 1, "expects 1 parameter(s), got 0");
+  expect_parse_error("qreg q[1];\nrz(*) q[0];", 2, 4, "expected expression");
+  expect_parse_error("qreg q[1];\nrz(theta) q[0];", 2, 4, "unknown identifier 'theta'");
+  expect_parse_error("qreg q[1];\nh(pi) q[0];", 2, 1, "expects 0 parameter(s), got 1");
+  expect_parse_error("qreg q[2];\ncx q[0], q[0];", 2, 1, "duplicate qubit argument");
+  expect_parse_error("qreg a[2]; qreg b[3];\ncx a, b;", 2, 7, "broadcast over different-sized");
+  expect_parse_error("qreg q[2]; creg c[3];\nmeasure q -> c;", 2, 9, "broadcast measure needs");
+  expect_parse_error("qreg q[2]; creg c[2];\nmeasure q -> c[0];", 2, 9,
+                     "both indexed or both whole");
+  expect_parse_error("qreg q[1]; creg c[1];\nif (f == 1) x q[0];", 2, 5, "unknown creg 'f'");
+  expect_parse_error("qreg q[1]; creg c[1];\nif (c == 1.5) x q[0];", 2, 10,
+                     "non-negative integer");
+  expect_parse_error("qreg q[1]; creg c[1];\nif (c == 1) if (c == 1) x q[0];", 2, 13,
+                     "nested 'if'");
+  expect_parse_error("qreg q[1]; creg c[1];\nif (c == 1) barrier q;", 2, 13,
+                     "must guard a gate application or measure");
+  expect_parse_error("gate h a { x a; }", 1, 6, "cannot redefine builtin gate 'h'");
+  expect_parse_error("gate g a { x a; }\ngate g a { y a; }", 2, 6, "redefinition of gate 'g'");
+  expect_parse_error("gate g a { zz a; }", 1, 12, "unknown gate 'zz' in gate body");
+  expect_parse_error("gate g a { x a[0]; }", 1, 15, "symbolic (no indexing)");
+  expect_parse_error("gate g a { x b; }", 1, 14, "unknown qubit argument 'b'");
+  expect_parse_error("gate g(t,t) a { rz(t) a; }", 1, 10, "duplicate parameter 't'");
+  expect_parse_error("gate g a,a { x a; }", 1, 10, "duplicate qubit argument 'a'");
+  expect_parse_error("gate g a { x a;", 1, 16, "unterminated gate body");
+  expect_parse_error("include \"no_such_file_qxmap.inc\";", 1, 9, "cannot resolve include");
+  expect_parse_error("qreg q[1]; 5;", 1, 12, "expected statement");
+}
+
+TEST(QasmParser, ErrorWhatShowsSourceLineWithCaret) {
+  try {
+    (void)qasm::parse("qreg q[2];\ncx q[0], q[2];");
+    FAIL() << "expected ParseError";
+  } catch (const qasm::ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("cx q[0], q[2];"), std::string::npos) << what;
+    EXPECT_NE(what.find('^'), std::string::npos) << what;
+  }
+}
+
+TEST(QasmParser, ParseFileErrorIncludesPath) {
+  try {
+    (void)qasm::parse_file("/no/such/dir/qxmap_missing.qasm");
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("/no/such/dir/qxmap_missing.qasm"), std::string::npos)
+        << e.what();
+  }
+}
+
+// -- writer -----------------------------------------------------------------
 
 TEST(QasmWriter, RoundTrip) {
   Circuit c(3, "rt");
@@ -128,6 +456,28 @@ TEST(QasmWriter, MeasureAllOption) {
   opt.emit_measure_all = true;
   const Circuit back = qasm::parse(qasm::write(c, opt));
   EXPECT_EQ(back.size(), 3u);  // h + 2 measures
+}
+
+TEST(QasmWriter, ConditionedGatesEmitIfAndCregDeclaration) {
+  Circuit c(2, "cond");
+  Gate x = Gate::single(OpKind::X, 0);
+  x.condition = Condition{"flag", 2, 3};
+  c.append(x);
+  const std::string text = qasm::write(c);
+  EXPECT_NE(text.find("creg flag[2];"), std::string::npos) << text;
+  EXPECT_NE(text.find("if(flag==3) x q[0];"), std::string::npos) << text;
+}
+
+TEST(QasmWriter, WriteFileErrorIncludesPath) {
+  Circuit c(1);
+  c.h(0);
+  try {
+    qasm::write_file(c, "/no/such/dir/qxmap_out.qasm");
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("/no/such/dir/qxmap_out.qasm"), std::string::npos)
+        << e.what();
+  }
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 #include "ir/circuit.hpp"
 #include "qasm/parser.hpp"
 #include "qasm/writer.hpp"
+#include "qasm_test_helpers.hpp"
 
 namespace qxmap {
 namespace {
@@ -116,6 +117,74 @@ TEST(QasmRoundTrip, MeasureAndBarrierSurvive) {
   c.append(Gate::measure(0));
   c.append(Gate::measure(1));
   expect_roundtrips(c);
+}
+
+TEST(QasmRoundTrip, IfConditionedGatesSurvive) {
+  Circuit c(3, "conditioned");
+  c.h(0);
+  const Condition flag{"flag", 2, 3};
+  const Condition syn{"syn", 1, 0};
+  Gate gx = Gate::single(OpKind::X, 1);
+  gx.condition = flag;
+  c.append(gx);
+  Gate gcx = Gate::cnot(0, 2);
+  gcx.condition = syn;
+  c.append(gcx);
+  Gate grz = Gate::single(OpKind::Rz, 2, {0.5});
+  grz.condition = flag;
+  c.append(grz);
+  Gate gm = Gate::measure(1);
+  gm.condition = syn;
+  c.append(gm);
+  expect_roundtrips(c);
+}
+
+TEST(QasmRoundTrip, ParsedIfStatementsSurvive) {
+  const Circuit c = qasm::parse(R"(
+qreg q[2];
+creg f[2];
+h q[0];
+measure q[0] -> f[0];
+if (f == 1) x q[1];
+if (f == 2) cx q[0], q[1];
+)",
+                                "parsed-if");
+  expect_roundtrips(c);
+  EXPECT_TRUE(c.gate(2).is_conditional());
+}
+
+TEST(QasmRoundTrip, ExpandedCustomGatesSurvive) {
+  const Circuit c = qasm::parse(R"(
+include "qelib1.inc";
+qreg q[3];
+gate bellpair a,b { h a; cx a,b; }
+gate spin(t) a { rz(t/2) a; ry(-t) a; }
+bellpair q[0], q[1];
+spin(pi/8) q[2];
+cu1(pi/4) q[1], q[2];
+cz q[0], q[2];
+)",
+                                "custom-gates");
+  const std::string text = qasm::write(c);
+  const Circuit back = qasm::parse(text, c.name());
+  testutil::expect_same_gates_within_writer_precision(c, back);
+  // Writing the re-parsed circuit is still a fixed point.
+  EXPECT_EQ(qasm::write(back), text);
+}
+
+TEST(QasmRoundTrip, ConditionedSwapExpandsFullyConditioned) {
+  Circuit c(2, "cond-swap");
+  Gate sw = Gate::swap(0, 1);
+  sw.condition = Condition{"f", 1, 1};
+  c.append(sw);
+  qasm::WriterOptions options;
+  options.expand_swaps = true;
+  const Circuit back = qasm::parse(qasm::write(c, options));
+  EXPECT_EQ(back.size(), 7u);
+  for (const auto& g : back) {
+    ASSERT_TRUE(g.is_conditional());
+    EXPECT_EQ(g.condition->creg, "f");
+  }
 }
 
 }  // namespace
