@@ -1,0 +1,88 @@
+/// Scheduler ablation for the parallel exact mapper (docs/concurrency.md):
+/// static-partition-era baseline (index-order queue, solve-start bounds
+/// only — the PR 2 scheduler) vs the work-stealing pop order vs work
+/// stealing + engine-cooperative mid-solve tightening, on the multi-subset
+/// Table 1 circuits (Sec. 4.1 instances on IBM QX4). Wall time is the
+/// metric; results are bit-identical across all three by construction.
+///
+/// The steal order is a pool-saturation lever: it needs real hardware
+/// parallelism to show up, so expect parity on a single-core box.
+/// Cooperative tightening cuts total *work* (hopeless branches abort
+/// mid-solve), so it wins even when workers time-share one core; see
+/// docs/benchmarks.md for tracked numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+#include "arch/architectures.hpp"
+#include "bench_circuits/table1_suite.hpp"
+#include "exact/exact_mapper.hpp"
+
+namespace {
+
+using namespace qxmap;
+
+Circuit table1_circuit(const std::string& name) {
+  for (const auto& b : bench::table1_benchmarks()) {
+    if (b.name == name) return b.build();
+  }
+  throw std::invalid_argument("bench_scheduler: unknown Table 1 benchmark " + name);
+}
+
+void run_scheduler(benchmark::State& state, const std::string& name, exact::Toggle steal,
+                   exact::Toggle tighten) {
+  const Circuit circuit = table1_circuit(name);
+  exact::ExactOptions opt;
+  opt.engine = reason::EngineKind::Cdcl;
+  opt.use_subsets = true;
+  opt.num_threads = 4;  // QX4 has 4 connected 4-subsets; n=3 lists are larger
+  opt.work_stealing = steal;
+  opt.cooperative_tightening = tighten;
+  opt.budget = std::chrono::milliseconds(120000);
+  opt.verify = false;
+  long long tightenings = 0;
+  for (auto _ : state) {
+    const auto res = exact::map_exact(circuit, arch::ibm_qx4(), opt);
+    tightenings += res.bound_tightenings;
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["mid_solve_tightenings"] =
+      benchmark::Counter(static_cast<double>(tightenings), benchmark::Counter::kAvgIterations);
+}
+
+#define QXMAP_SCHEDULER_BENCH(circuit_name)                                            \
+  void BM_Static_##circuit_name(benchmark::State& state) {                             \
+    run_scheduler(state, #circuit_name, exact::Toggle::Off, exact::Toggle::Off);       \
+  }                                                                                    \
+  BENCHMARK(BM_Static_##circuit_name)->Unit(benchmark::kMillisecond)->Iterations(3);   \
+  void BM_Steal_##circuit_name(benchmark::State& state) {                              \
+    run_scheduler(state, #circuit_name, exact::Toggle::On, exact::Toggle::Off);        \
+  }                                                                                    \
+  BENCHMARK(BM_Steal_##circuit_name)->Unit(benchmark::kMillisecond)->Iterations(3);    \
+  void BM_StealCoop_##circuit_name(benchmark::State& state) {                          \
+    run_scheduler(state, #circuit_name, exact::Toggle::On, exact::Toggle::On);         \
+  }                                                                                    \
+  BENCHMARK(BM_StealCoop_##circuit_name)->Unit(benchmark::kMillisecond)->Iterations(3)
+
+// The n=4 rows (4 subset instances each) plus the hardest n=3 row. Names
+// with characters illegal in identifiers are aliased through the literal.
+QXMAP_SCHEDULER_BENCH(4gt11_84);
+QXMAP_SCHEDULER_BENCH(miller_11);
+
+void BM_Static_rd32_v0_66(benchmark::State& state) {
+  run_scheduler(state, "rd32-v0_66", exact::Toggle::Off, exact::Toggle::Off);
+}
+BENCHMARK(BM_Static_rd32_v0_66)->Unit(benchmark::kMillisecond)->Iterations(3);
+void BM_Steal_rd32_v0_66(benchmark::State& state) {
+  run_scheduler(state, "rd32-v0_66", exact::Toggle::On, exact::Toggle::Off);
+}
+BENCHMARK(BM_Steal_rd32_v0_66)->Unit(benchmark::kMillisecond)->Iterations(3);
+void BM_StealCoop_rd32_v0_66(benchmark::State& state) {
+  run_scheduler(state, "rd32-v0_66", exact::Toggle::On, exact::Toggle::On);
+}
+BENCHMARK(BM_StealCoop_rd32_v0_66)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace

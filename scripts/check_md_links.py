@@ -1,12 +1,19 @@
 #!/usr/bin/env python3
-"""Markdown link lint: every relative link in the given files must resolve.
+"""Markdown link lint: every relative link in the given files must resolve,
+and every anchor (`#fragment`, intra-file or cross-file) must match a
+heading in the target document.
 
 Usage: check_md_links.py FILE.md [FILE.md ...]
 
 External links (http/https/mailto) are not fetched — this is an offline
 check that documentation does not drift from the tree (renamed files,
-deleted docs, moved tests). Anchors are stripped before resolution.
-Exits non-zero listing every broken link as file:line: target.
+deleted docs, moved tests, renamed headings). Anchors are resolved with
+GitHub's slug rules: headings are lowercased, punctuation is removed,
+spaces become hyphens, and repeated slugs get -1, -2, … suffixes; fenced
+code blocks are ignored when collecting headings. Anchors into non-
+Markdown targets (source files, JSON) are not checked — only that the
+file exists. Exits non-zero listing every broken link as
+file:line: target.
 """
 
 import os
@@ -15,6 +22,44 @@ import sys
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 EXTERNAL = ("http://", "https://", "mailto:")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+MD_LINK_IN_HEADING_RE = re.compile(r"\[([^\]]*)\]\([^)]*\)")
+# GitHub slugger: keep word characters (incl. underscore), spaces, hyphens.
+SLUG_STRIP_RE = re.compile(r"[^\w\- ]", re.UNICODE)
+
+_anchor_cache: dict[str, set[str]] = {}
+
+
+def slugify(heading: str) -> str:
+    text = MD_LINK_IN_HEADING_RE.sub(r"\1", heading)  # [text](url) -> text
+    text = SLUG_STRIP_RE.sub("", text.strip().lower())
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: str) -> set[str]:
+    """All anchor slugs defined by the headings of a Markdown file."""
+    if path in _anchor_cache:
+        return _anchor_cache[path]
+    slugs: set[str] = set()
+    counts: dict[str, int] = {}
+    in_fence = False
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            if FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            match = HEADING_RE.match(line)
+            if not match:
+                continue
+            slug = slugify(match.group(2))
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            slugs.add(slug if n == 0 else f"{slug}-{n}")
+    _anchor_cache[path] = slugs
+    return slugs
 
 
 def check(path: str) -> list[str]:
@@ -26,13 +71,15 @@ def check(path: str) -> list[str]:
         raw = match.group(1)
         if raw.startswith(EXTERNAL):
             continue
-        target = raw.split("#", 1)[0]
-        if not target:  # pure intra-file anchor
-            continue
-        resolved = os.path.normpath(os.path.join(base, target))
+        line = text.count("\n", 0, match.start()) + 1
+        target, _, anchor = raw.partition("#")
+        resolved = os.path.normpath(os.path.join(base, target)) if target else path
         if not os.path.exists(resolved):
-            line = text.count("\n", 0, match.start()) + 1
             bad.append(f"{path}:{line}: broken link -> {raw}")
+            continue
+        if anchor and resolved.endswith(".md"):
+            if anchor.lower() not in anchors_of(resolved):
+                bad.append(f"{path}:{line}: broken anchor -> {raw}")
     return bad
 
 
@@ -47,7 +94,7 @@ def main(paths: list[str]) -> int:
         print(entry)
     if bad:
         return 1
-    print(f"checked {len(paths)} file(s): all relative links resolve")
+    print(f"checked {len(paths)} file(s): all relative links and anchors resolve")
     return 0
 
 

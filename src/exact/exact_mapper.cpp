@@ -1,13 +1,18 @@
 #include "exact/exact_mapper.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <chrono>
+#include <cstdlib>
 #include <exception>
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <numeric>
 #include <optional>
 #include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "arch/subsets.hpp"
@@ -153,6 +158,44 @@ std::size_t resolve_num_threads(int requested, std::size_t num_instances) {
   return std::min(threads, num_instances);
 }
 
+/// Resolves a scheduler Toggle: Auto defers to the named environment
+/// variable, where `off` / `0` / `false` (any case) disable and anything
+/// else — including unset — enables. See docs/concurrency.md.
+bool resolve_toggle(Toggle toggle, const char* env_name) {
+  if (toggle == Toggle::On) return true;
+  if (toggle == Toggle::Off) return false;
+  const char* value = std::getenv(env_name);
+  if (value == nullptr) return true;
+  std::string v(value);
+  for (char& c : v) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return !(v == "off" || v == "0" || v == "false");
+}
+
+/// Work-stealing pop order for the shared instance queue: hardest-looking
+/// first. The proxy for "hard" is the undirected edge count of the induced
+/// coupling subgraph — sparse subsets need more SWAPs, so their descending
+/// search runs longest; starting them while the shared Eq. (5) bound is
+/// still loose maximises how much of that work later bounds can abort,
+/// while dense subsets finish quickly anywhere and publish tight bounds
+/// early. Deterministic: ties keep subset-index order (stable sort).
+std::vector<std::size_t> steal_schedule(const arch::CouplingMap& cm,
+                                        const std::vector<std::vector<int>>& instances) {
+  std::vector<std::size_t> order(instances.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<int> edges(instances.size(), 0);
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const auto& subset = instances[i];
+    for (std::size_t a = 0; a < subset.size(); ++a) {
+      for (std::size_t b = a + 1; b < subset.size(); ++b) {
+        if (cm.coupled(subset[a], subset[b])) ++edges[i];
+      }
+    }
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&edges](std::size_t a, std::size_t b) { return edges[a] < edges[b]; });
+  return order;
+}
+
 }  // namespace
 
 MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
@@ -208,25 +251,39 @@ MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
 
   // --- Shard the subset instances across a worker pool (Sec. 4.1) --------
   //
+  // The full protocol — shard lifecycle, shared-bound memory ordering, the
+  // work-stealing pop order, and the determinism argument — is specified in
+  // docs/concurrency.md; the comments here are the short version.
+  //
   // Each shard owns its engine (the CDCL solver is not thread-safe) and
-  // pulls instance indices from a shared counter. A shared atomic bound
-  // carries the best model cost found so far: later shards start their
-  // Eq. (5) search with objective <= bound already enforced, so instances
-  // that cannot beat the incumbent terminate quickly as bounded-Unsat.
+  // pops instances from a shared queue whose order `schedule` fixes
+  // (hardest-first under work stealing, subset-index order otherwise). A
+  // shared atomic bound carries the best model cost found so far: shards
+  // start their Eq. (5) search with objective <= bound enforced, and — with
+  // cooperative tightening — keep polling it at engine checkpoints
+  // *mid-solve*, aborting branches that can no longer beat the incumbent.
   //
   // Determinism: the reduction below selects the lowest cost with ties
   // broken on the lowest subset index. A shard's reported optimum is
-  // independent of the bound it observed (the bound is inclusive and never
-  // drops below the final best cost), so the selected (cost, index) pair is
-  // bit-identical at every thread count; the winning *model* is then
-  // re-derived canonically after the reduction. When a shard proves a
-  // zero-cost solution — the objective's lower bound — instances at
-  // *higher* indices are skipped: they can at best tie and lose the index
-  // tie-break. Lower indices still run, preserving the tie-break winner.
+  // independent of the bounds it observed (bounds are inclusive and never
+  // drop below the final best cost), so the selected (cost, index) pair is
+  // bit-identical at every thread count and under either pop order; the
+  // winning *model* is then re-derived canonically after the reduction.
+  // When a shard proves a zero-cost solution — the objective's lower
+  // bound — instances at *higher* indices are skipped: they can at best tie
+  // and lose the index tie-break. Lower indices still run, preserving the
+  // tie-break winner.
   constexpr long long kNoBound = std::numeric_limits<long long>::max();
-  std::atomic<std::size_t> next_instance{0};
+  const bool steal = resolve_toggle(options.work_stealing, "QXMAP_EXACT_STEAL");
+  const bool tighten = resolve_toggle(options.cooperative_tightening, "QXMAP_EXACT_TIGHTEN");
+  std::vector<std::size_t> schedule(instances.size());
+  std::iota(schedule.begin(), schedule.end(), std::size_t{0});
+  if (steal && instances.size() > 1) schedule = steal_schedule(cm, instances);
+  std::atomic<std::size_t> next_pos{0};
   std::atomic<long long> shared_bound{kNoBound};
   std::atomic<long long> zero_index{kNoBound};  // lowest index proving cost 0
+  std::atomic<long long> total_polls{0};
+  std::atomic<long long> total_tightenings{0};
   std::vector<InstanceOutcome> outcomes(instances.size());
   std::mutex error_mutex;
   std::exception_ptr worker_error;
@@ -234,8 +291,9 @@ MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
   const auto worker = [&] {
     try {
       for (;;) {
-        const std::size_t i = next_instance.fetch_add(1, std::memory_order_relaxed);
-        if (i >= instances.size()) return;
+        const std::size_t pos = next_pos.fetch_add(1, std::memory_order_relaxed);
+        if (pos >= schedule.size()) return;
+        const std::size_t i = schedule[pos];
         if (static_cast<long long>(i) > zero_index.load(std::memory_order_acquire)) continue;
         InstanceOutcome& out = outcomes[i];
         const arch::CouplingMap induced = cm.induced(instances[i]);
@@ -244,7 +302,21 @@ MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
         const Encoding enc(*engine, cnots, n, induced, *out.table, points, costs);
         const long long bound = shared_bound.load(std::memory_order_acquire);
         if (bound != kNoBound) engine->set_upper_bound(bound);
+        if (tighten && instances.size() > 1) {
+          // Live view of the shared bound: the engine re-tightens its GTE /
+          // PB constraint whenever a sibling publishes a cheaper model.
+          // Pointless with a single instance (no sibling can publish), and
+          // skipping it there spares the engine its checkpoint overhead —
+          // the Z3 backend in particular trades contiguous search time for
+          // poll opportunities (see Z3Engine::kPollInterval).
+          engine->set_bound_source([&shared_bound] {
+            return shared_bound.load(std::memory_order_acquire);
+          });
+        }
         const reason::Outcome outcome = engine->minimize(per_instance_budget);
+        total_polls.fetch_add(engine->stats().bound_polls, std::memory_order_relaxed);
+        total_tightenings.fetch_add(engine->stats().bound_tightenings,
+                                    std::memory_order_relaxed);
         out.status = outcome.status;
         if (outcome.status != reason::Status::Optimal &&
             outcome.status != reason::Status::Feasible) {
@@ -271,7 +343,7 @@ MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
       }
       // Drain the queue so the other workers stop promptly instead of
       // solving instances whose results the rethrow below will discard.
-      next_instance.store(instances.size(), std::memory_order_relaxed);
+      next_pos.store(schedule.size(), std::memory_order_relaxed);
     }
   };
 
@@ -285,6 +357,8 @@ MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
     for (auto& th : pool) th.join();
   }
   if (worker_error) std::rethrow_exception(worker_error);
+  res.bound_polls = total_polls.load(std::memory_order_relaxed);
+  res.bound_tightenings = total_tightenings.load(std::memory_order_relaxed);
 
   // --- Deterministic reduction -------------------------------------------
   // Truncate at the first zero-cost subset (everything after it was either

@@ -10,9 +10,12 @@
 ///     ExactOptions::use_subsets, one per connected n-subset (Sec. 4.1) —
 ///     and minimize Eq. (5) with the configured reasoning engine; subset
 ///     instances are sharded across ExactOptions::num_threads workers, each
-///     owning its engine, with a shared atomic bound feeding every shard's
-///     Eq. (5) upper bound and a deterministic lowest-cost/lowest-index
-///     reduction (results are bit-identical at any thread count); swaps(π)
+///     owning its engine, popping from a shared hardest-first work-stealing
+///     queue, with a shared atomic bound feeding every shard's Eq. (5)
+///     upper bound both at solve start and — via cooperative tightening —
+///     at checkpoints mid-solve, plus a deterministic
+///     lowest-cost/lowest-index reduction (results are bit-identical at any
+///     thread count; protocol spec in docs/concurrency.md); swaps(π)
 ///     tables come from the process-wide arch::SwapCostCache;
 ///  4. decode the best model into layouts/permutations, synthesize SWAP
 ///     chains along coupling edges, re-attach the single-qubit gates, and

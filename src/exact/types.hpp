@@ -22,6 +22,12 @@ enum class PermutationStrategy {
 
 [[nodiscard]] std::string to_string(PermutationStrategy s);
 
+/// Three-state switch for scheduler features: `Auto` defers to the matching
+/// environment variable (QXMAP_EXACT_STEAL / QXMAP_EXACT_TIGHTEN; the values
+/// `off`, `0` and `false` disable, anything else — including unset —
+/// enables), so CI can exercise both schedulers without code changes.
+enum class Toggle { Auto, On, Off };
+
 /// Cost model of Sec. 2.2 (Fig. 3): SWAP = 7 elementary operations,
 /// direction switch = 4 H gates. `swap_cost` defaults to -1, meaning
 /// "derive from the architecture" (7 when any coupling is one-directional,
@@ -41,11 +47,25 @@ struct ExactOptions {
   /// Worker threads sharding the subset instances (0 = hardware
   /// concurrency). Each shard owns its reasoning engine — the CDCL solver
   /// is not thread-safe — and publishes its best model cost to a shared
-  /// bound that lets later shards strengthen their Eq. (5) upper bound. The
-  /// reduction is deterministic (lowest cost, then lowest subset index), so
-  /// every thread count yields bit-identical results as long as the solver
-  /// budget does not expire mid-search.
+  /// bound that lets every other shard strengthen its Eq. (5) upper bound.
+  /// The reduction is deterministic (lowest cost, then lowest subset index),
+  /// so every thread count yields bit-identical results as long as the
+  /// solver budget does not expire mid-search. See docs/concurrency.md.
   int num_threads = 0;
+  /// Work-stealing pop order for the shared instance queue: hardest-looking
+  /// instances (sparsest induced coupling subgraph — they need the most
+  /// SWAPs and the deepest descending search) are started first, while the
+  /// bound is still loose, and quick dense instances mop up and publish
+  /// cheap bounds that abort the big ones mid-solve. `Off` pops in subset
+  /// index order (the PR 2 scheduler). Does not affect results, only wall
+  /// time (docs/concurrency.md has the determinism argument).
+  Toggle work_stealing = Toggle::Auto;
+  /// Mid-solve bound propagation: shards poll the shared Eq. (5) bound at
+  /// engine checkpoints *during* a solve and abort branches that can no
+  /// longer beat the incumbent (ReasoningEngine::set_bound_source). `Off`
+  /// consults the shared bound only at solve start. Does not affect
+  /// results, only wall time.
+  Toggle cooperative_tightening = Toggle::Auto;
   /// Total solver budget, split evenly across subset instances. The
   /// canonical re-derivation of the winning instance (which keeps results
   /// thread-count invariant) may spend up to one extra per-instance share
@@ -79,6 +99,14 @@ struct MappingResult {
                                     ///< and lose the deterministic index tie-break
   int permutation_points = 0;       ///< |G'| + 1 (the paper's |G'| column counts
                                     ///< the free initial mapping too)
+  long long bound_polls = 0;        ///< shared-bound consultations made by the
+                                    ///< shards' engines mid-solve (cooperative
+                                    ///< tightening); timing-dependent — an
+                                    ///< observability number, NOT covered by the
+                                    ///< determinism guarantee
+  long long bound_tightenings = 0;  ///< polls that strictly tightened a shard's
+                                    ///< enforced Eq. (5) bound mid-flight;
+                                    ///< timing-dependent, like bound_polls
   std::string engine_name;
   bool verified = false;
   std::string verify_message;

@@ -91,6 +91,7 @@ long long CdclEngine::model_cost() const {
 }
 
 void CdclEngine::add_cost_bound(long long bound) {
+  if (bound < enforced_) enforced_ = bound;
   if (cost_terms_.empty()) return;
   if (bound < 0) {
     // Nothing cheaper than 0 exists; make the formula UNSAT to stop the loop.
@@ -120,27 +121,74 @@ void CdclEngine::set_upper_bound(long long bound) {
   upper_bound_ = bound;
 }
 
+void CdclEngine::apply_external_bound(long long bound) {
+  add_cost_bound(bound);
+  if (bound < external_limit_) external_limit_ = bound;
+}
+
+long long CdclEngine::observe_external(long long ext) {
+  if (ext < external_limit_) {
+    external_limit_ = ext;
+    ++stats_.bound_tightenings;
+  }
+  return ext;
+}
+
+void CdclEngine::poll_and_tighten() {
+  if (!has_bound_source()) return;
+  const long long ext = observe_external(poll_bound_source());
+  if (ext < enforced_) add_cost_bound(ext);
+}
+
 Outcome CdclEngine::minimize(std::chrono::milliseconds budget) {
   const auto deadline = std::chrono::steady_clock::now() + budget;
   // Known external bound: start with objective <= bound already enforced.
   // Binary-search probes rebuild from stored_clauses_ and re-derive their
   // own bound from the (now bounded) first model, so this covers both modes.
-  if (upper_bound_) add_cost_bound(*upper_bound_);
+  if (upper_bound_) apply_external_bound(*upper_bound_);
   return mode_ == OptimizationMode::BinarySearch ? minimize_binary(deadline)
                                                  : minimize_descending(deadline);
 }
 
 Outcome CdclEngine::minimize_descending(std::chrono::steady_clock::time_point deadline) {
-  const auto interrupt = [&deadline] { return std::chrono::steady_clock::now() >= deadline; };
-
   Outcome out;
   for (;;) {
+    // Between-solve checkpoint: adopt any bound published while the previous
+    // solve ran (and guarantee at least one poll per minimize call).
+    poll_and_tighten();
+    // In-solve checkpoints ride the solver's conflict-boundary interrupt.
+    // Clauses cannot be added mid-solve, so a strictly tighter published
+    // bound aborts at the next conflict boundary and is enforced below
+    // before re-entering; the solver keeps learnt clauses, phases and
+    // activities, so nothing already derived is lost.
+    long long pending = kNoBound;
+    int countdown = kPollConflictInterval;
+    const auto interrupt = [&]() -> bool {
+      if (std::chrono::steady_clock::now() >= deadline) return true;
+      if (has_bound_source() && --countdown <= 0) {
+        countdown = kPollConflictInterval;
+        const long long ext = observe_external(poll_bound_source());
+        if (ext < enforced_) {
+          pending = ext;
+          return true;
+        }
+      }
+      return false;
+    };
     const sat::SolveResult r = solver_.solve(interrupt);
+    if (r == sat::SolveResult::Unknown && pending != kNoBound) {
+      add_cost_bound(pending);
+      continue;
+    }
     if (r == sat::SolveResult::Unsatisfiable) {
-      if (has_model_) {
+      if (has_model_ && model_cost() <= external_limit_) {
         out.status = Status::Optimal;
         out.cost = model_cost();
       } else {
+        // No model at all, or only models costlier than the tightest
+        // external bound (found before that bound arrived): under the
+        // bounded contract both mean "cannot beat the incumbent", reported
+        // as Unsat — exactly as if the bound had been set before the solve.
         out.status = Status::Unsat;
       }
       return out;
@@ -193,13 +241,25 @@ Outcome CdclEngine::minimize_binary(std::chrono::steady_clock::time_point deadli
   long long lo = 0;
   long long hi = model_cost();
   const int num_vars = solver_.num_vars();
-  while (lo < hi) {
+  for (;;) {
+    // Between-probe checkpoint (probes are fresh solvers, so this mode
+    // tightens at probe granularity rather than conflict granularity).
+    if (has_bound_source()) observe_external(poll_bound_source());
+    if (lo > external_limit_) {
+      // Every model costs more than the external bound: bounded-Unsat.
+      out.status = Status::Unsat;
+      return out;
+    }
+    // Probe only the range that can still beat (or tie) the external bound.
+    const long long cap =
+        (external_limit_ == kNoBound) ? hi : std::min(hi, external_limit_ + 1);
+    if (lo >= cap) break;
     if (interrupt()) {
       out.status = Status::Feasible;
       out.cost = hi;
       return out;
     }
-    const long long mid = lo + (hi - lo) / 2;
+    const long long mid = lo + (cap - lo) / 2;
     // Fresh probe solver: the bound is not monotone across probes, so each
     // probe gets its own GTE clamped at mid + 1 (this is exactly the
     // "set F to a fixed value" scheme of Sec. 3.3).
@@ -240,6 +300,12 @@ Outcome CdclEngine::minimize_binary(std::chrono::steady_clock::time_point deadli
       best_model_[static_cast<std::size_t>(v)] = probe.model_value(v);
     }
     hi = model_cost();
+  }
+  if (hi > external_limit_) {
+    // Proven: nothing at or below the external bound exists (the best model
+    // sits above it) — bounded-Unsat, as with the descending loop.
+    out.status = Status::Unsat;
+    return out;
   }
   out.status = Status::Optimal;
   out.cost = hi;

@@ -8,7 +8,16 @@
 /// enforced with a generalized totalizer (GTE): a tree over the weighted
 /// cost literals whose root carries one "sum >= w" indicator per attainable
 /// weight w, clamped at the first bound + 1; tightening to a smaller bound B
-/// then only needs unit clauses ¬(sum >= w) for attainable w > B.
+/// then only needs unit clauses ¬(sum >= B') for the smallest attainable
+/// B' > B (monotonicity clauses force the rest).
+///
+/// Cooperative tightening (docs/concurrency.md): with a bound source
+/// installed, the descending loop polls it between solves and — via the SAT
+/// solver's conflict-boundary interrupt — every kPollConflictInterval
+/// conflicts *inside* a solve. A strictly tighter published bound aborts the
+/// in-flight solve at the next conflict boundary, re-tightens the GTE with
+/// unit clauses, and resumes; the solver keeps its learnt clauses and
+/// heuristic state, so an abort never repeats completed work.
 
 #pragma once
 
@@ -50,10 +59,25 @@ class CdclEngine final : public ReasoningEngine {
   /// Underlying solver statistics (for benchmarks).
   [[nodiscard]] const sat::SolverStats& solver_stats() const noexcept { return solver_.stats(); }
 
+  /// In-solve bound-source poll cadence, in solver conflicts (the solver's
+  /// interrupt hook fires once per conflict; every Nth consults the source).
+  static constexpr int kPollConflictInterval = 128;
+
  private:
   /// Adds clauses enforcing objective <= bound (builds the GTE on first use,
-  /// clamped at bound + 1).
+  /// clamped at bound + 1). Tracks the tightest bound enforced so far.
   void add_cost_bound(long long bound);
+  /// Enforces an *external* (inclusive) bound: objective <= bound. Also
+  /// records it for the Optimal-vs-bounded-Unsat decision.
+  void apply_external_bound(long long bound);
+  /// Records a polled bound in external_limit_ (counting a tightening when
+  /// it strictly improves), returning it. Every poll goes through here so
+  /// the reported outcome matches "the tightest polled bound had been set
+  /// before minimize()" even when the clause database needs no update.
+  long long observe_external(long long ext);
+  /// Between-solve checkpoint: consults the bound source and enforces the
+  /// result when strictly tighter than everything enforced so far.
+  void poll_and_tighten();
   [[nodiscard]] long long model_cost() const;
   Outcome minimize_descending(std::chrono::steady_clock::time_point deadline);
   Outcome minimize_binary(std::chrono::steady_clock::time_point deadline);
@@ -61,6 +85,13 @@ class CdclEngine final : public ReasoningEngine {
   sat::Solver solver_;
   OptimizationMode mode_ = OptimizationMode::DescendingLinear;
   std::optional<long long> upper_bound_;
+  /// Tightest bound ever passed to add_cost_bound (internal descents and
+  /// external bounds alike); a polled value prunes only if below this.
+  long long enforced_ = kNoBound;
+  /// Tightest *external* bound observed (set_upper_bound or any poll). A
+  /// model costlier than this is reported as bounded-Unsat, never Optimal,
+  /// so the outcome matches "the bound had been set before minimize()".
+  long long external_limit_ = kNoBound;
   std::vector<std::vector<sat::Lit>> stored_clauses_;  // for binary-search probes
   std::vector<std::pair<int, long long>> cost_terms_;  // (var, weight)
   // Generalized-totalizer root: ge_[w] ↔ "objective >= w" for attainable w,

@@ -1,6 +1,7 @@
 #include "reason/engine.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "reason/cdcl_engine.hpp"
 #if QXMAP_WITH_Z3
@@ -32,6 +33,14 @@ void ReasoningEngine::add_at_most_one(const std::vector<int>& lits) {
 }
 
 void ReasoningEngine::set_upper_bound(long long /*bound*/) {}
+
+void ReasoningEngine::set_bound_source(BoundSource source) { bound_source_ = std::move(source); }
+
+long long ReasoningEngine::poll_bound_source() {
+  if (!bound_source_) return kNoBound;
+  ++stats_.bound_polls;
+  return bound_source_();
+}
 
 void ReasoningEngine::add_at_least_one(const std::vector<int>& lits) { add_clause(lits); }
 

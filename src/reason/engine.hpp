@@ -13,6 +13,8 @@
 #pragma once
 
 #include <chrono>
+#include <functional>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -33,10 +35,29 @@ struct Outcome {
   long long cost = 0;  ///< objective value of the best model (valid for Optimal/Feasible)
 };
 
+/// Counters of the cooperative bound protocol (docs/concurrency.md). Poll
+/// timing depends on the search trajectory, so these are observability
+/// numbers, not part of any determinism guarantee.
+struct EngineStats {
+  long long bound_polls = 0;        ///< bound-source consultations
+  long long bound_tightenings = 0;  ///< polls that strictly tightened the
+                                    ///< externally-known bound mid-solve
+};
+
 /// One engine instance owns one formula + objective. Not reusable across
 /// problems; create a fresh engine per instance.
 class ReasoningEngine {
  public:
+  /// "No bound known" sentinel returned by a BoundSource.
+  static constexpr long long kNoBound = std::numeric_limits<long long>::max();
+
+  /// Live view of the cheapest model cost known outside this engine (e.g.
+  /// the shared Eq. (5) bound of the parallel exact mapper). Must be safe to
+  /// call from the engine's solving thread at any time and must be monotone:
+  /// once it returns a value b it never returns anything greater than b.
+  /// Returns kNoBound while no external model is known.
+  using BoundSource = std::function<long long()>;
+
   virtual ~ReasoningEngine() = default;
 
   /// Creates a fresh Boolean variable, returning its id.
@@ -57,6 +78,22 @@ class ReasoningEngine {
   /// unsatisfiability. Call at most once, before minimize(). The default
   /// implementation ignores the hint.
   virtual void set_upper_bound(long long bound);
+
+  /// Cooperative tightening (docs/concurrency.md): installs a live bound
+  /// source that minimize() polls at periodic checkpoints *during* the
+  /// search. When a poll returns a bound tighter than everything enforced so
+  /// far, the engine re-tightens its objective constraint in flight and
+  /// abandons branches that can no longer beat it. The bound is inclusive
+  /// (models with objective == bound are still of interest); like
+  /// set_upper_bound, an engine that proves nothing at or below the tightest
+  /// polled bound exists reports Unsat, which callers must read as "cannot
+  /// beat the bound". Call before minimize(); the base implementation stores
+  /// the source and the backend decides the checkpoint cadence (the default
+  /// minimize() implementations consult it at least once per solve).
+  virtual void set_bound_source(BoundSource source);
+
+  /// Cooperative-bound counters accumulated across minimize() calls.
+  [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
 
   /// Minimizes the objective subject to the clauses within `budget`.
   virtual Outcome minimize(std::chrono::milliseconds budget) = 0;
@@ -84,6 +121,19 @@ class ReasoningEngine {
   void add_equal_lits(int a, int b);
   /// antecedent → (a = b); all three are literals.
   void add_implies_equal(int antecedent, int a, int b);
+
+ protected:
+  /// True once set_bound_source installed a source.
+  [[nodiscard]] bool has_bound_source() const noexcept { return bound_source_ != nullptr; }
+
+  /// Consults the bound source (counting the poll in stats()); kNoBound when
+  /// no source is installed.
+  [[nodiscard]] long long poll_bound_source();
+
+  EngineStats stats_;
+
+ private:
+  BoundSource bound_source_;
 };
 
 /// Which backend to instantiate.

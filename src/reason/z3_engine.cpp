@@ -1,6 +1,10 @@
 #include "reason/z3_engine.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <limits>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include <z3++.h>
@@ -11,8 +15,33 @@ struct Z3Engine::Impl {
   z3::context ctx;
   z3::optimize opt{ctx};
   std::vector<z3::expr> vars;
+  std::vector<std::pair<int, int>> cost_terms;  // (var id, weight)
+  long long total_weight = 0;                   // Σ weights; bounds >= this are vacuous
+  long long applied_bound = ReasoningEngine::kNoBound;  // tightest PB bound asserted
   std::vector<bool> model_values;
   bool has_model = false;
+
+  /// Asserts `Σ wᵢ·vᵢ <= bound` as a hard constraint (no-op when a bound at
+  /// least as tight is already asserted, or when the bound is vacuous).
+  void apply_bound(long long bound) {
+    if (bound >= applied_bound) return;
+    applied_bound = bound;
+    if (bound >= total_weight) return;  // cannot cut anything
+    if (bound < 0) {
+      // Nothing costs less than 0; the bounded formula is empty.
+      opt.add(ctx.bool_val(false));
+      return;
+    }
+    if (bound > std::numeric_limits<int>::max()) return;  // pble takes int; hint, so sound to skip
+    z3::expr_vector es(ctx);
+    std::vector<int> coeffs;
+    coeffs.reserve(cost_terms.size());
+    for (const auto& [var, weight] : cost_terms) {
+      es.push_back(vars[static_cast<std::size_t>(var)]);
+      coeffs.push_back(weight);
+    }
+    opt.add(z3::pble(es, coeffs.data(), static_cast<int>(bound)));
+  }
 };
 
 Z3Engine::Z3Engine() : impl_(std::make_unique<Impl>()) {}
@@ -41,48 +70,103 @@ void Z3Engine::add_clause(const std::vector<int>& lits) {
 
 void Z3Engine::add_cost(int var, long long weight) {
   if (weight <= 0) throw std::invalid_argument("Z3Engine::add_cost: weight must be positive");
+  if (weight > std::numeric_limits<int>::max()) {
+    throw std::invalid_argument("Z3Engine::add_cost: weight exceeds the PB coefficient range");
+  }
   const auto id = static_cast<std::size_t>(var);
   if (id >= impl_->vars.size()) throw std::out_of_range("Z3Engine::add_cost: unknown variable");
   // Soft constraint "var is false" with the given weight: violating it
-  // (var = true) incurs `weight`, matching the semantics of Eq. 5.
+  // (var = true) incurs `weight`, matching the semantics of Eq. 5. The same
+  // term feeds the hard PB constraint of apply_bound.
   impl_->opt.add_soft(!impl_->vars[id], static_cast<unsigned>(weight));
+  impl_->cost_terms.emplace_back(var, static_cast<int>(weight));
+  impl_->total_weight += weight;
+}
+
+void Z3Engine::set_upper_bound(long long bound) {
+  if (bound < 0) throw std::invalid_argument("Z3Engine::set_upper_bound: negative bound");
+  impl_->apply_bound(bound);
 }
 
 Outcome Z3Engine::minimize(std::chrono::milliseconds budget) {
-  z3::params p(impl_->ctx);
-  p.set("timeout", static_cast<unsigned>(budget.count()));
-  impl_->opt.set(p);
+  using Clock = std::chrono::steady_clock;
+  const auto deadline = Clock::now() + budget;
 
-  const z3::check_result r = impl_->opt.check();
   Outcome out;
-  if (r == z3::unsat) {
-    out.status = Status::Unsat;
+  // Each z3::check() restarts the search, so slicing trades contiguous
+  // solve time for poll opportunities. The slice doubles after every
+  // fruitless checkpoint (bounding total restart waste by ~the final
+  // slice) and snaps back to kPollInterval when a tighter bound lands —
+  // fresh pruning information makes a short re-check worthwhile again.
+  auto slice_cap = kPollInterval;
+  for (;;) {
+    // Checkpoint: adopt any bound published since the previous slice. Z3
+    // cannot take constraints mid-check, so cooperative tightening re-solves
+    // in budget slices instead (see the header comment).
+    if (has_bound_source()) {
+      const long long ext = poll_bound_source();
+      if (ext < impl_->applied_bound) {
+        ++stats_.bound_tightenings;
+        impl_->apply_bound(ext);
+        slice_cap = kPollInterval;
+      }
+    }
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - Clock::now());
+    if (remaining.count() <= 0) {
+      out.status = Status::Unknown;
+      return out;
+    }
+    const auto slice = has_bound_source() ? std::min(remaining, slice_cap) : remaining;
+    slice_cap *= 2;
+    z3::params p(impl_->ctx);
+    p.set("timeout", static_cast<unsigned>(slice.count()));
+    impl_->opt.set(p);
+
+    const auto check_start = Clock::now();
+    const z3::check_result r = impl_->opt.check();
+    const auto check_elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - check_start);
+    if (r == z3::unsat) {
+      // True unsatisfiability or "nothing at or below the asserted bound" —
+      // the caller treats both as "cannot beat the incumbent".
+      out.status = Status::Unsat;
+      return out;
+    }
+    if (r == z3::unknown) {
+      // Only a slice-expiry unknown is worth retrying; an instant give-up
+      // (memout, incompleteness) would spin through the rest of the budget
+      // in fruitless restarts. A timeout-driven unknown consumes roughly
+      // the whole slice, so "finished well early" identifies the give-up
+      // without depending on Z3 exposing a reason.
+      const bool gave_up = check_elapsed + std::chrono::milliseconds(50) < slice;
+      if (!has_bound_source() || gave_up) {
+        out.status = Status::Unknown;
+        return out;
+      }
+      continue;  // slice expired: poll and re-check with the remaining budget
+    }
+    // sat: Z3's optimize has proven the soft-constraint optimum (subject to
+    // the asserted PB bounds, so the model respects the tightest bound).
+    const z3::model m = impl_->opt.get_model();
+    impl_->model_values.assign(impl_->vars.size(), false);
+    long long cost = 0;
+    for (std::size_t i = 0; i < impl_->vars.size(); ++i) {
+      const z3::expr v = m.eval(impl_->vars[i], /*model_completion=*/true);
+      impl_->model_values[i] = v.is_true();
+    }
+    // Objective value: sum of weights of soft constraints violated. Z3
+    // exposes it per objective; report Z3's first objective when present —
+    // the caller recomputes the domain cost anyway.
+    if (impl_->opt.objectives().size() > 0) {
+      const z3::expr obj = impl_->opt.lower(0);
+      if (obj.is_numeral()) cost = obj.get_numeral_int64();
+    }
+    impl_->has_model = true;
+    out.status = Status::Optimal;
+    out.cost = cost;
     return out;
   }
-  if (r == z3::unknown) {
-    out.status = Status::Unknown;
-    return out;
-  }
-  // sat: Z3's optimize has proven the soft-constraint optimum.
-  const z3::model m = impl_->opt.get_model();
-  impl_->model_values.assign(impl_->vars.size(), false);
-  long long cost = 0;
-  for (std::size_t i = 0; i < impl_->vars.size(); ++i) {
-    const z3::expr v = m.eval(impl_->vars[i], /*model_completion=*/true);
-    impl_->model_values[i] = v.is_true();
-  }
-  // Objective value: sum of weights of soft constraints violated. Z3 exposes
-  // it per objective; recompute from the recorded soft constraints instead
-  // to stay independent of objective indexing — the caller recomputes the
-  // domain cost anyway, so report Z3's first objective when present.
-  if (impl_->opt.objectives().size() > 0) {
-    const z3::expr obj = impl_->opt.lower(0);
-    if (obj.is_numeral()) cost = obj.get_numeral_int64();
-  }
-  impl_->has_model = true;
-  out.status = Status::Optimal;
-  out.cost = cost;
-  return out;
 }
 
 bool Z3Engine::value(int var) const {

@@ -1,11 +1,14 @@
 /// Determinism/concurrency harness for the parallel exact mapper: thread-
 /// count invariance of the subset shard-and-reduce, the shared-bound early
-/// termination, the zero-cost short-circuit, and oversubscription (more
-/// threads than subsets).
+/// termination, the zero-cost short-circuit, oversubscription (more threads
+/// than subsets), the work-stealing pop order, and engine-cooperative
+/// mid-solve bound tightening (docs/concurrency.md).
 
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdlib>
+#include <utility>
 #include <vector>
 
 #include "arch/architectures.hpp"
@@ -184,6 +187,260 @@ TEST(SharedBoundContract, BinarySearchModeHonoursTheBound) {
 TEST(SharedBoundContract, NegativeBoundIsRejected) {
   bound::SmallObjective p;
   EXPECT_THROW(p.engine.set_upper_bound(-1), std::invalid_argument);
+}
+
+// --- Cooperative mid-solve tightening at the engine level -------------------
+//
+// set_bound_source installs a live view of the shared bound; the engine must
+// poll it at least once per minimize() (loop-start checkpoint), count polls
+// and tightenings in stats(), and report outcomes exactly as if the
+// tightest polled value had been passed to set_upper_bound up front.
+
+TEST(CooperativeTightening, SourceAboveOptimumKeepsOptimum) {
+  bound::SmallObjective p;
+  p.engine.set_bound_source([] { return 7LL; });
+  const auto out = p.engine.minimize(std::chrono::milliseconds(5000));
+  EXPECT_EQ(out.status, Status::Optimal);
+  EXPECT_EQ(out.cost, 3);
+  EXPECT_GE(p.engine.stats().bound_polls, 1);
+  EXPECT_GE(p.engine.stats().bound_tightenings, 1);  // 7 < "no bound known"
+}
+
+TEST(CooperativeTightening, SourceEqualToOptimumKeepsOptimum) {
+  // Published bounds are inclusive: a tying instance must still report its
+  // model so the deterministic index tie-break sees it.
+  bound::SmallObjective p;
+  p.engine.set_bound_source([] { return 3LL; });
+  const auto out = p.engine.minimize(std::chrono::milliseconds(5000));
+  EXPECT_EQ(out.status, Status::Optimal);
+  EXPECT_EQ(out.cost, 3);
+}
+
+TEST(CooperativeTightening, SourceBelowOptimumTerminatesAsBoundedUnsat) {
+  bound::SmallObjective p;
+  p.engine.set_bound_source([] { return 2LL; });
+  const auto out = p.engine.minimize(std::chrono::milliseconds(5000));
+  EXPECT_EQ(out.status, Status::Unsat);
+  EXPECT_GE(p.engine.stats().bound_tightenings, 1);
+}
+
+TEST(CooperativeTightening, NoBoundSentinelIsNeutral) {
+  bound::SmallObjective p;
+  p.engine.set_bound_source([] { return reason::ReasoningEngine::kNoBound; });
+  const auto out = p.engine.minimize(std::chrono::milliseconds(5000));
+  EXPECT_EQ(out.status, Status::Optimal);
+  EXPECT_EQ(out.cost, 3);
+  EXPECT_GE(p.engine.stats().bound_polls, 1);
+  EXPECT_EQ(p.engine.stats().bound_tightenings, 0);
+}
+
+TEST(CooperativeTightening, MonotoneSourceSimulatingSiblingProgress) {
+  // The source value drops as the engine works — exactly what a sibling
+  // shard descending on its own instance produces. The engine must converge
+  // on bounded-Unsat once the source falls below its optimum, whatever the
+  // interleaving: outcomes depend only on the tightest value polled.
+  bound::SmallObjective p;
+  long long calls = 0;
+  p.engine.set_bound_source([&calls] {
+    ++calls;
+    return calls == 1 ? 7LL : 2LL;  // first poll loose, then below optimum 3
+  });
+  const auto out = p.engine.minimize(std::chrono::milliseconds(5000));
+  EXPECT_EQ(out.status, Status::Unsat);
+  EXPECT_GE(p.engine.stats().bound_tightenings, 2);  // kNoBound -> 7 -> 2
+}
+
+TEST(CooperativeTightening, BinarySearchModePollsBetweenProbes) {
+  bound::SmallObjective p;
+  p.engine.set_mode(reason::OptimizationMode::BinarySearch);
+  p.engine.set_bound_source([] { return 2LL; });
+  const auto out = p.engine.minimize(std::chrono::milliseconds(5000));
+  EXPECT_EQ(out.status, Status::Unsat);
+  EXPECT_GE(p.engine.stats().bound_polls, 1);
+}
+
+TEST(CooperativeTightening, BinarySearchModeSourceAboveOptimum) {
+  bound::SmallObjective p;
+  p.engine.set_mode(reason::OptimizationMode::BinarySearch);
+  p.engine.set_bound_source([] { return 3LL; });
+  const auto out = p.engine.minimize(std::chrono::milliseconds(5000));
+  EXPECT_EQ(out.status, Status::Optimal);
+  EXPECT_EQ(out.cost, 3);
+}
+
+// --- Mid-solve tightening and the work-stealing order in the mapper ---------
+
+namespace steal {
+
+/// 6 physical qubits: a 2-qubit tail hanging off a 4-cycle (all couplings
+/// bidirected). The five sparse connected 4-subsets (3 edges each) need
+/// SWAPs for the cycle workload below and solve slowly; the 4-cycle subset
+/// {2,3,4,5} hosts it at cost 0 and solves fast. Under the hardest-first
+/// steal order the sparse subsets are popped first, so the cycle subset's
+/// cost-0 bound lands while they are mid-solve — the in-flight abort this
+/// suite pins down.
+arch::CouplingMap tail_cycle6() {
+  std::vector<std::pair<int, int>> edges;
+  const auto bidirected = [&edges](int a, int b) {
+    edges.emplace_back(a, b);
+    edges.emplace_back(b, a);
+  };
+  bidirected(0, 1);
+  bidirected(1, 2);
+  bidirected(2, 3);
+  bidirected(3, 4);
+  bidirected(4, 5);
+  bidirected(5, 2);
+  return arch::CouplingMap(6, edges, "tail-cycle6");
+}
+
+/// `reps` repetitions of the 4-cycle CNOT pattern (0,1)(1,2)(2,3)(3,0).
+Circuit cycle_workload(int reps) {
+  Circuit c(4, "cycle-workload");
+  for (int r = 0; r < reps; ++r) {
+    c.cnot(0, 1);
+    c.cnot(1, 2);
+    c.cnot(2, 3);
+    c.cnot(3, 0);
+  }
+  return c;
+}
+
+}  // namespace steal
+
+TEST(MidSolveTightening, CheapSubsetAbortsInFlightExpensiveShards) {
+  const auto cm = steal::tail_cycle6();
+  ASSERT_EQ(arch::connected_subsets(cm, 4).size(), 6u);
+  const Circuit c = steal::cycle_workload(3);
+  ExactOptions opt;
+  opt.engine = EngineKind::Cdcl;
+  opt.use_subsets = true;
+  opt.num_threads = 6;  // every instance gets a worker up front
+  opt.work_stealing = exact::Toggle::On;
+  opt.cooperative_tightening = exact::Toggle::On;
+  opt.budget = std::chrono::milliseconds(120000);
+  const auto res = map_exact(c, cm, opt);
+  ASSERT_EQ(res.status, Status::Optimal);
+  EXPECT_EQ(res.cost_f, 0);
+  EXPECT_EQ(res.instances_solved, 6);
+  EXPECT_TRUE(res.verified) << res.verify_message;
+  // Engines poll the shared bound at least once per solve, so polls are
+  // guaranteed; the tightenings prove the cycle subset's cost-0 bound landed
+  // *inside* sparse shards that were already solving (the serial schedule
+  // only ever hands bounds over at solve start).
+  EXPECT_GE(res.bound_polls, 6);
+  EXPECT_GE(res.bound_tightenings, 1);
+}
+
+TEST(MidSolveTightening, SerialRunNeverTightensMidSolve) {
+  // At one thread every bound is published before the next instance starts,
+  // so loop-start polls see it but nothing arrives mid-solve; the result
+  // must still be bit-identical to the parallel run.
+  const auto cm = steal::tail_cycle6();
+  const Circuit c = steal::cycle_workload(2);
+  ExactOptions opt;
+  opt.engine = EngineKind::Cdcl;
+  opt.use_subsets = true;
+  opt.num_threads = 1;
+  opt.cooperative_tightening = exact::Toggle::On;
+  opt.budget = std::chrono::milliseconds(120000);
+  const auto serial = map_exact(c, cm, opt);
+  ASSERT_EQ(serial.status, Status::Optimal);
+  EXPECT_EQ(serial.bound_tightenings, 0);
+  EXPECT_GE(serial.bound_polls, 6);
+  opt.num_threads = 6;
+  opt.work_stealing = exact::Toggle::On;
+  const auto parallel = map_exact(c, cm, opt);
+  expect_identical(serial, parallel, "tail-cycle6, 1 vs 6 threads");
+}
+
+TEST(MidSolveTightening, TogglesOffMatchCooperativeResults) {
+  // Scheduler features change wall time, never results: every combination
+  // of {steal, tighten} x {1, 2, 6 threads} must be bit-identical.
+  const auto cm = steal::tail_cycle6();
+  const Circuit c = steal::cycle_workload(2);
+  ExactOptions base;
+  base.engine = EngineKind::Cdcl;
+  base.use_subsets = true;
+  base.budget = std::chrono::milliseconds(120000);
+  base.num_threads = 1;
+  base.work_stealing = exact::Toggle::Off;
+  base.cooperative_tightening = exact::Toggle::Off;
+  const auto reference = map_exact(c, cm, base);
+  ASSERT_EQ(reference.status, Status::Optimal);
+  EXPECT_EQ(reference.bound_polls, 0);  // no source installed when Off
+  for (const auto steal_toggle : {exact::Toggle::Off, exact::Toggle::On}) {
+    for (const auto tighten_toggle : {exact::Toggle::Off, exact::Toggle::On}) {
+      for (const int threads : {1, 2, 6}) {
+        auto opt = base;
+        opt.work_stealing = steal_toggle;
+        opt.cooperative_tightening = tighten_toggle;
+        opt.num_threads = threads;
+        const auto res = map_exact(c, cm, opt);
+        expect_identical(reference, res,
+                         "steal=" + std::to_string(steal_toggle == exact::Toggle::On) +
+                             " tighten=" + std::to_string(tighten_toggle == exact::Toggle::On) +
+                             " threads=" + std::to_string(threads));
+      }
+    }
+  }
+}
+
+// --- Work-stealing determinism sweep over the built-in architectures --------
+
+TEST(WorkStealingSweep, ThreadCountInvarianceOnAllBuiltInArchitectures) {
+  // qx2/qx4 exercise dense 5-qubit subset lists; qx5/tokyo exercise wide
+  // subset lists (dozens of 3-subsets) where the steal order differs most
+  // from index order.
+  const std::vector<arch::CouplingMap> archs = {arch::ibm_qx2(), arch::ibm_qx4(), arch::ibm_qx5(),
+                                                arch::ibm_tokyo()};
+  for (const auto& cm : archs) {
+    const Circuit c = bench::random_circuit(3, 2, 5, 17, "sweep-" + cm.name());
+    ExactOptions opt;
+    opt.engine = EngineKind::Cdcl;
+    opt.use_subsets = true;
+    opt.work_stealing = exact::Toggle::On;
+    opt.cooperative_tightening = exact::Toggle::On;
+    opt.budget = std::chrono::milliseconds(120000);
+    opt.num_threads = 1;
+    const auto serial = map_exact(c, cm, opt);
+    ASSERT_EQ(serial.status, Status::Optimal) << cm.name();
+    EXPECT_TRUE(serial.verified) << cm.name() << ": " << serial.verify_message;
+    for (const int threads : {2, 8}) {
+      auto popt = opt;
+      popt.num_threads = threads;
+      const auto parallel = map_exact(c, cm, popt);
+      expect_identical(serial, parallel, cm.name() + ", threads " + std::to_string(threads));
+    }
+  }
+}
+
+// --- Toggle environment fallback --------------------------------------------
+
+TEST(SchedulerToggles, AutoDefersToEnvironment) {
+  // Toggle::Auto + QXMAP_EXACT_TIGHTEN=off must behave like Toggle::Off
+  // (no bound source installed => zero polls); explicit On overrides the
+  // environment. Restores the prior environment on exit.
+  const char* prior = std::getenv("QXMAP_EXACT_TIGHTEN");
+  const std::string saved = prior ? prior : "";
+  setenv("QXMAP_EXACT_TIGHTEN", "off", 1);
+  const Circuit c = bench::random_circuit(3, 2, 6, 1, "env");
+  ExactOptions opt;
+  opt.engine = EngineKind::Cdcl;
+  opt.use_subsets = true;
+  opt.num_threads = 2;
+  opt.budget = std::chrono::milliseconds(60000);
+  const auto env_off = map_exact(c, arch::ibm_qx4(), opt);
+  EXPECT_EQ(env_off.bound_polls, 0);
+  opt.cooperative_tightening = exact::Toggle::On;
+  const auto forced_on = map_exact(c, arch::ibm_qx4(), opt);
+  EXPECT_GE(forced_on.bound_polls, 1);
+  expect_identical(env_off, forced_on, "env off vs forced on");
+  if (prior) {
+    setenv("QXMAP_EXACT_TIGHTEN", saved.c_str(), 1);
+  } else {
+    unsetenv("QXMAP_EXACT_TIGHTEN");
+  }
 }
 
 }  // namespace
