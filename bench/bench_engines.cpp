@@ -64,6 +64,13 @@ void BM_CdclOptimizationMode(benchmark::State& state) {
     }
     state.ResumeTiming();
     benchmark::DoNotOptimize(engine.minimize(std::chrono::milliseconds(30000)));
+    state.PauseTiming();
+    // New EngineStats counters (docs/benchmarks.md) from the last minimize.
+    const reason::EngineStats& es = engine.stats();
+    state.counters["restarts"] = static_cast<double>(es.restarts);
+    state.counters["learnt_del"] = static_cast<double>(es.learnts_deleted);
+    state.counters["avg_lbd"] = es.avg_lbd;
+    state.ResumeTiming();
   }
   state.SetLabel(mode == reason::OptimizationMode::DescendingLinear ? "descending" : "binary");
 }

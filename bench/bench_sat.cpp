@@ -54,6 +54,14 @@ void BM_PigeonholeUnsat(benchmark::State& state) {
       }
     }
     benchmark::DoNotOptimize(s.solve());
+    // Engine-room health counters (docs/benchmarks.md): restart cadence,
+    // ReduceDB deletions and the average learnt LBD of the last solve.
+    const sat::SolverStats& st = s.stats();
+    state.counters["conflicts"] = static_cast<double>(st.conflicts);
+    state.counters["restarts"] = static_cast<double>(st.restarts);
+    state.counters["learnt_del"] = static_cast<double>(st.learnt_deleted);
+    state.counters["avg_lbd"] =
+        st.learned > 0 ? static_cast<double>(st.lbd_sum) / static_cast<double>(st.learned) : 0.0;
   }
 }
 BENCHMARK(BM_PigeonholeUnsat)->Arg(5)->Arg(6)->Arg(7)->Unit(benchmark::kMillisecond);

@@ -15,6 +15,7 @@
 #include <string>
 #include <thread>
 
+#include "arch/distances.hpp"
 #include "arch/subsets.hpp"
 #include "arch/swap_cost_cache.hpp"
 #include "arch/swap_costs.hpp"
@@ -79,7 +80,7 @@ Reconstruction reconstruct(const Circuit& original, const arch::CouplingMap& cm,
       out.mapped.append(g);
       continue;
     }
-    if (g.kind == OpKind::Measure || g.is_single_qubit()) {
+    if (g.is_nonunitary() || g.is_single_qubit()) {
       // remapped() keeps params and any classical guard.
       out.mapped.append(g.remapped(cur[static_cast<std::size_t>(g.target)]));
       continue;
@@ -117,6 +118,76 @@ Reconstruction reconstruct(const Circuit& original, const arch::CouplingMap& cm,
     if (!cm.allows(pc, pt)) ++out.reversed;
     append_cnot_realisation(out.mapped, cm, pc, pt, g.condition);
     ++k;
+  }
+  out.final_layout = cur;
+  return out;
+}
+
+/// Deterministic greedy warm start: routes the circuit with shortest-path
+/// SWAP chains from the identity layout (ties toward the lowest-numbered
+/// neighbour). Its added cost is a feasible value of Eq. (5)'s objective —
+/// the paper's Sec. 3.3 observation that F can "simply [be] set to a fixed
+/// value" — so it seeds the shared bound before the first solve: the GTE is
+/// clamped at the warm-start cost from the outset instead of at whatever
+/// first model the unbounded search wanders into. Only sound when the
+/// symbolic instance can express any swap placement (PermutationStrategy::
+/// All over the full architecture); restricted strategies and proper
+/// subsets may not contain the greedy schedule.
+Reconstruction greedy_route(const Circuit& circuit, const arch::CouplingMap& cm) {
+  const int n = circuit.num_qubits();
+  const int m = cm.num_physical();
+  Reconstruction out{Circuit(m, circuit.name() + "/mapped"),
+                     Circuit(m, circuit.name() + "/routed-skeleton"),
+                     {},
+                     {},
+                     0,
+                     0};
+  const auto dist_handle = arch::SwapCostCache::instance().distances(cm);
+  const arch::DistanceMatrix& dist = *dist_handle;
+
+  std::vector<int> cur(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) cur[static_cast<std::size_t>(j)] = j;
+  out.initial_layout = cur;
+
+  for (const auto& g : circuit) {
+    if (g.kind == OpKind::Barrier) {
+      out.mapped.append(g);
+      continue;
+    }
+    if (g.is_nonunitary() || g.is_single_qubit()) {
+      out.mapped.append(g.remapped(cur[static_cast<std::size_t>(g.target)]));
+      continue;
+    }
+    for (;;) {
+      const int pc = cur[static_cast<std::size_t>(g.control)];
+      const int pt = cur[static_cast<std::size_t>(g.target)];
+      if (cm.coupled(pc, pt)) break;
+      // Walk the control one hop toward the target.
+      int best_nb = -1;
+      int best_d = dist.hops(pc, pt);
+      for (const int nb : cm.neighbours(pc)) {
+        if (dist.hops(nb, pt) < best_d) {
+          best_d = dist.hops(nb, pt);
+          best_nb = nb;
+        }
+      }
+      if (best_nb < 0) throw std::logic_error("map_exact: greedy warm start cannot progress");
+      append_swap_realisation(out.mapped, cm, pc, best_nb);
+      out.skeleton.swap(pc, best_nb);
+      ++out.swaps;
+      for (auto& p : cur) {
+        if (p == pc) {
+          p = best_nb;
+        } else if (p == best_nb) {
+          p = pc;
+        }
+      }
+    }
+    const int pc = cur[static_cast<std::size_t>(g.control)];
+    const int pt = cur[static_cast<std::size_t>(g.target)];
+    out.skeleton.cnot(pc, pt);
+    if (!cm.allows(pc, pt)) ++out.reversed;
+    append_cnot_realisation(out.mapped, cm, pc, pt, g.condition);
   }
   out.final_layout = cur;
   return out;
@@ -207,7 +278,9 @@ MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
     throw std::invalid_argument("map_exact: circuit needs more qubits than the architecture has");
   }
   if (circuit.counts().swap > 0) {
-    throw std::invalid_argument("map_exact: decompose SWAP pseudo-gates before mapping");
+    // Raw swap pseudo-gates in the *input* are decomposed here (Fig. 3 form)
+    // and their elementary gates routed like any others.
+    return map_exact(circuit.with_swaps_expanded(), cm, options);
   }
 
   // CNOT skeleton.
@@ -279,8 +352,20 @@ MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
   std::vector<std::size_t> schedule(instances.size());
   std::iota(schedule.begin(), schedule.end(), std::size_t{0});
   if (steal && instances.size() > 1) schedule = steal_schedule(cm, instances);
+
+  // Warm start: with a single instance under the All strategy, the symbolic
+  // formulation can express every swap schedule, so the greedy route's cost
+  // is a feasible objective value and seeds the bound (see greedy_route).
+  std::optional<Reconstruction> warm;
+  long long warm_cost = kNoBound;
+  if (instances.size() == 1 && options.strategy == PermutationStrategy::All) {
+    warm = greedy_route(circuit, cm);
+    warm_cost = static_cast<long long>(warm->mapped.size()) -
+                static_cast<long long>(circuit.size());
+  }
+
   std::atomic<std::size_t> next_pos{0};
-  std::atomic<long long> shared_bound{kNoBound};
+  std::atomic<long long> shared_bound{warm_cost};
   std::atomic<long long> zero_index{kNoBound};  // lowest index proving cost 0
   std::atomic<long long> total_polls{0};
   std::atomic<long long> total_tightenings{0};
@@ -391,6 +476,28 @@ MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
   }
 
   if (!best) {
+    if (warm) {
+      // Budget expired before any model under the seeded bound was found;
+      // fall back to the warm start itself (feasible by construction).
+      res.mapped = std::move(warm->mapped);
+      res.routed_skeleton = std::move(warm->skeleton);
+      res.initial_layout = std::move(warm->initial_layout);
+      res.final_layout = std::move(warm->final_layout);
+      res.swaps_inserted = warm->swaps;
+      res.cnots_reversed = warm->reversed;
+      res.cost_f = warm_cost;
+      res.status = reason::Status::Feasible;
+      if (options.verify) {
+        const bool gf2_ok =
+            sim::implements_skeleton(circuit.cnot_skeleton(), res.routed_skeleton,
+                                     res.initial_layout, res.final_layout);
+        res.verified = gf2_ok;
+        res.verify_message = std::string("gf2: ") + (gf2_ok ? "ok" : "FAILED") +
+                             "; warm-start fallback (engine found no model in budget)";
+      }
+      res.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+      return res;
+    }
     res.status = any_unknown ? reason::Status::Unknown : reason::Status::Unsat;
     res.seconds = std::chrono::duration<double>(Clock::now() - start).count();
     return res;

@@ -31,12 +31,13 @@
 
 namespace qxmap::exact {
 
-/// Maps `circuit` to `cm`. The circuit must be decomposed (single-qubit +
-/// CNOT gates only; SWAP pseudo-gates are rejected — decompose first).
+/// Maps `circuit` to `cm`. Raw SWAP pseudo-gates in the input are
+/// decomposed into their Fig. 3 elementary form up front and routed like
+/// any other gates.
 ///
 /// \throws std::invalid_argument if the circuit has more qubits than the
-/// architecture, contains SWAPs, or the configuration is unusable (e.g.
-/// full-architecture mode with m > 8, where Π cannot be enumerated).
+/// architecture or the configuration is unusable (e.g. full-architecture
+/// mode with m > 8, where Π cannot be enumerated).
 [[nodiscard]] MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
                                       const ExactOptions& options = {});
 

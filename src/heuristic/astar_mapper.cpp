@@ -96,7 +96,9 @@ exact::MappingResult map_astar(const Circuit& circuit, const arch::CouplingMap& 
     throw std::invalid_argument("map_astar: coupling graph must be connected");
   }
   if (circuit.counts().swap > 0) {
-    throw std::invalid_argument("map_astar: decompose SWAPs before mapping");
+    // Raw swap pseudo-gates in the *input* are decomposed here (Fig. 3 form)
+    // and their elementary gates routed like any others.
+    return map_astar(circuit.with_swaps_expanded(), cm, options);
   }
 
   const auto dist_handle = arch::SwapCostCache::instance().distances(cm);
@@ -139,7 +141,7 @@ exact::MappingResult map_astar(const Circuit& circuit, const arch::CouplingMap& 
         res.mapped.append(g);
         continue;
       }
-      if (g.kind == OpKind::Measure || g.is_single_qubit()) {
+      if (g.is_nonunitary() || g.is_single_qubit()) {
         // remapped() keeps params and any classical guard.
         res.mapped.append(g.remapped(layout[static_cast<std::size_t>(g.target)]));
         continue;

@@ -76,7 +76,7 @@ PassResult run_pass(const Circuit& circuit, const arch::CouplingMap& cm,
     if (emit != nullptr) {
       if (g.kind == OpKind::Barrier) {
         emit->append(g);
-      } else if (g.kind == OpKind::Measure || g.is_single_qubit()) {
+      } else if (g.is_nonunitary() || g.is_single_qubit()) {
         // remapped() keeps params and any classical guard.
         emit->append(g.remapped(result.layout[static_cast<std::size_t>(g.target)]));
       } else {
@@ -244,7 +244,9 @@ exact::MappingResult map_sabre(const Circuit& circuit, const arch::CouplingMap& 
     throw std::invalid_argument("map_sabre: coupling graph must be connected");
   }
   if (circuit.counts().swap > 0) {
-    throw std::invalid_argument("map_sabre: decompose SWAPs before mapping");
+    // Raw swap pseudo-gates in the *input* are decomposed here (Fig. 3 form)
+    // and their elementary gates routed like any others.
+    return map_sabre(circuit.with_swaps_expanded(), cm, options);
   }
 
   const auto dist_handle = arch::SwapCostCache::instance().distances(cm);

@@ -47,7 +47,7 @@ void emit_gate(RunState& st, const arch::CouplingMap& cm, const Gate& g) {
     st.mapped.append(g);
     return;
   }
-  if (g.kind == OpKind::Measure || g.is_single_qubit()) {
+  if (g.is_nonunitary() || g.is_single_qubit()) {
     // remapped() keeps params and any classical guard.
     st.mapped.append(g.remapped(st.layout[static_cast<std::size_t>(g.target)]));
     return;
@@ -207,7 +207,9 @@ exact::MappingResult map_stochastic_swap(const Circuit& circuit, const arch::Cou
     throw std::invalid_argument("map_stochastic_swap: coupling graph must be connected");
   }
   if (circuit.counts().swap > 0) {
-    throw std::invalid_argument("map_stochastic_swap: decompose SWAPs before mapping");
+    // Raw swap pseudo-gates in the *input* are decomposed here (Fig. 3 form)
+    // and their elementary gates routed like any others.
+    return map_stochastic_swap(circuit.with_swaps_expanded(), cm, options);
   }
   if (options.trials < 1 || options.runs < 1) {
     throw std::invalid_argument("map_stochastic_swap: trials and runs must be >= 1");

@@ -69,6 +69,7 @@ std::string_view kind_name(OpKind k) noexcept {
     case OpKind::Swap: return "swap";
     case OpKind::Barrier: return "barrier";
     case OpKind::Measure: return "measure";
+    case OpKind::Reset: return "reset";
   }
   return "?";
 }
@@ -115,10 +116,23 @@ Gate Gate::barrier() {
   return g;
 }
 
-Gate Gate::measure(int q) {
+Gate Gate::measure(int q) { return measure(q, "c", q); }
+
+Gate Gate::measure(int q, std::string creg, int bit) {
   if (q < 0) throw std::invalid_argument("Gate::measure: negative qubit");
+  if (bit < 0) throw std::invalid_argument("Gate::measure: negative classical bit");
+  if (creg.empty()) throw std::invalid_argument("Gate::measure: empty creg name");
   Gate g;
   g.kind = OpKind::Measure;
+  g.target = q;
+  g.cbit = ClassicalBit{std::move(creg), bit};
+  return g;
+}
+
+Gate Gate::reset(int q) {
+  if (q < 0) throw std::invalid_argument("Gate::reset: negative qubit");
+  Gate g;
+  g.kind = OpKind::Reset;
   g.target = q;
   return g;
 }

@@ -43,6 +43,7 @@ enum class OpKind : std::uint8_t {
   // structural
   Barrier,
   Measure,
+  Reset,
 };
 
 /// True for kinds that act on exactly one qubit and carry unitary semantics.
@@ -70,6 +71,17 @@ struct Condition {
   friend bool operator==(const Condition& a, const Condition& b) = default;
 };
 
+/// Classical destination of a measurement, from `measure q[i] -> creg[bit];`.
+/// Mapping re-targets the *qubit* operand only; the classical wiring rides
+/// along unchanged, and the QASM writer re-emits it verbatim (with the creg
+/// declared wide enough).
+struct ClassicalBit {
+  std::string creg;  ///< classical register name
+  int bit = 0;       ///< bit index within that register
+
+  friend bool operator==(const ClassicalBit& a, const ClassicalBit& b) = default;
+};
+
 /// One quantum gate. Qubit indices refer to *logical* qubits in an unmapped
 /// circuit and to *physical* qubits in a mapped circuit; the IR itself is
 /// agnostic.
@@ -84,6 +96,8 @@ struct Gate {
   std::vector<double> params;
   /// Classical guard (`if (creg == value)`); unguarded when empty.
   std::optional<Condition> condition;
+  /// Classical destination (Measure only); empty for every other kind.
+  std::optional<ClassicalBit> cbit;
 
   /// Factory helpers keep construction sites short and validated.
   [[nodiscard]] static Gate single(OpKind k, int q);
@@ -91,12 +105,24 @@ struct Gate {
   [[nodiscard]] static Gate cnot(int control, int target);
   [[nodiscard]] static Gate swap(int a, int b);
   [[nodiscard]] static Gate barrier();
+  /// Measurement into c[q] (the writer's default wiring).
   [[nodiscard]] static Gate measure(int q);
+  /// Measurement into an explicit classical register bit.
+  [[nodiscard]] static Gate measure(int q, std::string creg, int bit);
+  /// Qubit reset to |0> (non-unitary, structural like Measure).
+  [[nodiscard]] static Gate reset(int q);
 
   [[nodiscard]] bool is_single_qubit() const noexcept { return is_single_qubit_kind(kind); }
   [[nodiscard]] bool is_cnot() const noexcept { return kind == OpKind::Cnot; }
   [[nodiscard]] bool is_swap() const noexcept { return kind == OpKind::Swap; }
   [[nodiscard]] bool is_conditional() const noexcept { return condition.has_value(); }
+
+  /// True for non-unitary single-qubit structural ops (Measure / Reset)
+  /// that mappers route like single-qubit gates: re-target the qubit, keep
+  /// everything else.
+  [[nodiscard]] bool is_nonunitary() const noexcept {
+    return kind == OpKind::Measure || kind == OpKind::Reset;
+  }
 
   /// Copy of this gate with its qubit operands replaced; kind, params and
   /// condition are preserved. Mappers use this to re-target gates from

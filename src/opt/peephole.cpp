@@ -108,7 +108,7 @@ Circuit cancel_inverse_pairs(const Circuit& c, int* cancelled) {
   std::vector<bool> alive;
   int count = 0;
   for (const auto& g : c) {
-    if (g.kind == OpKind::Barrier || g.kind == OpKind::Measure || g.is_conditional()) {
+    if (g.kind == OpKind::Barrier || g.is_nonunitary() || g.is_conditional()) {
       kept.push_back(g);
       alive.push_back(true);
       continue;

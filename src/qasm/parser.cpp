@@ -244,7 +244,8 @@ class Parser {
       return;
     }
     if (head == "reset") {
-      fail("'reset' is not supported (no IR representation; see docs/qasm-support.md)", t);
+      parse_reset(std::nullopt);
+      return;
     }
     parse_gate_application(std::nullopt);
   }
@@ -463,8 +464,12 @@ class Parser {
       parse_measure(cond);
       return;
     }
+    if (op.text == "reset") {
+      parse_reset(cond);
+      return;
+    }
     if (op.text == "if") fail("nested 'if' is not allowed in OpenQASM 2.0", op);
-    if (op.text == "barrier" || op.text == "reset" || op.text == "gate" || op.text == "opaque" ||
+    if (op.text == "barrier" || op.text == "gate" || op.text == "opaque" ||
         op.text == "qreg" || op.text == "creg" || op.text == "include") {
       fail("'if' must guard a gate application or measure, got '" + op.text + "'", op);
     }
@@ -515,13 +520,13 @@ class Parser {
     if (cit == state_.cregs.end()) fail("unknown creg '" + c.name.text + "'", c.name);
     if (c.index >= cit->second) fail("classical bit index out of range", c.name);
 
-    const auto emit = [&](int qubit) {
-      Gate g = Gate::measure(qubit);
+    const auto emit = [&](int qubit, int bit) {
+      Gate g = Gate::measure(qubit, c.name.text, bit);
       g.condition = cond;
       state_.gates.push_back(std::move(g));
     };
     if (q.index >= 0 && c.index >= 0) {
-      emit(qr.offset + q.index);
+      emit(qr.offset + q.index, c.index);
       return;
     }
     if (q.index < 0 && c.index < 0) {
@@ -531,10 +536,29 @@ class Parser {
                  std::to_string(cit->second) + "])",
              q.name);
       }
-      for (int i = 0; i < qr.size; ++i) emit(qr.offset + i);
+      for (int i = 0; i < qr.size; ++i) emit(qr.offset + i, i);
       return;
     }
     fail("measure operands must be both indexed or both whole registers", q.name);
+  }
+
+  // -- reset ----------------------------------------------------------------
+
+  void parse_reset(const std::optional<Condition>& cond) {
+    advance();  // reset
+    const Operand q = parse_operand();
+    expect(TokenKind::Semicolon, "';'");
+    const RegInfo& qr = qreg_of(q);
+    const auto emit = [&](int qubit) {
+      Gate g = Gate::reset(qubit);
+      g.condition = cond;
+      state_.gates.push_back(std::move(g));
+    };
+    if (q.index >= 0) {
+      emit(qr.offset + q.index);
+    } else {
+      for (int i = 0; i < qr.size; ++i) emit(qr.offset + i);  // broadcast
+    }
   }
 
   // -- gate applications ----------------------------------------------------

@@ -21,8 +21,16 @@ void emit_gate(std::ostringstream& os, const Gate& g) {
     case OpKind::Barrier:
       os << "barrier q;\n";
       return;
-    case OpKind::Measure:
-      os << "measure q[" << g.target << "] -> c[" << g.target << "];\n";
+    case OpKind::Measure: {
+      // Original classical wiring; gates built before the parser recorded
+      // it (or by hand) default to the c[target] convention.
+      const std::string& creg = g.cbit ? g.cbit->creg : "c";
+      const int bit = g.cbit ? g.cbit->bit : g.target;
+      os << "measure q[" << g.target << "] -> " << creg << '[' << bit << "];\n";
+      return;
+    }
+    case OpKind::Reset:
+      os << "reset q[" << g.target << "];\n";
       return;
     case OpKind::Cnot:
       os << "cx q[" << g.control << "], q[" << g.target << "];\n";
@@ -56,23 +64,27 @@ std::string write(const Circuit& circuit, const WriterOptions& options) {
   if (!c.name().empty()) os << "// " << c.name() << '\n';
   os << "qreg q[" << c.num_qubits() << "];\n";
 
-  // Classical registers: the default measure target `c`, widened if a
-  // condition also references a creg named "c", plus one declaration per
-  // distinct condition creg.
-  std::map<std::string, int> cond_cregs;
+  // Classical registers: one declaration per creg referenced by a guard or
+  // a measure destination, each wide enough for both uses. The default
+  // measure target `c` is always declared (at least num_qubits wide) so the
+  // emit_measure_all footer and hand-built measures stay valid.
+  std::map<std::string, int> cregs;
   for (const auto& g : c) {
-    if (!g.condition) continue;
-    int& width = cond_cregs[g.condition->creg];
-    width = std::max(width, g.condition->width);
+    if (g.condition) {
+      int& width = cregs[g.condition->creg];
+      width = std::max(width, g.condition->width);
+    }
+    if (g.kind == OpKind::Measure) {
+      const std::string& name = g.cbit ? g.cbit->creg : "c";
+      const int bit = g.cbit ? g.cbit->bit : g.target;
+      int& width = cregs[name];
+      width = std::max(width, bit + 1);
+    }
   }
-  int default_width = c.num_qubits();
-  if (const auto it = cond_cregs.find("c"); it != cond_cregs.end()) {
-    default_width = std::max(default_width, it->second);
-    cond_cregs.erase(it);
-  }
-  os << "creg c[" << default_width << "];\n";
-  for (const auto& [name, width] : cond_cregs) {
-    os << "creg " << name << '[' << width << "];\n";
+  cregs["c"] = std::max(cregs["c"], c.num_qubits());
+  os << "creg c[" << cregs["c"] << "];\n";
+  for (const auto& [name, width] : cregs) {
+    if (name != "c") os << "creg " << name << '[' << width << "];\n";
   }
 
   for (const auto& g : c) emit_gate(os, g);

@@ -1,7 +1,9 @@
 #include "reason/cdcl_engine.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
+#include <string_view>
 
 namespace qxmap::reason {
 
@@ -63,6 +65,14 @@ WeightedOutputs build_gte(Solver& s, const std::vector<std::pair<Lit, long long>
 }
 
 }  // namespace
+
+CdclEngine::CdclEngine() {
+  if (const char* env = std::getenv("QXMAP_SAT_RESTART");
+      env != nullptr && std::string_view(env) == "luby") {
+    restart_policy_ = sat::RestartPolicy::Luby;
+  }
+  solver_.set_restart_policy(restart_policy_);
+}
 
 int CdclEngine::new_bool() { return solver_.new_var(); }
 
@@ -146,8 +156,20 @@ Outcome CdclEngine::minimize(std::chrono::milliseconds budget) {
   // Binary-search probes rebuild from stored_clauses_ and re-derive their
   // own bound from the (now bounded) first model, so this covers both modes.
   if (upper_bound_) apply_external_bound(*upper_bound_);
-  return mode_ == OptimizationMode::BinarySearch ? minimize_binary(deadline)
-                                                 : minimize_descending(deadline);
+  // Preprocessing before the timing-sensitive loop: propagate level-0 facts
+  // (the encoding produces many units) to fixpoint and shed satisfied /
+  // falsified-literal clauses once, instead of carrying them through every
+  // descending step.
+  solver_.simplify();
+  const Outcome out = mode_ == OptimizationMode::BinarySearch ? minimize_binary(deadline)
+                                                              : minimize_descending(deadline);
+  const sat::SolverStats& ss = solver_.stats();
+  stats_.learnts_kept = static_cast<long long>(ss.learnt_kept);
+  stats_.learnts_deleted = static_cast<long long>(ss.learnt_deleted);
+  stats_.restarts = static_cast<long long>(ss.restarts);
+  stats_.avg_lbd =
+      ss.learned > 0 ? static_cast<double>(ss.lbd_sum) / static_cast<double>(ss.learned) : 0.0;
+  return out;
 }
 
 Outcome CdclEngine::minimize_descending(std::chrono::steady_clock::time_point deadline) {
@@ -264,6 +286,7 @@ Outcome CdclEngine::minimize_binary(std::chrono::steady_clock::time_point deadli
     // probe gets its own GTE clamped at mid + 1 (this is exactly the
     // "set F to a fixed value" scheme of Sec. 3.3).
     sat::Solver probe;
+    probe.set_restart_policy(restart_policy_);
     for (int v = 0; v < num_vars; ++v) probe.new_var();
     bool trivially_unsat = false;
     for (const auto& clause : stored_clauses_) {

@@ -41,7 +41,9 @@ enum class OptimizationMode {
 /// ReasoningEngine implementation on top of sat::Solver.
 class CdclEngine final : public ReasoningEngine {
  public:
-  CdclEngine() = default;
+  /// Honours QXMAP_SAT_RESTART=luby|glucose (default glucose) so restart
+  /// behaviour can be A/B-tested without a rebuild.
+  CdclEngine();
 
   /// Selects the optimization mode; call before minimize().
   void set_mode(OptimizationMode mode) noexcept { mode_ = mode; }
@@ -83,6 +85,7 @@ class CdclEngine final : public ReasoningEngine {
   Outcome minimize_binary(std::chrono::steady_clock::time_point deadline);
 
   sat::Solver solver_;
+  sat::RestartPolicy restart_policy_ = sat::RestartPolicy::Glucose;
   OptimizationMode mode_ = OptimizationMode::DescendingLinear;
   std::optional<long long> upper_bound_;
   /// Tightest bound ever passed to add_cost_bound (internal descents and

@@ -1,0 +1,48 @@
+#include "sat/clause_arena.hpp"
+
+#include <cassert>
+
+namespace qxmap::sat {
+
+CRef ClauseArena::alloc(const std::vector<Lit>& lits, bool learnt) {
+  assert(!lits.empty());
+  const CRef cr = static_cast<CRef>(mem_.size());
+  const std::uint32_t n = static_cast<std::uint32_t>(lits.size());
+  mem_.push_back((n << ClauseView::kFlagBits) | (learnt ? ClauseView::kLearntFlag : 0u));
+  mem_.push_back(0u);                                   // LBD
+  mem_.push_back(std::bit_cast<std::uint32_t>(0.0f));   // activity
+  for (const Lit l : lits) mem_.push_back(static_cast<std::uint32_t>(l.index()));
+  return cr;
+}
+
+void ClauseArena::free_clause(CRef cr) {
+  ClauseView c = view(cr);
+  if (c.deleted()) return;
+  c.mark_deleted();
+  wasted_ += ClauseView::kHeaderWords + c.size();
+}
+
+void ClauseArena::shrink(CRef cr, std::uint32_t new_size) {
+  ClauseView c = view(cr);
+  assert(new_size >= 1 && new_size <= c.size());
+  wasted_ += c.size() - new_size;
+  const std::uint32_t flags = mem_[cr] & ((1u << ClauseView::kFlagBits) - 1u);
+  mem_[cr] = (new_size << ClauseView::kFlagBits) | flags;
+}
+
+CRef ClauseArena::relocate_to(ClauseArena& to, CRef cr) {
+  ClauseView c = view(cr);
+  assert(!c.deleted());
+  // Already moved: word 1 holds the forwarding reference.
+  if (c.marked()) return mem_[cr + 1];
+  const std::uint32_t n = c.size();
+  const CRef ncr = static_cast<CRef>(to.mem_.size());
+  for (std::uint32_t i = 0; i < ClauseView::kHeaderWords + n; ++i) {
+    to.mem_.push_back(mem_[cr + i]);
+  }
+  c.set_mark();
+  mem_[cr + 1] = ncr;  // forwarding pointer overwrites the (copied) LBD word
+  return ncr;
+}
+
+}  // namespace qxmap::sat

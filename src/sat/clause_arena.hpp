@@ -1,0 +1,121 @@
+/// \file clause_arena.hpp
+/// Contiguous clause storage for the CDCL solver.
+///
+/// Clauses live back-to-back in one flat word buffer and are addressed by a
+/// 32-bit offset (CRef) instead of a per-clause heap allocation — the
+/// MiniSat-lineage layout. Each clause is a 3-word header (size + flags,
+/// LBD, activity) followed by its literals, so propagation walks memory
+/// linearly and the solver's watch lists, reason slots and clause lists all
+/// shrink to one word per reference. Deletion marks a clause and accounts
+/// the space as wasted; when enough of the arena is dead the solver compacts
+/// it with relocate_to() (stop-and-copy with forwarding pointers).
+
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "sat/literal.hpp"
+
+namespace qxmap::sat {
+
+/// Arena offset of a clause ("clause reference").
+using CRef = std::uint32_t;
+
+/// Null clause reference ("no reason" / "not moved").
+inline constexpr CRef kCRefUndef = 0xFFFFFFFFu;
+
+/// Mutable view of one clause inside the arena. Views are cheap (one
+/// pointer) but are invalidated by any allocation or collection — re-derive
+/// them from the CRef after either.
+class ClauseView {
+ public:
+  explicit ClauseView(std::uint32_t* base) noexcept : base_(base) {}
+
+  [[nodiscard]] std::uint32_t size() const noexcept { return base_[0] >> kFlagBits; }
+  [[nodiscard]] bool learnt() const noexcept { return (base_[0] & kLearntFlag) != 0; }
+  [[nodiscard]] bool deleted() const noexcept { return (base_[0] & kDeletedFlag) != 0; }
+
+  /// Literal-block distance recorded for learnt clauses (0 for problem
+  /// clauses). Lower is better; <= ReduceDb glue threshold pins the clause.
+  [[nodiscard]] std::uint32_t lbd() const noexcept { return base_[1]; }
+  void set_lbd(std::uint32_t lbd) noexcept { base_[1] = lbd; }
+
+  [[nodiscard]] float activity() const noexcept { return std::bit_cast<float>(base_[2]); }
+  void set_activity(float a) noexcept { base_[2] = std::bit_cast<std::uint32_t>(a); }
+
+  [[nodiscard]] Lit lit(std::uint32_t i) const noexcept {
+    return Lit::from_index(static_cast<std::int32_t>(base_[kHeaderWords + i]));
+  }
+  void set_lit(std::uint32_t i, Lit l) noexcept {
+    base_[kHeaderWords + i] = static_cast<std::uint32_t>(l.index());
+  }
+  void swap_lits(std::uint32_t i, std::uint32_t j) noexcept {
+    const std::uint32_t tmp = base_[kHeaderWords + i];
+    base_[kHeaderWords + i] = base_[kHeaderWords + j];
+    base_[kHeaderWords + j] = tmp;
+  }
+
+  static constexpr std::uint32_t kHeaderWords = 3;
+  static constexpr std::uint32_t kFlagBits = 3;
+  static constexpr std::uint32_t kLearntFlag = 1;
+  static constexpr std::uint32_t kDeletedFlag = 2;
+  /// Transient marker: "already copied during collection" (relocate_to) or
+  /// "pinned as a propagation reason" (ReduceDb). The two uses never
+  /// overlap in time.
+  static constexpr std::uint32_t kMarkFlag = 4;
+
+  [[nodiscard]] bool marked() const noexcept { return (base_[0] & kMarkFlag) != 0; }
+  void set_mark() noexcept { base_[0] |= kMarkFlag; }
+  void clear_mark() noexcept { base_[0] &= ~kMarkFlag; }
+  void mark_deleted() noexcept { base_[0] |= kDeletedFlag; }
+
+ private:
+  friend class ClauseArena;
+  std::uint32_t* base_;
+};
+
+/// The arena itself: a bump allocator over one std::vector<uint32_t>.
+class ClauseArena {
+ public:
+  /// Allocates a clause with the given literals. `lits.size() >= 1`.
+  CRef alloc(const std::vector<Lit>& lits, bool learnt);
+
+  [[nodiscard]] ClauseView view(CRef cr) noexcept { return ClauseView(mem_.data() + cr); }
+  [[nodiscard]] ClauseView view(CRef cr) const noexcept {
+    // Const access shares the mutable proxy; the solver only reads via it.
+    return ClauseView(const_cast<std::uint32_t*>(mem_.data()) + cr);
+  }
+
+  /// Marks the clause deleted and accounts its words as wasted.
+  void free_clause(CRef cr);
+
+  /// Shrinks a clause in place to `new_size` literals (top-level
+  /// simplification); the tail words become wasted space.
+  void shrink(CRef cr, std::uint32_t new_size);
+
+  [[nodiscard]] std::size_t size_words() const noexcept { return mem_.size(); }
+  [[nodiscard]] std::size_t wasted_words() const noexcept { return wasted_; }
+
+  /// True when at least `kWastedPercent` of the arena is dead space.
+  [[nodiscard]] bool want_collect() const noexcept {
+    return !mem_.empty() && wasted_ * 100 >= mem_.size() * kWastedPercent;
+  }
+
+  /// Stop-and-copy step: copies the clause behind `cr` into `to` (unless it
+  /// was already copied, in which case the forwarding pointer is returned)
+  /// and returns its new reference. The caller relocates every root
+  /// (clause lists, trail reasons) and then replaces *this with `to`.
+  CRef relocate_to(ClauseArena& to, CRef cr);
+
+  void reserve(std::size_t words) { mem_.reserve(words); }
+
+  static constexpr std::size_t kWastedPercent = 20;
+
+ private:
+  std::vector<std::uint32_t> mem_;
+  std::size_t wasted_ = 0;
+};
+
+}  // namespace qxmap::sat

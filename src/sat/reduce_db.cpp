@@ -1,0 +1,47 @@
+#include "sat/reduce_db.hpp"
+
+#include <algorithm>
+
+namespace qxmap::sat {
+
+std::size_t ReduceDb::reduce(ClauseArena& arena, std::vector<CRef>& learnts,
+                             const std::function<bool(CRef)>& locked) {
+  // Partition: pinned clauses (glue / binary / locked) survive
+  // unconditionally; the rest are deletion candidates.
+  std::vector<CRef> pinned;
+  std::vector<CRef> candidates;
+  pinned.reserve(learnts.size());
+  candidates.reserve(learnts.size());
+  for (const CRef cr : learnts) {
+    const ClauseView c = arena.view(cr);
+    if (c.deleted()) continue;  // already removed by simplify()
+    if (c.lbd() <= kGlueLbd || c.size() <= 2 || locked(cr)) {
+      pinned.push_back(cr);
+    } else {
+      candidates.push_back(cr);
+    }
+  }
+
+  // Worst first: high LBD, then low activity; CRef breaks ties so the
+  // ordering (and hence the whole solver run) is deterministic.
+  std::sort(candidates.begin(), candidates.end(), [&arena](CRef a, CRef b) {
+    const ClauseView ca = arena.view(a);
+    const ClauseView cb = arena.view(b);
+    if (ca.lbd() != cb.lbd()) return ca.lbd() > cb.lbd();
+    if (ca.activity() != cb.activity()) return ca.activity() < cb.activity();
+    return a < b;
+  });
+
+  const std::size_t to_delete = candidates.size() / 2;
+  for (std::size_t i = 0; i < to_delete; ++i) arena.free_clause(candidates[i]);
+
+  learnts = std::move(pinned);
+  learnts.insert(learnts.end(), candidates.begin() + static_cast<std::ptrdiff_t>(to_delete),
+                 candidates.end());
+
+  ++reductions_;
+  next_reduce_ += kFirstReduceConflicts + kReduceIncrement * reductions_;
+  return to_delete;
+}
+
+}  // namespace qxmap::sat

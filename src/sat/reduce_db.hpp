@@ -1,0 +1,47 @@
+/// \file reduce_db.hpp
+/// Learnt-clause database reduction policy (glucose-style).
+///
+/// Learnt clauses accumulate fast on hard instances; most never propagate
+/// again and only slow the watch lists down. Periodically — first after
+/// `kFirstReduceConflicts` conflicts, then at linearly growing intervals —
+/// the solver deletes the worst half of the learnts, ranked by
+/// (LBD descending, activity ascending). Three classes are pinned and never
+/// deleted: glue clauses (LBD <= kGlueLbd), binary clauses, and clauses
+/// currently locked as the reason for a trail assignment.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sat/clause_arena.hpp"
+
+namespace qxmap::sat {
+
+class ReduceDb {
+ public:
+  /// True once enough conflicts have passed since the last reduction.
+  [[nodiscard]] bool due(std::uint64_t conflicts) const noexcept {
+    return conflicts >= next_reduce_;
+  }
+
+  /// Deletes the worst half of `learnts` (compacting the vector in place);
+  /// `locked(cr)` must return true for clauses that are the reason of a
+  /// current assignment. Returns the number of clauses deleted and
+  /// schedules the next reduction.
+  std::size_t reduce(ClauseArena& arena, std::vector<CRef>& learnts,
+                     const std::function<bool(CRef)>& locked);
+
+  [[nodiscard]] std::uint64_t reductions() const noexcept { return reductions_; }
+
+  static constexpr std::uint32_t kGlueLbd = 2;
+  static constexpr std::uint64_t kFirstReduceConflicts = 2000;
+  static constexpr std::uint64_t kReduceIncrement = 300;
+
+ private:
+  std::uint64_t next_reduce_ = kFirstReduceConflicts;
+  std::uint64_t reductions_ = 0;
+};
+
+}  // namespace qxmap::sat

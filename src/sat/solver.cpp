@@ -1,33 +1,49 @@
 #include "sat/solver.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <stdexcept>
 
 namespace qxmap::sat {
 
 namespace {
-constexpr double kVarDecay = 0.95;
-constexpr double kClauseDecay = 0.999;
-constexpr double kRescaleLimit = 1e100;
-constexpr std::uint64_t kRestartUnit = 128;  // conflicts per Luby unit
+constexpr float kClauseDecay = 0.999f;
+constexpr float kClauseRescaleLimit = 1e20f;
+constexpr std::uint64_t kLubyUnit = 128;  // conflicts per Luby unit
+// Glucose restart parameters: restart when the average LBD of the last
+// kRecentLbdWindow learnt clauses exceeds kRestartK times the long-run
+// average; block the restart (clear the window) when the trail has grown
+// kBlockR times past its running average — the search looks SAT-like, let
+// it finish.
+constexpr std::size_t kRecentLbdWindow = 50;
+constexpr double kRestartK = 0.8;
+constexpr double kBlockR = 1.4;
+// Variable-decay ramp: 0.8 at the start, +0.01 every 5000 conflicts until
+// the steady-state VsidsHeap::kDecay (0.95) is reached.
+constexpr double kVsidsDecayStart = 0.8;
+constexpr double kVsidsRampStep = 0.01;
+constexpr std::uint64_t kVsidsRampInterval = 5000;
 }  // namespace
 
-Solver::Solver() = default;
+Solver::Solver() {
+  // Variable-decay ramp (Glucose): start forgetful so the search localises
+  // quickly, settle at the long-run 0.95 as the proof matures.
+  heap_.set_decay(kVsidsDecayStart);
+}
 
 Var Solver::new_var() {
   const Var v = static_cast<Var>(assign_.size());
   assign_.push_back(Value::Undef);
   model_.push_back(false);
-  reason_.push_back(kNoReason);
+  reason_.push_back(kCRefUndef);
   level_.push_back(0);
-  activity_.push_back(0.0);
   saved_phase_.push_back(false);
   seen_.push_back(false);
-  heap_pos_.push_back(-1);
+  level_stamp_.resize(assign_.size() + 1, 0);  // decision levels run 0..num_vars
   watches_.emplace_back();
   watches_.emplace_back();
-  heap_insert(v);
+  heap_.add_var(v);
   return v;
 }
 
@@ -64,28 +80,27 @@ bool Solver::add_clause(std::vector<Lit> lits) {
       unsat_ = true;
       return false;
     }
-    enqueue(cleaned[0], kNoReason);
-    if (propagate() != kNoReason) {
+    enqueue(cleaned[0], kCRefUndef);
+    if (propagate() != kCRefUndef) {
       unsat_ = true;
       return false;
     }
     return true;
   }
 
-  Clause c;
-  c.lits = std::move(cleaned);
-  clauses_.push_back(std::move(c));
-  attach_clause(static_cast<ClauseRef>(clauses_.size()) - 1);
+  const CRef cr = arena_.alloc(cleaned, /*learnt=*/false);
+  clauses_.push_back(cr);
+  attach_clause(cr);
   return true;
 }
 
-void Solver::attach_clause(ClauseRef cr) {
-  const Clause& c = clauses_[static_cast<std::size_t>(cr)];
-  watches_[static_cast<std::size_t>((~c.lits[0]).index())].push_back({cr, c.lits[1]});
-  watches_[static_cast<std::size_t>((~c.lits[1]).index())].push_back({cr, c.lits[0]});
+void Solver::attach_clause(CRef cr) {
+  const ClauseView c = arena_.view(cr);
+  watches_[static_cast<std::size_t>((~c.lit(0)).index())].push_back({cr, c.lit(1)});
+  watches_[static_cast<std::size_t>((~c.lit(1)).index())].push_back({cr, c.lit(0)});
 }
 
-void Solver::enqueue(Lit l, ClauseRef reason) {
+void Solver::enqueue(Lit l, CRef reason) {
   const auto v = static_cast<std::size_t>(l.var());
   assign_[v] = l.negative() ? Value::False : Value::True;
   reason_[v] = reason;
@@ -94,7 +109,7 @@ void Solver::enqueue(Lit l, ClauseRef reason) {
   ++stats_.propagations;
 }
 
-Solver::ClauseRef Solver::propagate() {
+CRef Solver::propagate() {
   while (qhead_ < trail_.size()) {
     const Lit p = trail_[qhead_++];  // p is true
     auto& watch_list = watches_[static_cast<std::size_t>(p.index())];
@@ -105,21 +120,22 @@ Solver::ClauseRef Solver::propagate() {
         watch_list[keep++] = w;
         continue;
       }
-      Clause& c = clauses_[static_cast<std::size_t>(w.clause)];
-      if (c.deleted) continue;  // lazily drop watches of deleted clauses
+      ClauseView c = arena_.view(w.clause);
+      if (c.deleted()) continue;  // lazily drop watches of deleted clauses
       const Lit false_lit = ~p;
-      if (c.lits[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
-      // Now c.lits[1] == false_lit.
-      const Lit first = c.lits[0];
+      if (c.lit(0) == false_lit) c.swap_lits(0, 1);
+      // Now c.lit(1) == false_lit.
+      const Lit first = c.lit(0);
       if (value(first) == Value::True) {
         watch_list[keep++] = {w.clause, first};
         continue;
       }
       bool moved = false;
-      for (std::size_t k = 2; k < c.lits.size(); ++k) {
-        if (value(c.lits[k]) != Value::False) {
-          std::swap(c.lits[1], c.lits[k]);
-          watches_[static_cast<std::size_t>((~c.lits[1]).index())].push_back({w.clause, first});
+      const std::uint32_t size = c.size();
+      for (std::uint32_t k = 2; k < size; ++k) {
+        if (value(c.lit(k)) != Value::False) {
+          c.swap_lits(1, k);
+          watches_[static_cast<std::size_t>((~c.lit(1)).index())].push_back({w.clause, first});
           moved = true;
           break;
         }
@@ -140,29 +156,42 @@ Solver::ClauseRef Solver::propagate() {
     }
     watch_list.resize(keep);
   }
-  return kNoReason;
+  return kCRefUndef;
 }
 
-void Solver::analyze(ClauseRef conflict, std::vector<Lit>& learnt, int& backjump_level) {
+void Solver::analyze(CRef conflict, std::vector<Lit>& learnt, int& backjump_level,
+                     std::uint32_t& lbd) {
   learnt.clear();
   learnt.push_back(Lit::from_index(-2));  // placeholder for the asserting literal
 
   const int current_level = static_cast<int>(trail_limits_.size());
   int counter = 0;
   Lit p = Lit::from_index(-2);
-  ClauseRef cr = conflict;
+  CRef cr = conflict;
   std::size_t trail_index = trail_.size();
 
   for (;;) {
-    Clause& c = clauses_[static_cast<std::size_t>(cr)];
-    if (c.learnt) bump_clause(c);
-    const std::size_t start = (p.index() < 0) ? 0 : 1;
-    for (std::size_t k = start; k < c.lits.size(); ++k) {
-      const Lit q = c.lits[k];
+    ClauseView c = arena_.view(cr);
+    if (c.learnt()) {
+      bump_clause(cr);
+      // On-the-fly LBD update (Glucose): a learnt clause involved in another
+      // conflict often spans fewer decision levels by now. Tightening its
+      // LBD protects it in ReduceDB — at glue level (<= 2) it becomes
+      // permanent. All literals of a conflict/reason clause are assigned
+      // here, so their levels are current.
+      if (c.lbd() > ReduceDb::kGlueLbd) {
+        const std::uint32_t tightened = clause_lbd(c);
+        if (tightened < c.lbd()) c.set_lbd(tightened);
+      }
+    }
+    const std::uint32_t start = (p.index() < 0) ? 0 : 1;
+    const std::uint32_t size = c.size();
+    for (std::uint32_t k = start; k < size; ++k) {
+      const Lit q = c.lit(k);
       const auto v = static_cast<std::size_t>(q.var());
       if (!seen_[v] && level_[v] > 0) {
         seen_[v] = true;
-        bump_var(q.var());
+        heap_.bump(q.var());
         if (level_[v] >= current_level) {
           ++counter;
         } else {
@@ -180,7 +209,7 @@ void Solver::analyze(ClauseRef conflict, std::vector<Lit>& learnt, int& backjump
     --counter;
     if (counter == 0) break;
     // Reason must exist: p is not a decision while counter > 0.
-    if (p.index() >= 0 && cr == kNoReason) {
+    if (p.index() >= 0 && cr == kCRefUndef) {
       throw std::logic_error("Solver::analyze: missing reason during resolution");
     }
   }
@@ -198,12 +227,14 @@ void Solver::analyze(ClauseRef conflict, std::vector<Lit>& learnt, int& backjump
   std::size_t kept = 1;
   for (std::size_t i = 1; i < learnt.size(); ++i) {
     const auto v = static_cast<std::size_t>(learnt[i].var());
-    if (reason_[v] == kNoReason || !literal_redundant(learnt[i], abstract_levels)) {
+    if (reason_[v] == kCRefUndef || !literal_redundant(learnt[i], abstract_levels)) {
       learnt[kept++] = learnt[i];
     }
   }
   for (const Var v : to_clear) seen_[static_cast<std::size_t>(v)] = false;
   learnt.resize(kept);
+
+  lbd = compute_lbd(learnt);
 
   // Backjump level: highest level among learnt[1..]; move that literal to
   // position 1 so it is watched.
@@ -221,6 +252,33 @@ void Solver::analyze(ClauseRef conflict, std::vector<Lit>& learnt, int& backjump
   }
 }
 
+std::uint32_t Solver::compute_lbd(const std::vector<Lit>& lits) {
+  ++stamp_;
+  std::uint32_t lbd = 0;
+  for (const Lit l : lits) {
+    const auto lev = static_cast<std::size_t>(level_[static_cast<std::size_t>(l.var())]);
+    if (level_stamp_[lev] != stamp_) {
+      level_stamp_[lev] = stamp_;
+      ++lbd;
+    }
+  }
+  return lbd;
+}
+
+std::uint32_t Solver::clause_lbd(ClauseView c) {
+  ++stamp_;
+  std::uint32_t lbd = 0;
+  const std::uint32_t size = c.size();
+  for (std::uint32_t k = 0; k < size; ++k) {
+    const auto lev = static_cast<std::size_t>(level_[static_cast<std::size_t>(c.lit(k).var())]);
+    if (level_stamp_[lev] != stamp_) {
+      level_stamp_[lev] = stamp_;
+      ++lbd;
+    }
+  }
+  return lbd;
+}
+
 bool Solver::literal_redundant(Lit l, std::uint32_t abstract_levels) {
   // DFS over the implication graph: l is redundant if every path to decisions
   // stays within literals already in the learnt clause.
@@ -230,18 +288,19 @@ bool Solver::literal_redundant(Lit l, std::uint32_t abstract_levels) {
     const Lit cur = stack.back();
     stack.pop_back();
     const auto v = static_cast<std::size_t>(cur.var());
-    const ClauseRef cr = reason_[v];
-    if (cr == kNoReason) {
+    const CRef cr = reason_[v];
+    if (cr == kCRefUndef) {
       // Reached a decision that is not part of the clause: not redundant.
       for (const Var cv : cleared) seen_[static_cast<std::size_t>(cv)] = false;
       return false;
     }
-    const Clause& c = clauses_[static_cast<std::size_t>(cr)];
-    for (std::size_t k = 1; k < c.lits.size(); ++k) {
-      const Lit q = c.lits[k];
+    const ClauseView c = arena_.view(cr);
+    const std::uint32_t size = c.size();
+    for (std::uint32_t k = 1; k < size; ++k) {
+      const Lit q = c.lit(k);
       const auto qv = static_cast<std::size_t>(q.var());
       if (seen_[qv] || level_[qv] == 0) continue;
-      if (reason_[qv] == kNoReason || ((1u << (level_[qv] & 31)) & abstract_levels) == 0) {
+      if (reason_[qv] == kCRefUndef || ((1u << (level_[qv] & 31)) & abstract_levels) == 0) {
         for (const Var cv : cleared) seen_[static_cast<std::size_t>(cv)] = false;
         return false;
       }
@@ -262,8 +321,8 @@ void Solver::backtrack(int target_level) {
     const auto v = static_cast<std::size_t>(trail_[i].var());
     saved_phase_[v] = (assign_[v] == Value::True);
     assign_[v] = Value::Undef;
-    reason_[v] = kNoReason;
-    if (heap_pos_[v] < 0) heap_insert(static_cast<Var>(v));
+    reason_[v] = kCRefUndef;
+    heap_.insert(static_cast<Var>(v));
   }
   trail_.resize(bound);
   trail_limits_.resize(static_cast<std::size_t>(target_level));
@@ -272,7 +331,7 @@ void Solver::backtrack(int target_level) {
 
 Lit Solver::pick_branch_literal() {
   while (!heap_.empty()) {
-    const Var v = heap_pop();
+    const Var v = heap_.pop();
     if (assign_[static_cast<std::size_t>(v)] == Value::Undef) {
       return Lit(v, !saved_phase_[static_cast<std::size_t>(v)]);
     }
@@ -280,59 +339,121 @@ Lit Solver::pick_branch_literal() {
   return Lit::from_index(-2);
 }
 
-void Solver::bump_var(Var v) {
-  auto& a = activity_[static_cast<std::size_t>(v)];
-  a += var_inc_;
-  if (a > kRescaleLimit) {
-    for (auto& x : activity_) x *= 1e-100;
-    var_inc_ *= 1e-100;
-  }
-  if (heap_pos_[static_cast<std::size_t>(v)] >= 0) {
-    heap_sift_up(heap_pos_[static_cast<std::size_t>(v)]);
-  }
-}
-
-void Solver::bump_clause(Clause& c) {
-  c.activity += clause_inc_;
-  if (c.activity > kRescaleLimit) {
-    for (auto& cl : clauses_) cl.activity *= 1e-100;
-    clause_inc_ *= 1e-100;
+void Solver::bump_clause(CRef cr) {
+  ClauseView c = arena_.view(cr);
+  c.set_activity(c.activity() + clause_inc_);
+  if (c.activity() > kClauseRescaleLimit) {
+    for (const CRef lr : learnts_) {
+      ClauseView lc = arena_.view(lr);
+      lc.set_activity(lc.activity() * 1e-20f);
+    }
+    clause_inc_ *= 1e-20f;
   }
 }
 
-void Solver::decay_activities() {
-  var_inc_ /= kVarDecay;
-  clause_inc_ /= kClauseDecay;
+bool Solver::locked(CRef cr) const {
+  const ClauseView c = arena_.view(cr);
+  const Lit first = c.lit(0);
+  return value(first) == Value::True &&
+         reason_[static_cast<std::size_t>(first.var())] == cr;
 }
 
 void Solver::reduce_learnts() {
-  // Collect learnt clause refs, drop the low-activity half (keeping binary
-  // clauses and current reasons).
-  std::vector<ClauseRef> learnts;
-  for (std::size_t i = 0; i < clauses_.size(); ++i) {
-    const Clause& c = clauses_[i];
-    if (c.learnt && !c.deleted && c.lits.size() > 2) {
-      learnts.push_back(static_cast<ClauseRef>(i));
-    }
-  }
-  std::sort(learnts.begin(), learnts.end(), [this](ClauseRef a, ClauseRef b) {
-    return clauses_[static_cast<std::size_t>(a)].activity <
-           clauses_[static_cast<std::size_t>(b)].activity;
-  });
-  std::vector<bool> is_reason(clauses_.size(), false);
+  stats_.learnt_deleted +=
+      reduce_db_.reduce(arena_, learnts_, [this](CRef cr) { return locked(cr); });
+  stats_.learnt_kept = learnts_.size();
+  if (arena_.want_collect()) collect_garbage();
+}
+
+void Solver::collect_garbage() {
+  ClauseArena to;
+  to.reserve(arena_.size_words() - arena_.wasted_words());
+  for (CRef& cr : clauses_) cr = arena_.relocate_to(to, cr);
+  for (CRef& cr : learnts_) cr = arena_.relocate_to(to, cr);
   for (const Lit l : trail_) {
-    const ClauseRef r = reason_[static_cast<std::size_t>(l.var())];
-    if (r != kNoReason) is_reason[static_cast<std::size_t>(r)] = true;
+    CRef& r = reason_[static_cast<std::size_t>(l.var())];
+    if (r != kCRefUndef) r = arena_.relocate_to(to, r);
   }
-  const std::size_t to_delete = learnts.size() / 2;
-  for (std::size_t i = 0; i < to_delete; ++i) {
-    const auto cr = static_cast<std::size_t>(learnts[i]);
-    if (is_reason[cr]) continue;
-    clauses_[cr].deleted = true;  // watches are dropped lazily in propagate()
-    clauses_[cr].lits.clear();
-    clauses_[cr].lits.shrink_to_fit();
-    ++stats_.learnt_deleted;
+  arena_ = std::move(to);
+  rebuild_watches();
+}
+
+void Solver::rebuild_watches() {
+  for (auto& wl : watches_) wl.clear();
+  for (const CRef cr : clauses_) attach_clause(cr);
+  for (const CRef cr : learnts_) attach_clause(cr);
+}
+
+bool Solver::simplify() {
+  if (unsat_) return false;
+  backtrack(0);
+  if (propagate() != kCRefUndef) {
+    unsat_ = true;
+    return false;
   }
+  if (trail_.size() == simplified_at_trail_) return true;  // no new facts
+
+  // Sweep a clause list under the level-0 assignment: drop satisfied
+  // clauses, strip falsified literals, enqueue clauses that became unit.
+  const auto sweep = [this](std::vector<CRef>& list) -> bool {
+    std::size_t keep = 0;
+    for (const CRef cr : list) {
+      ClauseView c = arena_.view(cr);
+      if (c.deleted()) continue;
+      bool satisfied = false;
+      std::uint32_t kept_lits = 0;
+      const std::uint32_t size = c.size();
+      for (std::uint32_t i = 0; i < size; ++i) {
+        const Lit l = c.lit(i);
+        const Value val = value(l);  // at level 0: True/False are permanent
+        if (val == Value::True) {
+          satisfied = true;
+          break;
+        }
+        if (val == Value::Undef) c.set_lit(kept_lits++, l);
+      }
+      if (satisfied) {
+        arena_.free_clause(cr);
+        continue;
+      }
+      if (kept_lits == 0) {
+        unsat_ = true;
+        return false;
+      }
+      if (kept_lits == 1) {
+        enqueue(c.lit(0), kCRefUndef);
+        arena_.free_clause(cr);
+        continue;
+      }
+      if (kept_lits < size) arena_.shrink(cr, kept_lits);
+      list[keep++] = cr;
+    }
+    list.resize(keep);
+    return true;
+  };
+
+  // New units discovered by a sweep falsify more literals; re-sweep until
+  // the trail stops growing. (The sweep itself acts as the propagator here —
+  // watch lists are stale while literals are being compacted, so propagate()
+  // must not run until they are rebuilt below.)
+  for (;;) {
+    const std::size_t before = trail_.size();
+    if (!sweep(clauses_) || !sweep(learnts_)) return false;
+    if (trail_.size() == before) break;
+  }
+
+  // Level-0 assignments never participate in conflict analysis, so their
+  // reasons (possibly freed above) can be forgotten.
+  for (const Lit l : trail_) reason_[static_cast<std::size_t>(l.var())] = kCRefUndef;
+
+  qhead_ = trail_.size();  // the sweep fixpoint leaves nothing to propagate
+  simplified_at_trail_ = trail_.size();
+  if (arena_.want_collect()) {
+    collect_garbage();  // rebuilds the watch lists itself
+  } else {
+    rebuild_watches();
+  }
+  return true;
 }
 
 std::uint64_t Solver::luby(std::uint64_t i) {
@@ -349,68 +470,112 @@ std::uint64_t Solver::luby(std::uint64_t i) {
 
 SolveResult Solver::solve(const std::function<bool()>& interrupt) {
   if (unsat_) return SolveResult::Unsatisfiable;
-  backtrack(0);
-  if (propagate() != kNoReason) {
-    unsat_ = true;
-    return SolveResult::Unsatisfiable;
-  }
+  if (!simplify()) return SolveResult::Unsatisfiable;
 
-  // (Re)build the decision heap.
-  heap_.clear();
-  std::fill(heap_pos_.begin(), heap_pos_.end(), -1);
   for (Var v = 0; v < num_vars(); ++v) {
-    if (assign_[static_cast<std::size_t>(v)] == Value::Undef) heap_insert(v);
+    if (assign_[static_cast<std::size_t>(v)] == Value::Undef) heap_.insert(v);
   }
 
-  std::uint64_t restart_index = 1;
-  std::uint64_t conflicts_until_restart = luby(restart_index) * kRestartUnit;
+  // Luby restart state.
+  std::uint64_t luby_index = 1;
+  std::uint64_t conflicts_until_restart = luby(luby_index) * kLubyUnit;
   std::uint64_t conflicts_this_restart = 0;
-  std::size_t max_learnts = std::max<std::size_t>(4000, clauses_.size() / 3);
-  std::uint64_t learnt_count = 0;
+  // Glucose restart state (per solve call).
+  std::array<std::uint32_t, kRecentLbdWindow> recent_lbd{};
+  std::size_t recent_count = 0;
+  std::size_t recent_pos = 0;
+  std::uint64_t recent_sum = 0;
+  std::uint64_t solve_conflicts = 0;
+  std::uint64_t solve_lbd_sum = 0;
+  std::uint64_t trail_size_sum = 0;
+
   std::vector<Lit> learnt;
 
   for (;;) {
-    const ClauseRef conflict = propagate();
-    if (conflict != kNoReason) {
+    const CRef conflict = propagate();
+    if (conflict != kCRefUndef) {
       ++stats_.conflicts;
       ++conflicts_this_restart;
+      ++solve_conflicts;
       if (trail_limits_.empty()) {
         unsat_ = true;
         return SolveResult::Unsatisfiable;
       }
+      trail_size_sum += trail_.size();
+      // Restart blocking: the assignment keeps growing past its running
+      // average — the search looks SAT-like, hold the restart.
+      if (restart_policy_ == RestartPolicy::Glucose && recent_count == kRecentLbdWindow &&
+          static_cast<double>(trail_.size()) * static_cast<double>(solve_conflicts) >
+              kBlockR * static_cast<double>(trail_size_sum)) {
+        recent_count = 0;
+        recent_pos = 0;
+        recent_sum = 0;
+      }
+
       int backjump = 0;
-      analyze(conflict, learnt, backjump);
+      std::uint32_t lbd = 0;
+      analyze(conflict, learnt, backjump, lbd);
       backtrack(backjump);
       if (learnt.size() == 1) {
-        enqueue(learnt[0], kNoReason);
+        enqueue(learnt[0], kCRefUndef);
+        simplified_at_trail_ = 0;  // new level-0 fact: next simplify() sweeps
       } else {
-        Clause c;
-        c.lits = learnt;
-        c.learnt = true;
-        clauses_.push_back(std::move(c));
-        const auto cr = static_cast<ClauseRef>(clauses_.size()) - 1;
+        const CRef cr = arena_.alloc(learnt, /*learnt=*/true);
+        ClauseView c = arena_.view(cr);
+        c.set_lbd(lbd);
+        c.set_activity(clause_inc_);
+        learnts_.push_back(cr);
         attach_clause(cr);
-        bump_clause(clauses_.back());
         enqueue(learnt[0], cr);
-        ++learnt_count;
       }
-      decay_activities();
+      ++stats_.learned;
+      stats_.lbd_sum += lbd;
+      solve_lbd_sum += lbd;
+      heap_.decay();
+      if (stats_.conflicts % kVsidsRampInterval == 0 &&
+          heap_.decay_factor() < VsidsHeap::kDecay) {
+        heap_.set_decay(
+            std::min(VsidsHeap::kDecay, heap_.decay_factor() + kVsidsRampStep));
+      }
+      clause_inc_ /= kClauseDecay;
 
-      if (learnt_count > max_learnts) {
-        reduce_learnts();
-        max_learnts = max_learnts + max_learnts / 2;
-        learnt_count = 0;
+      if (recent_count < kRecentLbdWindow) {
+        ++recent_count;
+      } else {
+        recent_sum -= recent_lbd[recent_pos];
       }
-      if (conflicts_this_restart >= conflicts_until_restart) {
-        ++stats_.restarts;
-        ++restart_index;
-        conflicts_until_restart = luby(restart_index) * kRestartUnit;
-        conflicts_this_restart = 0;
-        backtrack(0);
-      }
-      if (interrupt && (stats_.conflicts & 0x3ff) == 0 && interrupt()) {
+      recent_lbd[recent_pos] = lbd;
+      recent_sum += lbd;
+      recent_pos = (recent_pos + 1) % kRecentLbdWindow;
+
+      if (interrupt && interrupt()) {
         backtrack(0);
         return SolveResult::Unknown;
+      }
+
+      if (reduce_db_.due(stats_.conflicts)) reduce_learnts();
+
+      bool restart = false;
+      if (restart_policy_ == RestartPolicy::Luby) {
+        restart = conflicts_this_restart >= conflicts_until_restart;
+        if (restart) {
+          ++luby_index;
+          conflicts_until_restart = luby(luby_index) * kLubyUnit;
+        }
+      } else if (recent_count == kRecentLbdWindow) {
+        // Recent learnt clauses are markedly worse than the long-run
+        // average: the search drifted, restart with fresh phases.
+        restart = static_cast<double>(recent_sum) * static_cast<double>(solve_conflicts) *
+                      kRestartK >
+                  static_cast<double>(solve_lbd_sum) * static_cast<double>(kRecentLbdWindow);
+      }
+      if (restart) {
+        ++stats_.restarts;
+        conflicts_this_restart = 0;
+        recent_count = 0;
+        recent_pos = 0;
+        recent_sum = 0;
+        backtrack(0);
       }
     } else {
       const Lit next = pick_branch_literal();
@@ -425,7 +590,7 @@ SolveResult Solver::solve(const std::function<bool()>& interrupt) {
       }
       ++stats_.decisions;
       trail_limits_.push_back(trail_.size());
-      enqueue(next, kNoReason);
+      enqueue(next, kCRefUndef);
     }
   }
 }
@@ -433,60 +598,6 @@ SolveResult Solver::solve(const std::function<bool()>& interrupt) {
 bool Solver::model_value(Var v) const {
   if (v < 0 || v >= num_vars()) throw std::out_of_range("Solver::model_value");
   return model_[static_cast<std::size_t>(v)];
-}
-
-// --- heap ------------------------------------------------------------
-
-void Solver::heap_insert(Var v) {
-  heap_pos_[static_cast<std::size_t>(v)] = static_cast<int>(heap_.size());
-  heap_.push_back(v);
-  heap_sift_up(static_cast<int>(heap_.size()) - 1);
-}
-
-Var Solver::heap_pop() {
-  const Var top = heap_[0];
-  heap_pos_[static_cast<std::size_t>(top)] = -1;
-  if (heap_.size() > 1) {
-    heap_[0] = heap_.back();
-    heap_pos_[static_cast<std::size_t>(heap_[0])] = 0;
-    heap_.pop_back();
-    heap_sift_down(0);
-  } else {
-    heap_.pop_back();
-  }
-  return top;
-}
-
-void Solver::heap_sift_up(int i) {
-  const Var v = heap_[static_cast<std::size_t>(i)];
-  while (i > 0) {
-    const int parent = (i - 1) / 2;
-    if (!heap_less(heap_[static_cast<std::size_t>(parent)], v)) break;
-    heap_[static_cast<std::size_t>(i)] = heap_[static_cast<std::size_t>(parent)];
-    heap_pos_[static_cast<std::size_t>(heap_[static_cast<std::size_t>(i)])] = i;
-    i = parent;
-  }
-  heap_[static_cast<std::size_t>(i)] = v;
-  heap_pos_[static_cast<std::size_t>(v)] = i;
-}
-
-void Solver::heap_sift_down(int i) {
-  const Var v = heap_[static_cast<std::size_t>(i)];
-  const int size = static_cast<int>(heap_.size());
-  for (;;) {
-    int child = 2 * i + 1;
-    if (child >= size) break;
-    if (child + 1 < size &&
-        heap_less(heap_[static_cast<std::size_t>(child)], heap_[static_cast<std::size_t>(child + 1)])) {
-      ++child;
-    }
-    if (!heap_less(v, heap_[static_cast<std::size_t>(child)])) break;
-    heap_[static_cast<std::size_t>(i)] = heap_[static_cast<std::size_t>(child)];
-    heap_pos_[static_cast<std::size_t>(heap_[static_cast<std::size_t>(i)])] = i;
-    i = child;
-  }
-  heap_[static_cast<std::size_t>(i)] = v;
-  heap_pos_[static_cast<std::size_t>(v)] = i;
 }
 
 }  // namespace qxmap::sat

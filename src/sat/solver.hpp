@@ -3,12 +3,14 @@
 ///
 /// This is the self-contained "reasoning engine" backend of the library
 /// (the paper uses Z3; Sec. 3.1 only requires *some* engine that handles
-/// large search spaces). Feature set: two-watched-literal propagation,
-/// first-UIP clause learning with recursive minimization, VSIDS decision
-/// heuristic with phase saving, Luby restarts, and activity-based learnt
-/// clause deletion. The optimisation loop of reason/cdcl_engine adds
-/// cost-bound clauses between incremental solve() calls, which is sound
-/// because bounds only ever tighten.
+/// large search spaces). Feature set: two-watched-literal propagation over
+/// a contiguous clause arena (clause_arena.hpp), first-UIP clause learning
+/// with recursive minimization and LBD tracking, binary-heap VSIDS with
+/// phase saving (vsids_heap.hpp), glucose-style adaptive restarts (Luby
+/// selectable), periodic learnt-database reduction (reduce_db.hpp), and a
+/// top-level simplify() pass. The optimisation loop of reason/cdcl_engine
+/// adds cost-bound clauses between incremental solve() calls, which is
+/// sound because bounds only ever tighten.
 
 #pragma once
 
@@ -16,12 +18,21 @@
 #include <functional>
 #include <vector>
 
+#include "sat/clause_arena.hpp"
 #include "sat/literal.hpp"
+#include "sat/reduce_db.hpp"
+#include "sat/vsids_heap.hpp"
 
 namespace qxmap::sat {
 
 /// Outcome of a solve() call.
 enum class SolveResult { Satisfiable, Unsatisfiable, Unknown };
+
+/// Restart schedule. Glucose-style (default) restarts when the recent
+/// learnt-clause LBD average exceeds the long-run average — aggressive on
+/// UNSAT-like search, blocked when the trail keeps growing (SAT-like).
+/// Luby is the classic universal schedule.
+enum class RestartPolicy { Glucose, Luby };
 
 /// Search statistics, cumulative over the solver's lifetime.
 struct SolverStats {
@@ -29,7 +40,10 @@ struct SolverStats {
   std::uint64_t propagations = 0;
   std::uint64_t conflicts = 0;
   std::uint64_t restarts = 0;
-  std::uint64_t learnt_deleted = 0;
+  std::uint64_t learned = 0;         ///< clauses learnt (units included)
+  std::uint64_t learnt_deleted = 0;  ///< clauses removed by ReduceDB
+  std::uint64_t learnt_kept = 0;     ///< survivors of the latest ReduceDB pass
+  std::uint64_t lbd_sum = 0;         ///< sum of LBDs at learn time (avg = lbd_sum/learned)
 };
 
 /// CDCL solver. Not thread-safe; clauses may be added between solve calls
@@ -54,9 +68,19 @@ class Solver {
   bool add_clause(Lit a, Lit b) { return add_clause(std::vector<Lit>{a, b}); }
   bool add_clause(Lit a, Lit b, Lit c) { return add_clause(std::vector<Lit>{a, b, c}); }
 
-  /// Runs the CDCL search. `interrupt` (if provided) is polled between
-  /// conflicts; returning true aborts with SolveResult::Unknown.
+  /// Runs the CDCL search. `interrupt` (if provided) is polled at every
+  /// conflict; returning true aborts with SolveResult::Unknown.
   SolveResult solve(const std::function<bool()>& interrupt = nullptr);
+
+  /// Top-level preprocessing: propagates level-0 facts to fixpoint, drops
+  /// satisfied clauses and strips falsified literals from the rest. Cheap
+  /// when no new level-0 facts arrived since the last call. Returns false
+  /// iff the formula became unsatisfiable. solve() runs this implicitly;
+  /// callers that add many clauses up front (the optimisation loop) may
+  /// call it explicitly before timing-sensitive work.
+  bool simplify();
+
+  void set_restart_policy(RestartPolicy p) noexcept { restart_policy_ = p; }
 
   /// Model access after Satisfiable: value of `v` in the found model.
   [[nodiscard]] bool model_value(Var v) const;
@@ -69,18 +93,8 @@ class Solver {
   [[nodiscard]] bool proven_unsat() const noexcept { return unsat_; }
 
  private:
-  // --- clause storage -------------------------------------------------
-  struct Clause {
-    std::vector<Lit> lits;
-    double activity = 0.0;
-    bool learnt = false;
-    bool deleted = false;
-  };
-  using ClauseRef = std::int32_t;
-  static constexpr ClauseRef kNoReason = -1;
-
   struct Watcher {
-    ClauseRef clause;
+    CRef clause;
     Lit blocker;  // if blocker is true, clause is satisfied; skip the visit
   };
 
@@ -90,47 +104,46 @@ class Solver {
     return l.negative() ? -value(l.var()) : value(l.var());
   }
 
-  void attach_clause(ClauseRef cr);
-  void enqueue(Lit l, ClauseRef reason);
-  ClauseRef propagate();
-  void analyze(ClauseRef conflict, std::vector<Lit>& learnt, int& backjump_level);
+  void attach_clause(CRef cr);
+  void enqueue(Lit l, CRef reason);
+  CRef propagate();
+  void analyze(CRef conflict, std::vector<Lit>& learnt, int& backjump_level, std::uint32_t& lbd);
   [[nodiscard]] bool literal_redundant(Lit l, std::uint32_t abstract_levels);
   void backtrack(int level);
   [[nodiscard]] Lit pick_branch_literal();
-  void bump_var(Var v);
-  void bump_clause(Clause& c);
-  void decay_activities();
+  void bump_clause(CRef cr);
+  [[nodiscard]] std::uint32_t compute_lbd(const std::vector<Lit>& lits);
+  [[nodiscard]] std::uint32_t clause_lbd(ClauseView c);
+  [[nodiscard]] bool locked(CRef cr) const;
   void reduce_learnts();
+  void collect_garbage();
+  void rebuild_watches();
   [[nodiscard]] static std::uint64_t luby(std::uint64_t i);
 
   // --- state --------------------------------------------------------------
-  std::vector<Clause> clauses_;
+  ClauseArena arena_;
+  std::vector<CRef> clauses_;  // problem clauses
+  std::vector<CRef> learnts_;
   std::vector<std::vector<Watcher>> watches_;  // indexed by Lit::index()
   std::vector<Value> assign_;
   std::vector<bool> model_;
   std::vector<Lit> trail_;
   std::vector<std::size_t> trail_limits_;  // decision-level boundaries
   std::size_t qhead_ = 0;
-  std::vector<ClauseRef> reason_;
+  std::vector<CRef> reason_;
   std::vector<int> level_;
-  std::vector<double> activity_;
   std::vector<bool> saved_phase_;
-  std::vector<bool> seen_;  // scratch for analyze()
+  std::vector<bool> seen_;             // scratch for analyze()
+  std::vector<std::uint64_t> level_stamp_;  // scratch for compute_lbd()
+  std::uint64_t stamp_ = 0;
 
-  // VSIDS order: binary max-heap of vars keyed by activity.
-  std::vector<Var> heap_;
-  std::vector<int> heap_pos_;  // -1 if not in heap
-  void heap_insert(Var v);
-  Var heap_pop();
-  void heap_sift_up(int i);
-  void heap_sift_down(int i);
-  [[nodiscard]] bool heap_less(Var a, Var b) const noexcept {
-    return activity_[static_cast<std::size_t>(a)] < activity_[static_cast<std::size_t>(b)];
-  }
+  VsidsHeap heap_;
+  ReduceDb reduce_db_;
+  RestartPolicy restart_policy_ = RestartPolicy::Glucose;
 
-  double var_inc_ = 1.0;
-  double clause_inc_ = 1.0;
+  float clause_inc_ = 1.0f;
   bool unsat_ = false;
+  std::size_t simplified_at_trail_ = 0;  // trail size at the last sweep
   SolverStats stats_;
 };
 

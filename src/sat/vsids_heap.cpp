@@ -1,0 +1,73 @@
+#include "sat/vsids_heap.hpp"
+
+#include <cassert>
+
+namespace qxmap::sat {
+
+void VsidsHeap::add_var(Var v) {
+  assert(v == static_cast<Var>(activity_.size()));
+  activity_.push_back(0.0);
+  pos_.push_back(kAbsent);
+  insert(v);
+}
+
+Var VsidsHeap::pop() {
+  assert(!heap_.empty());
+  const Var top = heap_.front();
+  pos_[top] = kAbsent;
+  const Var last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_.front() = last;
+    pos_[last] = 0;
+    sift_down(0);
+  }
+  return top;
+}
+
+void VsidsHeap::insert(Var v) {
+  if (pos_[v] != kAbsent) return;
+  pos_[v] = heap_.size();
+  heap_.push_back(v);
+  sift_up(pos_[v]);
+}
+
+void VsidsHeap::bump(Var v) {
+  activity_[v] += increment_;
+  if (activity_[v] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    increment_ *= 1e-100;
+  }
+  if (pos_[v] != kAbsent) sift_up(pos_[v]);
+}
+
+void VsidsHeap::sift_up(std::size_t i) {
+  const Var v = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!lt(v, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    pos_[heap_[i]] = i;
+    i = parent;
+  }
+  heap_[i] = v;
+  pos_[v] = i;
+}
+
+void VsidsHeap::sift_down(std::size_t i) {
+  const Var v = heap_[i];
+  const std::size_t n = heap_.size();
+  while (true) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && lt(heap_[child + 1], heap_[child])) ++child;
+    if (!lt(heap_[child], v)) break;
+    heap_[i] = heap_[child];
+    pos_[heap_[i]] = i;
+    i = child;
+  }
+  heap_[i] = v;
+  pos_[v] = i;
+}
+
+}  // namespace qxmap::sat

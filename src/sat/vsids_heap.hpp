@@ -1,0 +1,70 @@
+/// \file vsids_heap.hpp
+/// Binary max-heap over variable activities (VSIDS decision order).
+///
+/// The solver bumps a variable's activity at every conflict and decays all
+/// activities geometrically (implemented as an increment that grows by
+/// 1/decay, with a global rescale when it overflows). The heap keeps the
+/// highest-activity unassigned variable at the root so each decision is
+/// O(log n) instead of the former O(n) scan over all variables.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sat/literal.hpp"
+
+namespace qxmap::sat {
+
+class VsidsHeap {
+ public:
+  /// Registers a new variable with zero activity and pushes it on the heap.
+  void add_var(Var v);
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] bool contains(Var v) const noexcept {
+    return pos_[v] != kAbsent;
+  }
+
+  /// Pops the highest-activity variable. Requires !empty().
+  Var pop();
+
+  /// Re-inserts a variable (on backtracking). No-op if already present.
+  void insert(Var v);
+
+  /// Additively bumps `v` by the current increment; rescales everything
+  /// when activities grow past 1e100.
+  void bump(Var v);
+
+  /// Geometric decay of all activities (amortised: grows the increment).
+  void decay() { increment_ /= decay_; }
+
+  /// Sets the decay factor (must lie in (0, 1)). The solver ramps this from
+  /// an aggressive 0.8 toward 0.95 over the first conflicts (Glucose-style):
+  /// fast forgetting early localises the search, slow forgetting later keeps
+  /// the proof focused.
+  void set_decay(double d) noexcept { decay_ = d; }
+  [[nodiscard]] double decay_factor() const noexcept { return decay_; }
+
+  [[nodiscard]] double activity(Var v) const noexcept { return activity_[v]; }
+
+  static constexpr double kDecay = 0.95;
+
+ private:
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  [[nodiscard]] bool lt(Var a, Var b) const noexcept {
+    // Ties break toward the lower-numbered variable for determinism.
+    return activity_[a] > activity_[b] || (activity_[a] == activity_[b] && a < b);
+  }
+
+  static constexpr std::size_t kAbsent = static_cast<std::size_t>(-1);
+
+  std::vector<Var> heap_;          // heap of variables ordered by lt()
+  std::vector<std::size_t> pos_;   // var -> index in heap_, or kAbsent
+  std::vector<double> activity_;   // var -> VSIDS activity
+  double increment_ = 1.0;
+  double decay_ = kDecay;
+};
+
+}  // namespace qxmap::sat

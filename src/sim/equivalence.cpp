@@ -12,14 +12,14 @@ namespace qxmap::sim {
 namespace {
 
 /// Drops the non-unitary parts before the statevector comparison: measures,
-/// and classically guarded gates (whether a guarded gate fires depends on
-/// measurement outcomes, which a unitary check cannot model). Mapping
-/// re-emits guarded gates positionally, so stripping them from both sides
+/// resets, and classically guarded gates (whether a guarded gate fires
+/// depends on measurement outcomes, which a unitary check cannot model).
+/// Mapping re-emits these positionally, so stripping them from both sides
 /// leaves exactly the unitary core to compare.
 Circuit strip_nonunitary(const Circuit& c) {
   Circuit out(c.num_qubits(), c.name());
   for (const auto& g : c) {
-    if (g.kind != OpKind::Measure && !g.is_conditional()) out.append(g);
+    if (!g.is_nonunitary() && !g.is_conditional()) out.append(g);
   }
   return out;
 }

@@ -10,6 +10,9 @@ double NoiseModel::gate_error(const Gate& g) const {
     case OpKind::Barrier:
       return 0.0;
     case OpKind::Measure:
+    case OpKind::Reset:
+      // Reset is realised as measure-and-correct on IBM QX, so its dominant
+      // error channel is the readout.
       return readout_error;
     case OpKind::Cnot: {
       if (const auto it = cnot_error_overrides.find({g.control, g.target});

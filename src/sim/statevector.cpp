@@ -72,8 +72,9 @@ Statevector Statevector::basis(int n, std::uint64_t index) {
 
 void Statevector::apply(const Gate& g) {
   if (g.kind == OpKind::Barrier) return;
-  if (g.kind == OpKind::Measure) {
-    throw std::invalid_argument("Statevector::apply: Measure not supported in unitary simulation");
+  if (g.is_nonunitary()) {
+    throw std::invalid_argument("Statevector::apply: " + std::string(kind_name(g.kind)) +
+                                " not supported in unitary simulation");
   }
   if (g.is_conditional()) {
     throw std::invalid_argument(

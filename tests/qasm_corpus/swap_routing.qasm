@@ -1,0 +1,14 @@
+// Raw `swap` pseudo-gates straight from the front-end: the mappers must
+// route these directly (decomposing them internally), including a guarded
+// swap whose guard has to ride along to every elementary gate.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+creg f[1];
+h q[0];
+swap q[0], q[2];
+cx q[2], q[1];
+measure q[1] -> f[0];
+if (f == 1) swap q[1], q[3];
+cx q[3], q[0];
+swap q[2], q[3];

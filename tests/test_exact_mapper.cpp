@@ -171,9 +171,14 @@ TEST(ExactMapper, ValidationErrors) {
   too_big.cnot(0, 5);
   EXPECT_THROW(map_exact(too_big, arch::ibm_qx4(), {}), std::invalid_argument);
 
+  // Raw swap pseudo-gates are no longer rejected: the mapper decomposes
+  // them up front and routes the elementary form.
   Circuit with_swap(2);
   with_swap.swap(0, 1);
-  EXPECT_THROW(map_exact(with_swap, arch::ibm_qx4(), {}), std::invalid_argument);
+  const auto swap_res = map_exact(with_swap, arch::ibm_qx4(), {});
+  EXPECT_EQ(swap_res.status, reason::Status::Optimal);
+  EXPECT_EQ(swap_res.mapped.counts().swap, 0);
+  EXPECT_TRUE(exact::satisfies_coupling(swap_res.mapped, arch::ibm_qx4()));
 
   // Full-architecture mode on a big machine requires subsets.
   Circuit small(2);

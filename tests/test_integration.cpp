@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+#include <utility>
+
 #include "api/qxmap.hpp"
 #include "arch/swap_costs.hpp"
 #include "bench_circuits/generators.hpp"
@@ -128,6 +132,46 @@ TEST(Integration, MappedQasmRoundTripStaysExecutable) {
   ASSERT_EQ(res.status, Status::Optimal);
   const Circuit reparsed = qasm::parse(qasm::write(res.mapped));
   EXPECT_TRUE(exact::satisfies_coupling(reparsed, arch::ibm_qx4()));
+}
+
+TEST(Integration, MeasureWiringSurvivesMappingRoundTrip) {
+  // The measure→creg re-targeting fix: mapping moves the *qubit* operand of
+  // a measure but must keep the classical destination; the writer re-emits
+  // the original wiring and a re-parse recovers it (indexed, broadcast and
+  // guarded forms all at once).
+  const Circuit c = qasm::parse(R"(
+    qreg q[3]; creg c[1]; creg m[3];
+    h q[0];
+    cx q[0], q[1];
+    cx q[1], q[2];
+    measure q[2] -> m[0];
+    measure q[0] -> m[2];
+    if (c == 1) measure q[1] -> m[1];
+  )",
+                                "measure-wiring");
+  const auto res = exact::map_exact(c, arch::ibm_qx4(), budget_options(EngineKind::Cdcl));
+  ASSERT_EQ(res.status, Status::Optimal);
+
+  const auto wiring = [](const Circuit& circ) {
+    std::multiset<std::pair<std::string, int>> bits;
+    for (const auto& g : circ) {
+      if (g.kind != OpKind::Measure) continue;
+      EXPECT_TRUE(g.cbit.has_value()) << g.to_string();
+      if (g.cbit) bits.insert({g.cbit->creg, g.cbit->bit});
+    }
+    return bits;
+  };
+  const auto original = wiring(c);
+  EXPECT_EQ(wiring(res.mapped), original);
+
+  const Circuit reparsed = qasm::parse(qasm::write(res.mapped));
+  EXPECT_EQ(wiring(reparsed), original);
+  // The guard rides along too.
+  int guarded = 0;
+  for (const auto& g : reparsed) {
+    if (g.kind == OpKind::Measure && g.is_conditional()) ++guarded;
+  }
+  EXPECT_EQ(guarded, 1);
 }
 
 TEST(Integration, HeadlineClaimShapeHoldsInMiniature) {

@@ -109,6 +109,48 @@ TEST(QasmParser, MeasureAndBarrier) {
   EXPECT_EQ(c.gate(1), Gate::measure(1));
 }
 
+TEST(QasmParser, MeasureRecordsClassicalDestination) {
+  const Circuit c = qasm::parse(R"(
+    qreg q[2]; creg m[4];
+    measure q[0] -> m[3];
+    measure q[1] -> m[0];
+  )");
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.gate(0), Gate::measure(0, "m", 3));
+  EXPECT_EQ(c.gate(1), Gate::measure(1, "m", 0));
+}
+
+TEST(QasmParser, BroadcastMeasureRecordsPerBitDestinations) {
+  const Circuit c = qasm::parse("qreg q[3]; creg out[3]; measure q -> out;");
+  ASSERT_EQ(c.size(), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(c.gate(i), Gate::measure(i, "out", i));
+}
+
+TEST(QasmParser, GuardedMeasureKeepsConditionAndDestination) {
+  const Circuit c = qasm::parse("qreg q[1]; creg c[1]; creg m[2]; if (c == 1) measure q[0] -> m[1];");
+  ASSERT_EQ(c.size(), 1u);
+  Gate expected = Gate::measure(0, "m", 1);
+  expected.condition = Condition{"c", 1, 1};
+  EXPECT_EQ(c.gate(0), expected);
+}
+
+TEST(QasmParser, ResetIndexedAndBroadcast) {
+  const Circuit c = qasm::parse("qreg q[3]; reset q[1]; reset q;");
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.gate(0), Gate::reset(1));
+  EXPECT_EQ(c.gate(1), Gate::reset(0));
+  EXPECT_EQ(c.gate(2), Gate::reset(1));
+  EXPECT_EQ(c.gate(3), Gate::reset(2));
+}
+
+TEST(QasmParser, GuardedReset) {
+  const Circuit c = qasm::parse("qreg q[2]; creg c[2]; if (c == 3) reset q[1];");
+  ASSERT_EQ(c.size(), 1u);
+  Gate expected = Gate::reset(1);
+  expected.condition = Condition{"c", 2, 3};
+  EXPECT_EQ(c.gate(0), expected);
+}
+
 TEST(QasmParser, CcxDecomposesToCliffordT) {
   const Circuit c = qasm::parse("qreg q[3]; ccx q[0], q[1], q[2];");
   const auto counts = c.counts();
@@ -366,7 +408,6 @@ TEST(QasmParser, DiagnosticsCarryLocationAndExcerpt) {
   expect_parse_error("qreg q[1];\nmeasure q[0] -> c[0];", 2, 17, "unknown creg 'c'");
   expect_parse_error("qreg q[1]; creg c[1];\nmeasure q[0] -> c[5];", 2, 17,
                      "classical bit index out of range");
-  expect_parse_error("qreg q[1];\nreset q[0];", 2, 1, "'reset' is not supported");
   expect_parse_error("qreg q[1];\nrz(pi) q[0], q[0];", 2, 1, "expects 1 qubit(s), got 2");
   expect_parse_error("qreg q[1];\nrz() q[0];", 2, 1, "expects 1 parameter(s), got 0");
   expect_parse_error("qreg q[1];\nrz(*) q[0];", 2, 4, "expected expression");
@@ -466,6 +507,60 @@ TEST(QasmWriter, ConditionedGatesEmitIfAndCregDeclaration) {
   const std::string text = qasm::write(c);
   EXPECT_NE(text.find("creg flag[2];"), std::string::npos) << text;
   EXPECT_NE(text.find("if(flag==3) x q[0];"), std::string::npos) << text;
+}
+
+TEST(QasmWriter, MeasureWiringRoundTrips) {
+  // Indexed, broadcast and guarded measures must survive write → parse with
+  // their original classical destinations (docs/qasm-support.md).
+  const Circuit c = qasm::parse(R"(
+    qreg q[3]; creg g[1]; creg m[3]; creg r[2];
+    measure q[2] -> m[0];
+    measure q[0] -> r[1];
+    if (g == 1) measure q[1] -> m[2];
+  )");
+  const std::string text = qasm::write(c);
+  EXPECT_NE(text.find("measure q[2] -> m[0];"), std::string::npos) << text;
+  EXPECT_NE(text.find("measure q[0] -> r[1];"), std::string::npos) << text;
+  EXPECT_NE(text.find("if(g==1) measure q[1] -> m[2];"), std::string::npos) << text;
+  EXPECT_NE(text.find("creg m[3];"), std::string::npos) << text;
+  EXPECT_NE(text.find("creg r[2];"), std::string::npos) << text;
+  const Circuit back = qasm::parse(text);
+  ASSERT_EQ(back.size(), c.size());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_EQ(back.gate(i).cbit, c.gate(i).cbit) << i;
+    EXPECT_EQ(back.gate(i).condition, c.gate(i).condition) << i;
+  }
+}
+
+TEST(QasmWriter, BroadcastMeasureRoundTrips) {
+  const Circuit c = qasm::parse("qreg q[2]; creg out[2]; measure q -> out;");
+  const Circuit back = qasm::parse(qasm::write(c));
+  ASSERT_EQ(back.size(), 2u);
+  for (int i = 0; i < 2; ++i) EXPECT_EQ(back.gate(i), Gate::measure(i, "out", i));
+}
+
+TEST(QasmWriter, ResetRoundTrips) {
+  Circuit c(2, "resets");
+  c.append(Gate::reset(1));
+  Gate guarded = Gate::reset(0);
+  guarded.condition = Condition{"f", 1, 1};
+  c.append(guarded);
+  const std::string text = qasm::write(c);
+  EXPECT_NE(text.find("reset q[1];"), std::string::npos) << text;
+  EXPECT_NE(text.find("if(f==1) reset q[0];"), std::string::npos) << text;
+  const Circuit back = qasm::parse(text);
+  ASSERT_EQ(back.size(), c.size());
+  EXPECT_EQ(back.gate(0), c.gate(0));
+  EXPECT_EQ(back.gate(1), c.gate(1));
+}
+
+TEST(QasmWriter, DefaultMeasureStillTargetsC) {
+  // Hand-built measures (no recorded wiring) keep the c[target] convention.
+  Circuit c(2);
+  c.append(Gate::measure(1));
+  const std::string text = qasm::write(c);
+  EXPECT_NE(text.find("creg c[2];"), std::string::npos) << text;
+  EXPECT_NE(text.find("measure q[1] -> c[1];"), std::string::npos) << text;
 }
 
 TEST(QasmWriter, WriteFileErrorIncludesPath) {

@@ -62,9 +62,9 @@ TEST(QasmCorpus, RoundTripsThroughWriter) {
 TEST(QasmCorpus, MapsOntoIbmQx4) {
   for (const auto& entry : kCorpus) {
     SCOPED_TRACE(entry.file);
-    // Raw `swap` gates are pseudo-gates to the mappers; expand them first,
-    // as the real pipeline does.
-    const Circuit c = qasm::parse_file(corpus_path(entry.file)).with_swaps_expanded();
+    // Raw `swap` gates go in as-is: every mapper decomposes pseudo-gates
+    // itself, so callers no longer pre-expand.
+    const Circuit c = qasm::parse_file(corpus_path(entry.file));
     MapOptions options;
     options.method = Method::Sabre;
     const auto res = map(c, arch::ibm_qx4(), options);
@@ -72,6 +72,25 @@ TEST(QasmCorpus, MapsOntoIbmQx4) {
     EXPECT_GE(res.mapped.size(), c.size());
     // Guards survive mapping (a guarded CNOT may fan out to several guarded
     // elementary gates, so >=).
+    EXPECT_GE(conditional_count(res.mapped), conditional_count(c));
+  }
+}
+
+TEST(QasmCorpus, RawSwapsRouteThroughEveryMapper) {
+  // swap_routing.qasm carries raw `swap` pseudo-gates (one guarded). Each
+  // mapper must accept them directly and emit a coupling-legal circuit with
+  // no swap pseudo-gates left.
+  const Circuit c = qasm::parse_file(corpus_path("swap_routing.qasm"));
+  ASSERT_GT(c.counts().swap, 0);
+  for (const auto method :
+       {Method::Exact, Method::Sabre, Method::StochasticSwap, Method::AStar}) {
+    SCOPED_TRACE(static_cast<int>(method));
+    MapOptions options;
+    options.method = method;
+    options.exact.budget = std::chrono::milliseconds(30000);
+    const auto res = map(c, arch::ibm_qx4(), options);
+    EXPECT_TRUE(exact::satisfies_coupling(res.mapped, arch::ibm_qx4()));
+    EXPECT_EQ(res.mapped.counts().swap, 0);
     EXPECT_GE(conditional_count(res.mapped), conditional_count(c));
   }
 }

@@ -117,9 +117,12 @@ TEST(Sabre, Validation) {
   Circuit big(6);
   big.cnot(0, 5);
   EXPECT_THROW(map_sabre(big, arch::ibm_qx4(), {}), std::invalid_argument);
+  // Raw swap pseudo-gates route directly (self-expanded by the mapper).
   Circuit has_swap(2);
   has_swap.swap(0, 1);
-  EXPECT_THROW(map_sabre(has_swap, arch::ibm_qx4(), {}), std::invalid_argument);
+  const auto swap_res = map_sabre(has_swap, arch::ibm_qx4(), {});
+  EXPECT_EQ(swap_res.mapped.counts().swap, 0);
+  EXPECT_TRUE(exact::satisfies_coupling(swap_res.mapped, arch::ibm_qx4()));
   Circuit fine(2);
   fine.cnot(0, 1);
   EXPECT_THROW(map_sabre(fine, arch::CouplingMap(3, {{0, 1}}), {}), std::invalid_argument);
