@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "arch/architectures.hpp"
+#include "arch/subsets.hpp"
 #include "arch/swap_costs.hpp"
 #include "bench_circuits/generators.hpp"
 #include "exact/encoder.hpp"
@@ -45,6 +46,77 @@ void BM_EncodingSize(benchmark::State& state) {
 }
 BENCHMARK(BM_EncodingSize)
     ->ArgsProduct({{5, 10, 20, 40}, {0, 1, 2, 3}})
+    ->Unit(benchmark::kMillisecond);
+
+/// Encode-time share of one shard's Sec. 4.1 instance family, the quantity
+/// the prefix split exists for: the four connected 4-subsets of QX4 share
+/// the Eq. (1)/(3) skeleton, so the shared-prefix path pays it once (one
+/// replay + one snapshot copy + cheap per-instance suffixes) where the
+/// fresh path re-emits it per instance. Compare BM_SubsetFamilyEncodeFresh
+/// with BM_SubsetFamilyEncodeSharedPrefix at equal args.
+struct SubsetFamily {
+  std::vector<Gate> cnots;
+  std::vector<std::size_t> points;
+  std::vector<arch::CouplingMap> induced;
+  exact::CostModel costs;
+};
+
+SubsetFamily subset_family(int num_cnots) {
+  SubsetFamily f;
+  const Circuit circuit = bench::random_circuit(4, 0, num_cnots, 11, "enc");
+  for (const auto& g : circuit) {
+    if (g.is_cnot()) f.cnots.push_back(g);
+  }
+  const auto cm = arch::ibm_qx4();
+  f.points = exact::permutation_points(f.cnots, exact::PermutationStrategy::All, cm);
+  for (const auto& subset : arch::connected_subsets(cm, 4)) {
+    f.induced.push_back(cm.induced(subset));
+  }
+  f.costs.swap_cost = 7;
+  return f;
+}
+
+void BM_SubsetFamilyEncodeFresh(benchmark::State& state) {
+  const SubsetFamily f = subset_family(static_cast<int>(state.range(0)));
+  std::size_t vars = 0;
+  for (auto _ : state) {
+    for (const auto& cm : f.induced) {
+      const arch::SwapCostTable table(cm);
+      reason::CdclEngine engine;
+      const exact::Encoding enc(engine, f.cnots, 4, cm, table, f.points, f.costs);
+      vars += enc.num_variables();
+      benchmark::DoNotOptimize(enc);
+    }
+  }
+  state.counters["instances"] = static_cast<double>(f.induced.size());
+  benchmark::DoNotOptimize(vars);
+}
+BENCHMARK(BM_SubsetFamilyEncodeFresh)->Arg(5)->Arg(10)->Arg(20)->Arg(40)->Unit(benchmark::kMillisecond);
+
+void BM_SubsetFamilyEncodeSharedPrefix(benchmark::State& state) {
+  const SubsetFamily f = subset_family(static_cast<int>(state.range(0)));
+  std::size_t vars = 0;
+  for (auto _ : state) {
+    const auto prefix = exact::Encoding::build_prefix(f.cnots, 4, 4, f.points);
+    reason::CdclEngine engine;
+    bool first = true;
+    for (const auto& cm : f.induced) {
+      const arch::SwapCostTable table(cm);
+      const bool holds = !first && engine.reset_to_prefix();
+      const exact::Encoding enc(engine, prefix, cm, table, f.costs, holds);
+      vars += enc.num_variables();
+      benchmark::DoNotOptimize(enc);
+      first = false;
+    }
+  }
+  state.counters["instances"] = static_cast<double>(f.induced.size());
+  benchmark::DoNotOptimize(vars);
+}
+BENCHMARK(BM_SubsetFamilyEncodeSharedPrefix)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(40)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -6,11 +6,16 @@
 /// event; a lost proof is a solver-performance regression.
 ///
 /// Usage: bench_sat_smoke [--smoke] [--baseline PATH] [--budget-ms N]
+///                        [--mode descending|binary|both]
 ///   --smoke         no-op flag naming the CI mode (kept for readability)
 ///   --baseline PATH BENCH_table1.json to check against (default:
 ///                   ./BENCH_table1.json)
 ///   --budget-ms N   override the per-solve budget (default: the baseline
 ///                   file's budget_ms)
+///   --mode M        which optimisation strategy re-proves the rows:
+///                   the descending-bound loop, the incremental
+///                   assumption-probe binary search, or both in sequence
+///                   (default both — proven costs must agree either way)
 ///
 /// Unlike the bench_* suites this is a plain CLI (no Google-Benchmark
 /// dependency) so the quick CI gate can run it from the test build.
@@ -94,6 +99,7 @@ Baseline load_baseline(const std::string& path) {
 int main(int argc, char** argv) {
   std::string baseline_path = "BENCH_table1.json";
   long long budget_ms = -1;
+  std::string mode = "both";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") continue;
@@ -101,6 +107,12 @@ int main(int argc, char** argv) {
       baseline_path = argv[++i];
     } else if (arg == "--budget-ms" && i + 1 < argc) {
       budget_ms = std::stoll(argv[++i]);
+    } else if (arg == "--mode" && i + 1 < argc) {
+      mode = argv[++i];
+      if (mode != "descending" && mode != "binary" && mode != "both") {
+        std::cerr << "bench_sat_smoke: --mode must be descending, binary or both\n";
+        return 2;
+      }
     } else {
       std::cerr << "bench_sat_smoke: unknown argument '" << arg << "'\n";
       return 2;
@@ -116,28 +128,38 @@ int main(int argc, char** argv) {
   }
   if (budget_ms <= 0) budget_ms = baseline.budget_ms;
 
-  exact::ExactOptions opt;
-  opt.engine = reason::EngineKind::Cdcl;
-  opt.use_subsets = true;
-  opt.budget = std::chrono::milliseconds(budget_ms);
+  std::vector<reason::OptimizationMode> modes;
+  if (mode != "binary") modes.push_back(reason::OptimizationMode::DescendingLinear);
+  if (mode != "descending") modes.push_back(reason::OptimizationMode::BinarySearch);
 
   int checked = 0;
   int failed = 0;
-  for (const auto& row : baseline.rows) {
-    if (!row.proven) continue;  // budget-bound rows are timing-dependent
-    ++checked;
-    const Circuit circuit = bench::table1_benchmark(row.circuit).build();
-    const auto res = exact::map_exact(circuit, arch::ibm_qx4(), opt);
-    const bool proven = res.status == reason::Status::Optimal;
-    const auto cost = static_cast<long long>(res.mapped.size());
-    const bool ok = proven && cost == row.cost;
-    std::cout << (ok ? "  ok   " : "  FAIL ") << row.circuit << ": cost " << cost << " (baseline "
-              << row.cost << "), " << (proven ? "proven" : "NOT proven") << ", "
-              << static_cast<long long>(res.seconds * 1000.0) << " ms\n";
-    if (!ok) ++failed;
+  for (const auto opt_mode : modes) {
+    exact::ExactOptions opt;
+    opt.engine = reason::EngineKind::Cdcl;
+    opt.use_subsets = true;
+    opt.budget = std::chrono::milliseconds(budget_ms);
+    opt.optimization = opt_mode;
+    const char* mode_name =
+        opt_mode == reason::OptimizationMode::BinarySearch ? "binary" : "descending";
+    for (const auto& row : baseline.rows) {
+      if (!row.proven) continue;  // budget-bound rows are timing-dependent
+      ++checked;
+      const Circuit circuit = bench::table1_benchmark(row.circuit).build();
+      const auto res = exact::map_exact(circuit, arch::ibm_qx4(), opt);
+      const bool proven = res.status == reason::Status::Optimal;
+      const auto cost = static_cast<long long>(res.mapped.size());
+      const bool ok = proven && cost == row.cost;
+      std::cout << (ok ? "  ok   " : "  FAIL ") << row.circuit << " [" << mode_name
+                << "]: cost " << cost << " (baseline " << row.cost << "), "
+                << (proven ? "proven" : "NOT proven") << ", "
+                << static_cast<long long>(res.seconds * 1000.0) << " ms\n";
+      if (!ok) ++failed;
+    }
   }
 
   std::cout << "bench_sat_smoke: " << (checked - failed) << "/" << checked
-            << " proven baseline rows re-proved at " << budget_ms << " ms\n";
+            << " proven baseline rows re-proved at " << budget_ms << " ms (mode " << mode
+            << ")\n";
   return failed == 0 ? 0 : 1;
 }

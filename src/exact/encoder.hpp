@@ -32,8 +32,46 @@
 namespace qxmap::exact {
 
 /// Variable bookkeeping plus the data needed to decode a model.
+///
+/// The formulation splits into a coupling-independent *prefix* — the x/y
+/// variables with Eq. (1) and Eq. (3), fixed by (skeleton, n, m, G') alone —
+/// and a per-instance *suffix*: Eq. (2)/(4) over the coupling map's edges
+/// plus every cost term (swaps(π) depends on the induced map). The Sec. 4.1
+/// subset instances of one circuit all share the prefix, so build_prefix()
+/// captures it once as an engine-agnostic clause list and the prefix
+/// constructor replays it (remapping the prefix-local variable ids into the
+/// engine) or — when the engine still holds the prefix from a
+/// ReasoningEngine::reset_to_prefix() — skips straight to the suffix.
 class Encoding {
  public:
+  /// The shared, engine-agnostic part of the formulation. Clause literals
+  /// are DIMACS-like over prefix-local variable ids 0..var_count-1; the
+  /// prefix constructor remaps them into engine variables at load time.
+  struct Prefix {
+    int num_gates = 0;
+    int m = 0;
+    int n = 0;
+    std::vector<std::pair<int, int>> gates;    ///< (control, target) per CNOT
+    std::vector<std::size_t> perm_points;      ///< sorted G'
+    std::vector<Permutation> perms;            ///< Π = S_m
+    std::vector<int> x;                        ///< (k*m + i)*n + j
+    std::vector<std::vector<int>> y;           ///< [point index][perm index]
+    std::vector<std::vector<int>> clauses;     ///< Eq. (1) + Eq. (3)
+    std::size_t var_count = 0;
+    std::size_t clause_count = 0;
+  };
+
+  /// Captures the coupling-independent prefix for (skeleton, n, m, G').
+  ///
+  /// \param cnots the CNOT skeleton (logical qubit pairs), non-empty
+  /// \param num_logical n (> largest qubit index used by `cnots`)
+  /// \param num_physical m >= n (the subset size; every Sec. 4.1 subset
+  ///        instance of an n-qubit circuit has m = n)
+  /// \param perm_points G' (0-based ks, each >= 1)
+  [[nodiscard]] static Prefix build_prefix(const std::vector<Gate>& cnots, int num_logical,
+                                           int num_physical,
+                                           const std::vector<std::size_t>& perm_points);
+
   /// Builds the full formulation into `engine`.
   ///
   /// \param engine the reasoning engine receiving clauses and costs
@@ -46,6 +84,17 @@ class Encoding {
   Encoding(reason::ReasoningEngine& engine, const std::vector<Gate>& cnots, int num_logical,
            const arch::CouplingMap& cm, const arch::SwapCostTable& table,
            const std::vector<std::size_t>& perm_points, const CostModel& costs);
+
+  /// Builds the formulation from a shared prefix plus the per-instance
+  /// suffix for `cm`. With `engine_holds_prefix == false` the prefix is
+  /// replayed into `engine` — which must be fresh (no variables yet) so the
+  /// prefix-local→engine variable map is the identity — and the engine is
+  /// asked to mark_prefix() so later instances can reset to this point.
+  /// With `engine_holds_prefix == true` the engine must already hold
+  /// exactly the prefix (a reset_to_prefix() engine) and only the suffix is
+  /// emitted. `cm.num_physical()` must equal `prefix.m`.
+  Encoding(reason::ReasoningEngine& engine, const Prefix& prefix, const arch::CouplingMap& cm,
+           const arch::SwapCostTable& table, const CostModel& costs, bool engine_holds_prefix);
 
   /// A decoded model.
   struct Solution {
@@ -71,6 +120,13 @@ class Encoding {
   [[nodiscard]] std::size_t num_clauses() const noexcept { return clause_count_; }
 
  private:
+  Encoding(reason::ReasoningEngine& engine, const Prefix& prefix, const arch::CouplingMap& cm,
+           const arch::SwapCostTable& table, const CostModel& costs, bool engine_holds_prefix,
+           bool mark);
+
+  /// Emits Eq. (2)/(4) and all cost terms for `cm` (the per-instance part).
+  void encode_suffix(const arch::CouplingMap& cm);
+
   [[nodiscard]] int x_var(int k, int i, int j) const {
     return x_[static_cast<std::size_t>((k * m_ + i) * n_ + j)];
   }
@@ -79,6 +135,7 @@ class Encoding {
   int num_gates_;
   int m_;
   int n_;
+  std::vector<std::pair<int, int>> gates_;  // (control, target) per CNOT
   CostModel costs_;
   std::vector<std::size_t> perm_points_;
   std::vector<Permutation> perms_;

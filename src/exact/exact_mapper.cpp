@@ -312,9 +312,15 @@ MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
     instances.push_back(std::move(all));
   }
 
-  const auto per_instance_budget =
-      std::chrono::milliseconds(std::max<long long>(1, options.budget.count() /
-                                                           static_cast<long long>(instances.size())));
+  // Budget: one shared deadline for the whole instance sweep. Each shard
+  // grants its next instance an equal share of the time still left (divided
+  // by the number of instance "rounds" remaining across the pool), so time
+  // unused by easy, skipped or Unsat instances flows to the hard ones
+  // instead of expiring with them. `nominal_share` — the old fixed split —
+  // caps the canonical re-solve after the reduction.
+  const auto overall_deadline = start + options.budget;
+  const auto nominal_share = std::chrono::milliseconds(
+      std::max<long long>(1, options.budget.count() / static_cast<long long>(instances.size())));
 
   MappingResult res;
   // Report the engine that actually runs, not the requested kind: without
@@ -364,6 +370,20 @@ MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
                 static_cast<long long>(circuit.size());
   }
 
+  // Shared encoding prefix (Sec. 4.1): every subset instance of an n-qubit
+  // circuit induces an n-qubit coupling map, so the x/y skeleton — Eq. (1)
+  // and Eq. (3) — is byte-identical across instances. Build it once as an
+  // engine-agnostic clause list; shards replay it into their engine for the
+  // first instance and reset_to_prefix() for every later one (backends
+  // without snapshot support just replay again from the list, still
+  // skipping the per-instance constraint derivation).
+  std::optional<Encoding::Prefix> prefix;
+  if (instances.size() > 1) {
+    prefix.emplace(Encoding::build_prefix(cnots, n, n, points));
+  }
+
+  const std::size_t num_threads = resolve_num_threads(options.num_threads, instances.size());
+
   std::atomic<std::size_t> next_pos{0};
   std::atomic<long long> shared_bound{warm_cost};
   std::atomic<long long> zero_index{kNoBound};  // lowest index proving cost 0
@@ -374,6 +394,12 @@ MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
   std::exception_ptr worker_error;
 
   const auto worker = [&] {
+    // One engine per shard, reused across its instances via the prefix
+    // snapshot. Engine stats are cumulative per engine, so per-instance
+    // contributions are deltas against the last observed counters.
+    std::unique_ptr<reason::ReasoningEngine> engine;
+    long long seen_polls = 0;
+    long long seen_tightenings = 0;
     try {
       for (;;) {
         const std::size_t pos = next_pos.fetch_add(1, std::memory_order_relaxed);
@@ -383,8 +409,19 @@ MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
         InstanceOutcome& out = outcomes[i];
         const arch::CouplingMap induced = cm.induced(instances[i]);
         out.table = arch::SwapCostCache::instance().table(induced);
-        auto engine = reason::make_engine(options.engine);
-        const Encoding enc(*engine, cnots, n, induced, *out.table, points, costs);
+        const bool holds_prefix = engine && prefix && engine->reset_to_prefix();
+        if (!holds_prefix) {
+          engine = reason::make_engine(options.engine);
+          seen_polls = 0;
+          seen_tightenings = 0;
+        }
+        engine->set_optimization_mode(options.optimization);
+        std::optional<Encoding> enc;
+        if (prefix) {
+          enc.emplace(*engine, *prefix, induced, *out.table, costs, holds_prefix);
+        } else {
+          enc.emplace(*engine, cnots, n, induced, *out.table, points, costs);
+        }
         const long long bound = shared_bound.load(std::memory_order_acquire);
         if (bound != kNoBound) engine->set_upper_bound(bound);
         if (tighten && instances.size() > 1) {
@@ -398,16 +435,27 @@ MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
             return shared_bound.load(std::memory_order_acquire);
           });
         }
-        const reason::Outcome outcome = engine->minimize(per_instance_budget);
-        total_polls.fetch_add(engine->stats().bound_polls, std::memory_order_relaxed);
-        total_tightenings.fetch_add(engine->stats().bound_tightenings,
+        // This instance's share of the remaining budget: the time left to
+        // the shared deadline, divided by the rounds of instances the pool
+        // still has to absorb (this one included).
+        const std::size_t rounds = (schedule.size() - pos + num_threads - 1) / num_threads;
+        const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+            overall_deadline - Clock::now());
+        const auto share = std::chrono::milliseconds(
+            std::max<long long>(1, left.count() / static_cast<long long>(rounds)));
+        const reason::Outcome outcome = engine->minimize(share);
+        total_polls.fetch_add(engine->stats().bound_polls - seen_polls,
+                              std::memory_order_relaxed);
+        total_tightenings.fetch_add(engine->stats().bound_tightenings - seen_tightenings,
                                     std::memory_order_relaxed);
+        seen_polls = engine->stats().bound_polls;
+        seen_tightenings = engine->stats().bound_tightenings;
         out.status = outcome.status;
         if (outcome.status != reason::Status::Optimal &&
             outcome.status != reason::Status::Feasible) {
           continue;
         }
-        out.solution = enc.decode();
+        out.solution = enc->decode();
         const long long cost = out.solution->cost_f;
         long long cur = shared_bound.load(std::memory_order_acquire);
         while (cost < cur &&
@@ -432,7 +480,6 @@ MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
     }
   };
 
-  const std::size_t num_threads = resolve_num_threads(options.num_threads, instances.size());
   if (num_threads <= 1) {
     worker();
   } else {
@@ -515,9 +562,10 @@ MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
     const long long canonical = best->solution.cost_f;
     const arch::CouplingMap induced = cm.induced(best->subset);
     auto engine = reason::make_engine(options.engine);
+    engine->set_optimization_mode(options.optimization);
     const Encoding enc(*engine, cnots, n, induced, *best->table, points, costs);
     engine->set_upper_bound(canonical);
-    const reason::Outcome outcome = engine->minimize(per_instance_budget);
+    const reason::Outcome outcome = engine->minimize(nominal_share);
     if (outcome.status == reason::Status::Optimal ||
         outcome.status == reason::Status::Feasible) {
       Encoding::Solution sol = enc.decode();

@@ -40,6 +40,12 @@ struct CostModel {
 /// Options for the exact mapper.
 struct ExactOptions {
   reason::EngineKind engine = reason::EngineKind::Z3;
+  /// How the engine approaches the Eq. (5) minimum (Sec. 3.3): a descending
+  /// bound loop, or binary-search probes that assert speculative bounds as
+  /// assumption literals against one incremental solver. Both return the
+  /// same status and cost; wall time per instance differs. Backends that
+  /// minimize natively (Z3) ignore the selection.
+  reason::OptimizationMode optimization = reason::OptimizationMode::DescendingLinear;
   PermutationStrategy strategy = PermutationStrategy::All;
   /// Sec. 4.1: solve one instance per connected n-subset of physical qubits
   /// instead of one instance over all m.
@@ -66,10 +72,14 @@ struct ExactOptions {
   /// consults the shared bound only at solve start. Does not affect
   /// results, only wall time.
   Toggle cooperative_tightening = Toggle::Auto;
-  /// Total solver budget, split evenly across subset instances. The
-  /// canonical re-derivation of the winning instance (which keeps results
-  /// thread-count invariant) may spend up to one extra per-instance share
-  /// on top of this total.
+  /// Total solver budget, shared across subset instances as one deadline:
+  /// each shard grants its next instance an equal share of the time *left*,
+  /// so slack from instances that finish early (or are skipped) flows to
+  /// the hard ones instead of expiring unused. The canonical re-derivation
+  /// of the winning instance (which keeps results thread-count invariant)
+  /// may spend up to one nominal per-instance share on top of this total.
+  /// Budget expiry is outside the bit-identical guarantee either way (see
+  /// docs/concurrency.md).
   std::chrono::milliseconds budget{10000};
   CostModel costs;
   /// Verify the result (GF(2) skeleton always; statevector when the

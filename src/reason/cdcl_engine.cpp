@@ -83,8 +83,27 @@ void CdclEngine::add_clause(const std::vector<int>& lits) {
     if (l == 0) throw std::invalid_argument("CdclEngine::add_clause: zero literal");
     converted.push_back(Lit(std::abs(l) - 1, l < 0));
   }
-  stored_clauses_.push_back(converted);
   solver_.add_clause(std::move(converted));
+}
+
+bool CdclEngine::mark_prefix() {
+  prefix_.emplace(PrefixSnapshot{solver_, cost_terms_, ge_, clamp_, upper_bound_, enforced_,
+                                 external_limit_});
+  return true;
+}
+
+bool CdclEngine::reset_to_prefix() {
+  if (!prefix_) return false;
+  solver_ = prefix_->solver;
+  cost_terms_ = prefix_->cost_terms;
+  ge_ = prefix_->ge;
+  clamp_ = prefix_->clamp;
+  upper_bound_ = prefix_->upper_bound;
+  enforced_ = prefix_->enforced;
+  external_limit_ = prefix_->external_limit;
+  best_model_.clear();
+  has_model_ = false;
+  return true;
 }
 
 void CdclEngine::add_cost(int var, long long weight) {
@@ -98,6 +117,30 @@ long long CdclEngine::model_cost() const {
     if (best_model_[static_cast<std::size_t>(var)]) cost += weight;
   }
   return cost;
+}
+
+void CdclEngine::snapshot_model() {
+  best_model_.resize(static_cast<std::size_t>(solver_.num_vars()));
+  for (sat::Var v = 0; v < solver_.num_vars(); ++v) {
+    best_model_[static_cast<std::size_t>(v)] = solver_.model_value(v);
+  }
+  has_model_ = true;
+}
+
+Outcome CdclEngine::budget_outcome() const {
+  Outcome out;
+  if (has_model_ && model_cost() <= external_limit_) {
+    out.status = Status::Feasible;
+    out.cost = model_cost();
+  } else {
+    // No model, or only a stale model costlier than the tightest external
+    // bound: a run with that bound enforced from the start would have found
+    // nothing by now, so the bounded contract demands Unknown — never a
+    // Feasible cost above the bound, and not Unsat either (nothing below
+    // the bound has been *proven* absent).
+    out.status = Status::Unknown;
+  }
+  return out;
 }
 
 void CdclEngine::add_cost_bound(long long bound) {
@@ -153,8 +196,7 @@ void CdclEngine::poll_and_tighten() {
 Outcome CdclEngine::minimize(std::chrono::milliseconds budget) {
   const auto deadline = std::chrono::steady_clock::now() + budget;
   // Known external bound: start with objective <= bound already enforced.
-  // Binary-search probes rebuild from stored_clauses_ and re-derive their
-  // own bound from the (now bounded) first model, so this covers both modes.
+  // Both modes run on solver_, so this single enforcement covers them.
   if (upper_bound_) apply_external_bound(*upper_bound_);
   // Preprocessing before the timing-sensitive loop: propagate level-0 facts
   // (the encoding produces many units) to fixpoint and shed satisfied /
@@ -216,20 +258,10 @@ Outcome CdclEngine::minimize_descending(std::chrono::steady_clock::time_point de
       return out;
     }
     if (r == sat::SolveResult::Unknown) {
-      if (has_model_) {
-        out.status = Status::Feasible;
-        out.cost = model_cost();
-      } else {
-        out.status = Status::Unknown;
-      }
-      return out;
+      return budget_outcome();
     }
     // Satisfiable: snapshot the model, tighten, and go again.
-    best_model_.resize(static_cast<std::size_t>(solver_.num_vars()));
-    for (sat::Var v = 0; v < solver_.num_vars(); ++v) {
-      best_model_[static_cast<std::size_t>(v)] = solver_.model_value(v);
-    }
-    has_model_ = true;
+    snapshot_model();
     const long long cost = model_cost();
     if (cost == 0) {
       out.status = Status::Optimal;
@@ -241,34 +273,63 @@ Outcome CdclEngine::minimize_descending(std::chrono::steady_clock::time_point de
 }
 
 Outcome CdclEngine::minimize_binary(std::chrono::steady_clock::time_point deadline) {
-  const auto interrupt = [&deadline] { return std::chrono::steady_clock::now() >= deadline; };
-
-  // First an unrestricted solve to obtain an upper bound.
+  // Incremental binary search (Sec. 3.3 "set F to a fixed value"): every
+  // probe runs on solver_ with the speculative bound asserted as an
+  // *assumption* on a GTE output, never as a clause — the clause database
+  // only ever receives monotone facts (model costs, external bounds), so
+  // learnt clauses, phases and activities survive probes in both
+  // directions. In-solve checkpoints ride the same conflict-boundary
+  // interrupt as the descending loop; a tighter published bound aborts the
+  // probe and shrinks the search window before the next one.
   Outcome out;
-  const sat::SolveResult first = solver_.solve(interrupt);
-  if (first == sat::SolveResult::Unsatisfiable) {
-    out.status = Status::Unsat;
+  long long pending = kNoBound;
+  int countdown = kPollConflictInterval;
+  const auto interrupt = [&]() -> bool {
+    if (std::chrono::steady_clock::now() >= deadline) return true;
+    if (has_bound_source() && --countdown <= 0) {
+      countdown = kPollConflictInterval;
+      const long long ext = observe_external(poll_bound_source());
+      if (ext < enforced_) {
+        pending = ext;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // First solve under whatever is enforced so far, to obtain an upper bound.
+  for (;;) {
+    pending = kNoBound;
+    const sat::SolveResult first = solver_.solve(interrupt);
+    if (first == sat::SolveResult::Unknown && pending != kNoBound) {
+      add_cost_bound(pending);
+      continue;
+    }
+    if (first == sat::SolveResult::Unsatisfiable) {
+      out.status = Status::Unsat;  // no model at or below everything enforced
+      return out;
+    }
+    if (first == sat::SolveResult::Unknown) return budget_outcome();
+    break;
+  }
+  snapshot_model();
+  long long hi = model_cost();
+  if (hi == 0) {
+    out.status = Status::Optimal;
+    out.cost = 0;
     return out;
   }
-  if (first == sat::SolveResult::Unknown) {
-    out.status = Status::Unknown;
-    return out;
-  }
-  best_model_.resize(static_cast<std::size_t>(solver_.num_vars()));
-  for (sat::Var v = 0; v < solver_.num_vars(); ++v) {
-    best_model_[static_cast<std::size_t>(v)] = solver_.model_value(v);
-  }
-  has_model_ = true;
+  // Commit the model's cost permanently (monotone: the optimum is <= hi)
+  // and clamp the GTE here on its first construction.
+  add_cost_bound(hi);
 
   long long lo = 0;
-  long long hi = model_cost();
-  const int num_vars = solver_.num_vars();
   for (;;) {
-    // Between-probe checkpoint (probes are fresh solvers, so this mode
-    // tightens at probe granularity rather than conflict granularity).
-    if (has_bound_source()) observe_external(poll_bound_source());
+    // Between-probe checkpoint: adopt bounds published while the previous
+    // probe ran. External bounds are permanent units, as in descending mode.
+    poll_and_tighten();
     if (lo > external_limit_) {
-      // Every model costs more than the external bound: bounded-Unsat.
+      // Proven: every model costs more than the external bound.
       out.status = Status::Unsat;
       return out;
     }
@@ -276,53 +337,38 @@ Outcome CdclEngine::minimize_binary(std::chrono::steady_clock::time_point deadli
     const long long cap =
         (external_limit_ == kNoBound) ? hi : std::min(hi, external_limit_ + 1);
     if (lo >= cap) break;
-    if (interrupt()) {
-      out.status = Status::Feasible;
-      out.cost = hi;
-      return out;
-    }
+    if (std::chrono::steady_clock::now() >= deadline) return budget_outcome();
     const long long mid = lo + (cap - lo) / 2;
-    // Fresh probe solver: the bound is not monotone across probes, so each
-    // probe gets its own GTE clamped at mid + 1 (this is exactly the
-    // "set F to a fixed value" scheme of Sec. 3.3).
-    sat::Solver probe;
-    probe.set_restart_policy(restart_policy_);
-    for (int v = 0; v < num_vars; ++v) probe.new_var();
-    bool trivially_unsat = false;
-    for (const auto& clause : stored_clauses_) {
-      if (!probe.add_clause(clause)) {
-        trivially_unsat = true;
-        break;
-      }
+    // Assume objective <= mid: assert ¬(sum >= B') for the smallest
+    // attainable B' > mid. hi is attainable and > mid, so B' exists; the
+    // GTE's monotonicity clauses propagate the rest of the outputs.
+    const auto above = ge_.upper_bound(mid);
+    if (above == ge_.end()) {
+      throw std::logic_error("CdclEngine::minimize_binary: no GTE output above probe bound");
     }
-    if (!trivially_unsat && !cost_terms_.empty()) {
-      std::vector<std::pair<Lit, long long>> terms;
-      terms.reserve(cost_terms_.size());
-      for (const auto& [var, weight] : cost_terms_) terms.emplace_back(sat::pos(var), weight);
-      const auto ge = build_gte(probe, terms, 0, terms.size(), mid + 1);
-      for (const auto& [w, lit] : ge) {
-        if (w > mid) {
-          probe.add_clause(~lit);
-          break;
-        }
-      }
-    }
-    const sat::SolveResult r =
-        trivially_unsat ? sat::SolveResult::Unsatisfiable : probe.solve(interrupt);
+    pending = kNoBound;
+    const sat::SolveResult r = solver_.solve(interrupt, {~above->second});
     if (r == sat::SolveResult::Unknown) {
-      out.status = Status::Feasible;
-      out.cost = hi;
-      return out;
+      if (pending != kNoBound) {
+        add_cost_bound(pending);  // window shrinks via cap next iteration
+        continue;
+      }
+      return budget_outcome();
     }
     if (r == sat::SolveResult::Unsatisfiable) {
+      if (solver_.failed_assumptions().empty()) {
+        // Unsat independent of the assumption: nothing below the permanent
+        // (external) bound exists at all. The hi-vs-external check below
+        // decides Optimal versus bounded-Unsat.
+        break;
+      }
       lo = mid + 1;
       continue;
     }
-    // SAT at mid: adopt the probe model (only the original variables).
-    for (sat::Var v = 0; v < num_vars; ++v) {
-      best_model_[static_cast<std::size_t>(v)] = probe.model_value(v);
-    }
+    // SAT at mid: adopt the model and commit its cost as the new ceiling.
+    snapshot_model();
     hi = model_cost();
+    add_cost_bound(hi);
   }
   if (hi > external_limit_) {
     // Proven: nothing at or below the external bound exists (the best model

@@ -11,13 +11,21 @@
 /// then only needs unit clauses ¬(sum >= B') for the smallest attainable
 /// B' > B (monotonicity clauses force the rest).
 ///
+/// Binary search (Sec. 3.3 "set F to a fixed value") runs against the same
+/// incremental solver: the GTE is built once, clamped at the first model's
+/// cost, and each probe at mid asserts the *assumption* ¬(sum >= B') for the
+/// smallest attainable B' > mid — speculative bounds never enter the clause
+/// database, so learnt clauses, phases and activities survive every probe in
+/// both directions. Only monotone facts (a model's own cost, external
+/// bounds) are committed as permanent units.
+///
 /// Cooperative tightening (docs/concurrency.md): with a bound source
-/// installed, the descending loop polls it between solves and — via the SAT
-/// solver's conflict-boundary interrupt — every kPollConflictInterval
-/// conflicts *inside* a solve. A strictly tighter published bound aborts the
-/// in-flight solve at the next conflict boundary, re-tightens the GTE with
-/// unit clauses, and resumes; the solver keeps its learnt clauses and
-/// heuristic state, so an abort never repeats completed work.
+/// installed, both loops poll it between solves and — via the SAT solver's
+/// conflict-boundary interrupt — every kPollConflictInterval conflicts
+/// *inside* a solve. A strictly tighter published bound aborts the in-flight
+/// solve at the next conflict boundary, re-tightens the GTE with unit
+/// clauses, and resumes; the solver keeps its learnt clauses and heuristic
+/// state, so an abort never repeats completed work.
 
 #pragma once
 
@@ -30,14 +38,6 @@
 
 namespace qxmap::reason {
 
-/// How the optimum is approached (Sec. 3.3 discusses both: "simply set F
-/// to a fixed value and approach towards the minimum, e.g., by applying a
-/// binary search" vs. letting the engine minimize directly).
-enum class OptimizationMode {
-  DescendingLinear,  ///< solve, tighten below the model cost, repeat (default)
-  BinarySearch,      ///< bisect on the cost bound with fresh probe solvers
-};
-
 /// ReasoningEngine implementation on top of sat::Solver.
 class CdclEngine final : public ReasoningEngine {
  public:
@@ -46,6 +46,9 @@ class CdclEngine final : public ReasoningEngine {
   CdclEngine();
 
   /// Selects the optimization mode; call before minimize().
+  void set_optimization_mode(OptimizationMode mode) noexcept override { mode_ = mode; }
+
+  /// Back-compat alias for set_optimization_mode.
   void set_mode(OptimizationMode mode) noexcept { mode_ = mode; }
 
   int new_bool() override;
@@ -57,6 +60,15 @@ class CdclEngine final : public ReasoningEngine {
   Outcome minimize(std::chrono::milliseconds budget) override;
   [[nodiscard]] bool value(int var) const override;
   [[nodiscard]] std::string name() const override { return "cdcl"; }
+
+  /// Prefix reuse (Sec. 4.1 subset sharding): snapshots the whole solver —
+  /// clause arena, watches, VSIDS state — plus the engine-level objective
+  /// bookkeeping. The solver's plain-data subsystems make this a member
+  /// copy. reset_to_prefix() restores the copy, discarding every clause,
+  /// learnt, cost term and bound added after the mark; stats() counters
+  /// survive (they are cumulative per shard).
+  bool mark_prefix() override;
+  bool reset_to_prefix() override;
 
   /// Underlying solver statistics (for benchmarks).
   [[nodiscard]] const sat::SolverStats& solver_stats() const noexcept { return solver_.stats(); }
@@ -81,8 +93,26 @@ class CdclEngine final : public ReasoningEngine {
   /// result when strictly tighter than everything enforced so far.
   void poll_and_tighten();
   [[nodiscard]] long long model_cost() const;
+  void snapshot_model();
+  /// Outcome when the budget expires: Feasible with the best model's cost,
+  /// unless that cost exceeds the tightest external bound — a run with the
+  /// bound set up front would have found nothing yet, so Unknown (the
+  /// observed-vs-enforced contract, docs/concurrency.md).
+  [[nodiscard]] Outcome budget_outcome() const;
   Outcome minimize_descending(std::chrono::steady_clock::time_point deadline);
   Outcome minimize_binary(std::chrono::steady_clock::time_point deadline);
+
+  /// Engine-level state captured by mark_prefix (the sat::Solver itself is
+  /// copyable by design — contiguous arena + plain vectors).
+  struct PrefixSnapshot {
+    sat::Solver solver;
+    std::vector<std::pair<int, long long>> cost_terms;
+    std::map<long long, sat::Lit> ge;
+    long long clamp = -1;
+    std::optional<long long> upper_bound;
+    long long enforced = kNoBound;
+    long long external_limit = kNoBound;
+  };
 
   sat::Solver solver_;
   sat::RestartPolicy restart_policy_ = sat::RestartPolicy::Glucose;
@@ -95,7 +125,6 @@ class CdclEngine final : public ReasoningEngine {
   /// model costlier than this is reported as bounded-Unsat, never Optimal,
   /// so the outcome matches "the bound had been set before minimize()".
   long long external_limit_ = kNoBound;
-  std::vector<std::vector<sat::Lit>> stored_clauses_;  // for binary-search probes
   std::vector<std::pair<int, long long>> cost_terms_;  // (var, weight)
   // Generalized-totalizer root: ge_[w] ↔ "objective >= w" for attainable w,
   // clamped at clamp_. Built lazily by the first add_cost_bound call.
@@ -103,6 +132,7 @@ class CdclEngine final : public ReasoningEngine {
   long long clamp_ = -1;
   std::vector<bool> best_model_;
   bool has_model_ = false;
+  std::optional<PrefixSnapshot> prefix_;
 };
 
 }  // namespace qxmap::reason

@@ -34,6 +34,12 @@ void ReasoningEngine::add_at_most_one(const std::vector<int>& lits) {
 
 void ReasoningEngine::set_upper_bound(long long /*bound*/) {}
 
+void ReasoningEngine::set_optimization_mode(OptimizationMode /*mode*/) {}
+
+bool ReasoningEngine::mark_prefix() { return false; }
+
+bool ReasoningEngine::reset_to_prefix() { return false; }
+
 void ReasoningEngine::set_bound_source(BoundSource source) { bound_source_ = std::move(source); }
 
 long long ReasoningEngine::poll_bound_source() {

@@ -35,6 +35,15 @@ struct Outcome {
   long long cost = 0;  ///< objective value of the best model (valid for Optimal/Feasible)
 };
 
+/// How an engine approaches the objective minimum (Sec. 3.3 discusses both:
+/// "simply set F to a fixed value and approach towards the minimum, e.g., by
+/// applying a binary search" vs. letting the engine minimize directly).
+/// Backends without a native mode choice (Z3) ignore the selection.
+enum class OptimizationMode {
+  DescendingLinear,  ///< solve, tighten below the model cost, repeat (default)
+  BinarySearch,      ///< bisect on the cost bound with assumption-literal probes
+};
+
 /// Counters of the cooperative bound protocol (docs/concurrency.md) plus
 /// backend search statistics. Poll timing and search trajectories depend on
 /// machine speed, so these are observability numbers, not part of any
@@ -50,8 +59,12 @@ struct EngineStats {
   double avg_lbd = 0.0;             ///< average LBD of learnt clauses
 };
 
-/// One engine instance owns one formula + objective. Not reusable across
-/// problems; create a fresh engine per instance.
+/// One engine instance owns one formula + objective. An engine is not
+/// reusable across arbitrary problems, with one structured exception:
+/// mark_prefix() / reset_to_prefix() let backends that support it snapshot
+/// the formula after a common clause prefix and later roll back to exactly
+/// that snapshot, so a family of instances sharing the prefix (the Sec. 4.1
+/// subset instances) pays its encoding cost once per shard.
 class ReasoningEngine {
  public:
   /// "No bound known" sentinel returned by a BoundSource.
@@ -97,6 +110,23 @@ class ReasoningEngine {
   /// the source and the backend decides the checkpoint cadence (the default
   /// minimize() implementations consult it at least once per solve).
   virtual void set_bound_source(BoundSource source);
+
+  /// Selects how minimize() approaches the optimum. Call before minimize();
+  /// the default implementation ignores the choice (backends that minimize
+  /// natively, like Z3, have no mode to select).
+  virtual void set_optimization_mode(OptimizationMode mode);
+
+  /// Snapshots the engine's current state (variables + clauses added so
+  /// far) as the reusable prefix. Returns false when the backend does not
+  /// support prefix reuse (callers then fall back to a fresh engine per
+  /// instance). Call before any add_cost / set_upper_bound / minimize.
+  virtual bool mark_prefix();
+
+  /// Rolls the engine back to the mark_prefix() snapshot — formula, costs
+  /// and bounds return to their prefix state; cumulative stats() counters
+  /// are kept. Returns false when no snapshot exists or the backend does
+  /// not support prefix reuse.
+  virtual bool reset_to_prefix();
 
   /// Cooperative-bound counters accumulated across minimize() calls.
   [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }

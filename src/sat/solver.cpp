@@ -468,7 +468,44 @@ std::uint64_t Solver::luby(std::uint64_t i) {
   return 1ULL << (k - 1);
 }
 
-SolveResult Solver::solve(const std::function<bool()>& interrupt) {
+void Solver::analyze_final(Lit failed) {
+  // The failed assumption plus every earlier assumption reachable from ~failed
+  // through the implication graph (levels > 0 only; level-0 facts hold
+  // unconditionally). Mirrors MiniSat's analyzeFinal.
+  failed_assumptions_.clear();
+  failed_assumptions_.push_back(failed);
+  const auto fv = static_cast<std::size_t>(failed.var());
+  if (trail_limits_.empty() || level_[fv] == 0) return;
+  seen_[fv] = true;
+  for (std::size_t i = trail_.size(); i-- > trail_limits_[0];) {
+    const auto v = static_cast<std::size_t>(trail_[i].var());
+    if (!seen_[v]) continue;
+    seen_[v] = false;
+    const CRef cr = reason_[v];
+    if (cr == kCRefUndef) {
+      // A decision above level 0 — while assumptions are being enqueued,
+      // these are exactly the already-accepted assumptions.
+      if (trail_[i] != failed) failed_assumptions_.push_back(trail_[i]);
+      continue;
+    }
+    const ClauseView c = arena_.view(cr);
+    const std::uint32_t size = c.size();
+    for (std::uint32_t k = 1; k < size; ++k) {  // lit(0) is the propagated literal
+      const auto qv = static_cast<std::size_t>(c.lit(k).var());
+      if (level_[qv] > 0) seen_[qv] = true;
+    }
+  }
+  seen_[fv] = false;
+}
+
+SolveResult Solver::solve(const std::function<bool()>& interrupt,
+                          const std::vector<Lit>& assumptions) {
+  failed_assumptions_.clear();
+  for (const Lit a : assumptions) {
+    if (a.var() < 0 || a.var() >= num_vars()) {
+      throw std::out_of_range("Solver::solve: unknown assumption variable");
+    }
+  }
   if (unsat_) return SolveResult::Unsatisfiable;
   if (!simplify()) return SolveResult::Unsatisfiable;
 
@@ -578,17 +615,40 @@ SolveResult Solver::solve(const std::function<bool()>& interrupt) {
         backtrack(0);
       }
     } else {
-      const Lit next = pick_branch_literal();
-      if (next.index() < 0) {
-        // Complete assignment: record the model.
-        for (Var v = 0; v < num_vars(); ++v) {
-          model_[static_cast<std::size_t>(v)] =
-              (assign_[static_cast<std::size_t>(v)] == Value::True);
+      // Pending assumptions first: each becomes a pseudo-decision on its own
+      // level (an already-true one gets an empty dummy level so level index
+      // and assumption index stay aligned across backjumps and restarts).
+      Lit next = Lit::from_index(-2);
+      bool is_assumption = false;
+      while (trail_limits_.size() < assumptions.size()) {
+        const Lit a = assumptions[trail_limits_.size()];
+        const Value av = value(a);
+        if (av == Value::True) {
+          trail_limits_.push_back(trail_.size());
+          continue;
         }
-        backtrack(0);
-        return SolveResult::Satisfiable;
+        if (av == Value::False) {
+          analyze_final(a);
+          backtrack(0);
+          return SolveResult::Unsatisfiable;
+        }
+        next = a;
+        is_assumption = true;
+        break;
       }
-      ++stats_.decisions;
+      if (!is_assumption) {
+        next = pick_branch_literal();
+        if (next.index() < 0) {
+          // Complete assignment: record the model.
+          for (Var v = 0; v < num_vars(); ++v) {
+            model_[static_cast<std::size_t>(v)] =
+                (assign_[static_cast<std::size_t>(v)] == Value::True);
+          }
+          backtrack(0);
+          return SolveResult::Satisfiable;
+        }
+        ++stats_.decisions;
+      }
       trail_limits_.push_back(trail_.size());
       enqueue(next, kCRefUndef);
     }

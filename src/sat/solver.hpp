@@ -8,9 +8,11 @@
 /// with recursive minimization and LBD tracking, binary-heap VSIDS with
 /// phase saving (vsids_heap.hpp), glucose-style adaptive restarts (Luby
 /// selectable), periodic learnt-database reduction (reduce_db.hpp), and a
-/// top-level simplify() pass. The optimisation loop of reason/cdcl_engine
-/// adds cost-bound clauses between incremental solve() calls, which is
-/// sound because bounds only ever tighten.
+/// top-level simplify() pass, and MiniSat-style assumptions with
+/// final-conflict analysis. The optimisation loop of reason/cdcl_engine
+/// adds cost-bound clauses between incremental solve() calls (sound because
+/// permanent bounds only ever tighten) and probes speculative bounds via
+/// assumption literals, which leave the clause database untouched.
 
 #pragma once
 
@@ -70,7 +72,24 @@ class Solver {
 
   /// Runs the CDCL search. `interrupt` (if provided) is polled at every
   /// conflict; returning true aborts with SolveResult::Unknown.
-  SolveResult solve(const std::function<bool()>& interrupt = nullptr);
+  ///
+  /// `assumptions` are literals held true for this call only (MiniSat
+  /// semantics): each is enqueued as a pseudo-decision on its own level
+  /// before any heuristic decision, so learnt clauses never depend on them
+  /// and remain valid for later calls with different assumptions. On
+  /// Unsatisfiable, failed_assumptions() distinguishes "unsat under these
+  /// assumptions" (non-empty subset responsible) from "unsat outright"
+  /// (empty).
+  SolveResult solve(const std::function<bool()>& interrupt = nullptr,
+                    const std::vector<Lit>& assumptions = {});
+
+  /// After solve() returned Unsatisfiable: the subset of the assumptions
+  /// that final-conflict analysis found responsible (possibly a strict
+  /// subset). Empty iff the formula is unsatisfiable regardless of
+  /// assumptions — in that case proven_unsat() is also true.
+  [[nodiscard]] const std::vector<Lit>& failed_assumptions() const noexcept {
+    return failed_assumptions_;
+  }
 
   /// Top-level preprocessing: propagates level-0 facts to fixpoint, drops
   /// satisfied clauses and strips falsified literals from the rest. Cheap
@@ -108,6 +127,7 @@ class Solver {
   void enqueue(Lit l, CRef reason);
   CRef propagate();
   void analyze(CRef conflict, std::vector<Lit>& learnt, int& backjump_level, std::uint32_t& lbd);
+  void analyze_final(Lit failed);
   [[nodiscard]] bool literal_redundant(Lit l, std::uint32_t abstract_levels);
   void backtrack(int level);
   [[nodiscard]] Lit pick_branch_literal();
@@ -144,6 +164,7 @@ class Solver {
   float clause_inc_ = 1.0f;
   bool unsat_ = false;
   std::size_t simplified_at_trail_ = 0;  // trail size at the last sweep
+  std::vector<Lit> failed_assumptions_;
   SolverStats stats_;
 };
 

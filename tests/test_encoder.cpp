@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "arch/architectures.hpp"
 #include "arch/swap_costs.hpp"
+#include "reason/cdcl_engine.hpp"
 
 namespace qxmap {
 namespace {
@@ -143,6 +146,87 @@ TEST(Encoder, ValidationErrors) {
   EXPECT_THROW(Encoding(*engine, cnots, 2, cm, table, {5}, qx_costs()), std::invalid_argument);
   exact::CostModel unresolved;  // swap_cost = -1
   EXPECT_THROW(Encoding(*engine, cnots, 2, cm, table, {}, unresolved), std::invalid_argument);
+}
+
+TEST(Encoder, PrefixReplayMatchesClassicConstruction) {
+  // Same instance built twice: classic constructor vs. pre-built prefix
+  // replayed into a fresh engine. Size accounting and the proven optimum
+  // must be identical.
+  const auto cm = arch::ibm_qx4();
+  const arch::SwapCostTable table(cm);
+  const std::vector<Gate> cnots{Gate::cnot(0, 1), Gate::cnot(1, 2)};
+  const std::vector<std::size_t> points{1};
+
+  auto classic_engine = reason::make_engine(EngineKind::Cdcl);
+  const Encoding classic(*classic_engine, cnots, 3, cm, table, points, qx_costs());
+  const auto classic_out = classic_engine->minimize(kBudget);
+  ASSERT_EQ(classic_out.status, Status::Optimal);
+
+  const auto prefix = Encoding::build_prefix(cnots, 3, cm.num_physical(), points);
+  EXPECT_GT(prefix.var_count, 0u);
+  EXPECT_GT(prefix.clause_count, 0u);
+  auto replay_engine = reason::make_engine(EngineKind::Cdcl);
+  const Encoding replayed(*replay_engine, prefix, cm, table, qx_costs(),
+                          /*engine_holds_prefix=*/false);
+  EXPECT_EQ(replayed.num_variables(), classic.num_variables());
+  EXPECT_EQ(replayed.num_clauses(), classic.num_clauses());
+  const auto replay_out = replay_engine->minimize(kBudget);
+  ASSERT_EQ(replay_out.status, classic_out.status);
+  EXPECT_EQ(replay_out.cost, classic_out.cost);
+  EXPECT_EQ(replayed.decode().cost_f, classic.decode().cost_f);
+}
+
+TEST(Encoder, ResetEngineSkipsStraightToTheSuffix) {
+  // The shard pattern: replay the prefix once, solve instance 1, reset, emit
+  // only instance 2's suffix. Each solve must match a fresh-engine build of
+  // the same instance exactly.
+  const arch::CouplingMap line_a(3, {{0, 1}, {1, 2}}, "line-a");
+  const arch::CouplingMap line_b(3, {{1, 0}, {2, 1}}, "line-b");
+  const std::vector<Gate> cnots{Gate::cnot(0, 1), Gate::cnot(1, 2), Gate::cnot(0, 2)};
+  const std::vector<std::size_t> points{1, 2};
+  const auto prefix = Encoding::build_prefix(cnots, 3, 3, points);
+
+  reason::CdclEngine shared;
+  int instance = 0;
+  for (const auto* cm : {&line_a, &line_b}) {
+    const arch::SwapCostTable table(*cm);
+    const bool holds = shared.reset_to_prefix();
+    EXPECT_EQ(holds, instance > 0) << "reset must succeed exactly after the first mark";
+    const Encoding enc(shared, prefix, *cm, table, qx_costs(), holds);
+    const auto out = shared.minimize(kBudget);
+
+    reason::CdclEngine fresh;
+    const Encoding fresh_enc(fresh, prefix, *cm, table, qx_costs(), /*engine_holds_prefix=*/false);
+    const auto fresh_out = fresh.minimize(kBudget);
+
+    ASSERT_EQ(out.status, fresh_out.status) << cm->name();
+    ASSERT_EQ(out.status, Status::Optimal) << cm->name();
+    EXPECT_EQ(out.cost, fresh_out.cost) << cm->name();
+    EXPECT_EQ(enc.num_variables(), fresh_enc.num_variables()) << cm->name();
+    EXPECT_EQ(enc.num_clauses(), fresh_enc.num_clauses()) << cm->name();
+    ++instance;
+  }
+}
+
+TEST(Encoder, PrefixReplayDemandsAFreshEngine) {
+  const auto cm = arch::ibm_qx4();
+  const arch::SwapCostTable table(cm);
+  const std::vector<Gate> cnots{Gate::cnot(0, 1)};
+  const auto prefix = Encoding::build_prefix(cnots, 2, cm.num_physical(), {});
+  auto engine = reason::make_engine(EngineKind::Cdcl);
+  (void)engine->new_bool();  // identity variable remap is no longer possible
+  EXPECT_THROW(Encoding(*engine, prefix, cm, table, qx_costs(), /*engine_holds_prefix=*/false),
+               std::logic_error);
+}
+
+TEST(Encoder, PrefixSizeMismatchIsRejected) {
+  const std::vector<Gate> cnots{Gate::cnot(0, 1)};
+  const auto prefix = Encoding::build_prefix(cnots, 2, 3, {});  // m = 3
+  const auto cm = arch::ibm_qx4();                              // m = 5
+  const arch::SwapCostTable table(cm);
+  auto engine = reason::make_engine(EngineKind::Cdcl);
+  EXPECT_THROW(Encoding(*engine, prefix, cm, table, qx_costs(), /*engine_holds_prefix=*/false),
+               std::invalid_argument);
 }
 
 TEST(Encoder, ReportsInstanceSize) {

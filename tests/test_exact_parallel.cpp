@@ -8,12 +8,14 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "arch/architectures.hpp"
 #include "arch/subsets.hpp"
 #include "bench_circuits/generators.hpp"
+#include "bench_circuits/table1_suite.hpp"
 #include "exact/exact_mapper.hpp"
 #include "reason/cdcl_engine.hpp"
 
@@ -266,6 +268,129 @@ TEST(CooperativeTightening, BinarySearchModeSourceAboveOptimum) {
   const auto out = p.engine.minimize(std::chrono::milliseconds(5000));
   EXPECT_EQ(out.status, Status::Optimal);
   EXPECT_EQ(out.cost, 3);
+}
+
+// --- Incremental binary search: probe statistics and deadline contract -------
+
+TEST(BinarySearchProbeContract, ProbeConflictsLandInEngineStats) {
+  // Regression: probes used to run on a throwaway solver whose statistics
+  // were dropped, so stats() reported zero search work for runs that were
+  // all probes. The unit-cost triple forces the probe at bound 0 into a
+  // conflict on the shared solver, which must be visible afterwards.
+  reason::CdclEngine engine;
+  engine.set_optimization_mode(reason::OptimizationMode::BinarySearch);
+  const int a = engine.new_bool();
+  const int b = engine.new_bool();
+  const int c = engine.new_bool();
+  engine.add_clause({a + 1, b + 1, c + 1});
+  engine.add_cost(a, 1);
+  engine.add_cost(b, 1);
+  engine.add_cost(c, 1);
+  const auto out = engine.minimize(std::chrono::milliseconds(5000));
+  EXPECT_EQ(out.status, Status::Optimal);
+  EXPECT_EQ(out.cost, 1);
+  EXPECT_GE(engine.solver_stats().conflicts, 1u);
+  EXPECT_GT(engine.stats().avg_lbd, 0.0);
+}
+
+TEST(BinarySearchProbeContract, DeadlineWithModelAboveExternalBoundIsUnknown) {
+  // Regression (observed-vs-enforced contract): on deadline expiry the
+  // binary search used to report Feasible(hi) even when hi exceeded the
+  // tightest external bound it had polled. With a zero budget the first
+  // solve still succeeds — it is propagation-only, and the deadline is
+  // honoured at conflict boundaries — landing the cost-5 model; the
+  // loop-start poll then observes the sibling bound 4, and the expired
+  // deadline must yield Unknown, never Feasible(5).
+  bound::SmallObjective p;
+  p.engine.set_optimization_mode(reason::OptimizationMode::BinarySearch);
+  p.engine.set_bound_source([] { return 4LL; });
+  const auto out = p.engine.minimize(std::chrono::milliseconds(0));
+  EXPECT_EQ(out.status, Status::Unknown);
+}
+
+TEST(BinarySearchProbeContract, DeadlineWithModelWithinExternalBoundIsFeasible) {
+  // Companion: the same expiry under a loose sibling bound keeps the model.
+  bound::SmallObjective p;
+  p.engine.set_optimization_mode(reason::OptimizationMode::BinarySearch);
+  p.engine.set_bound_source([] { return 7LL; });
+  const auto out = p.engine.minimize(std::chrono::milliseconds(0));
+  EXPECT_EQ(out.status, Status::Feasible);
+  EXPECT_EQ(out.cost, 5);
+}
+
+TEST(BinarySearchProbeContract, DescendingZeroBudgetConvergesByPropagationAlone) {
+  // Contrast case for the descending loop: its solves here never meet a
+  // conflict, so a zero budget is never consulted and the polled bound
+  // still drives the descent to a proven optimum.
+  bound::SmallObjective p;
+  p.engine.set_bound_source([] { return 4LL; });
+  const auto out = p.engine.minimize(std::chrono::milliseconds(0));
+  EXPECT_EQ(out.status, Status::Optimal);
+  EXPECT_EQ(out.cost, 3);
+}
+
+// --- Prefix snapshot / rollback on the engine --------------------------------
+
+TEST(PrefixReuse, ResetRestoresTheMarkedFormula) {
+  reason::CdclEngine engine;
+  const int a = engine.new_bool();
+  engine.add_clause({a + 1});
+  ASSERT_TRUE(engine.mark_prefix());
+  // Suffix 1 contradicts the prefix; the engine is now proven unsat.
+  engine.add_clause({-(a + 1)});
+  EXPECT_EQ(engine.minimize(std::chrono::milliseconds(5000)).status, Status::Unsat);
+  // Roll back and build a different suffix on the same prefix: suffix
+  // variables re-issue from the prefix boundary and the solve recovers.
+  ASSERT_TRUE(engine.reset_to_prefix());
+  const int b = engine.new_bool();
+  EXPECT_EQ(b, 1);
+  engine.add_clause({b + 1});
+  engine.add_cost(b, 2);
+  const auto out = engine.minimize(std::chrono::milliseconds(5000));
+  EXPECT_EQ(out.status, Status::Optimal);
+  EXPECT_EQ(out.cost, 2);
+}
+
+TEST(PrefixReuse, ResetWithoutMarkIsRefused) {
+  reason::CdclEngine engine;
+  EXPECT_FALSE(engine.reset_to_prefix());
+}
+
+// --- Optimization-mode equivalence on Table-1 instances ----------------------
+
+TEST(OptimizationModeEquivalence, ModesAndThreadsAgreeOnTable1SmallRows) {
+  // Sec. 3.3 offers both strategies; they must agree on status and minimal
+  // cost for every thread count, and within a mode the full result must stay
+  // bit-identical across thread counts (the incremental binary path shares
+  // engines across a shard's instances, which must not perturb determinism).
+  for (const char* name : {"ex-1_166", "ham3_102"}) {
+    const Circuit c = bench::table1_benchmark(name).build();
+    MappingResult reference;
+    bool have_reference = false;
+    for (const auto mode :
+         {reason::OptimizationMode::DescendingLinear, reason::OptimizationMode::BinarySearch}) {
+      const char* mode_name =
+          mode == reason::OptimizationMode::BinarySearch ? "binary" : "descending";
+      auto serial_opt = subset_options(EngineKind::Cdcl, 1);
+      serial_opt.optimization = mode;
+      const auto serial = map_exact(c, arch::ibm_qx4(), serial_opt);
+      ASSERT_EQ(serial.status, Status::Optimal) << name << ", " << mode_name;
+      if (!have_reference) {
+        reference = serial;
+        have_reference = true;
+      } else {
+        EXPECT_EQ(serial.status, reference.status) << name;
+        EXPECT_EQ(serial.cost_f, reference.cost_f) << name << ": modes disagree on the optimum";
+      }
+      for (const int threads : {2, 8}) {
+        auto opt = serial_opt;
+        opt.num_threads = threads;
+        const auto parallel = map_exact(c, arch::ibm_qx4(), opt);
+        expect_identical(serial, parallel, std::string(name) + ", " + mode_name + ", threads " +
+                                               std::to_string(threads));
+      }
+    }
+  }
 }
 
 // --- Mid-solve tightening and the work-stealing order in the mapper ---------
