@@ -22,12 +22,17 @@
 /// expansion depth). See docs/qasm-support.md for the construct-by-
 /// construct support matrix.
 ///
-/// Performance knobs: `MapOptions::exact.num_threads` shards the Sec. 4.1
-/// subset instances across worker threads (0 = hardware concurrency;
-/// results are thread-count invariant), and every mapper fetches its
+/// Performance knobs: `MapOptions::exact.num_threads` caps how many
+/// Sec. 4.1 subset instances of this request run concurrently on the
+/// process-wide `exact::ShardExecutor` (0 = hardware concurrency; results
+/// are thread-count invariant), and every mapper fetches its
 /// per-architecture routing tables from the process-wide
 /// `arch::SwapCostCache` — repeated `map()` calls on the same coupling map
 /// never rebuild the swaps(π) table.
+///
+/// Serving repeated traffic? `api::MappingService` (api/service.hpp) wraps
+/// `map()` with a fingerprint-keyed result cache and in-flight
+/// deduplication — see docs/service.md.
 
 #pragma once
 

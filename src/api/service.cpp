@@ -1,0 +1,190 @@
+#include "api/service.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/strings.hpp"
+#include "exact/shard_executor.hpp"
+#include "ir/fingerprint.hpp"
+#include "reason/engine.hpp"
+
+namespace qxmap::api {
+
+namespace {
+
+/// Digest of every result-affecting option of the *active* method block.
+/// Textual on purpose: keys show up verbatim in logs and cache dumps, and a
+/// field-by-field string is auditable in a way a second-level hash is not.
+/// Excluded by contract (docs/concurrency.md — they change wall time, never
+/// results): exact.num_threads, exact.work_stealing,
+/// exact.cooperative_tightening.
+std::string options_digest(const MapOptions& o) {
+  std::string d;
+  switch (o.method) {
+    case Method::Exact: {
+      const auto& e = o.exact;
+      // Hash the engine that actually runs: without Z3 support,
+      // make_engine(EngineKind::Z3) degrades to the CDCL backend, so the
+      // two requested kinds produce identical results and must share an
+      // entry.
+      const bool z3 = e.engine == reason::EngineKind::Z3 && reason::z3_available();
+      d += "exact;engine=";
+      d += z3 ? "z3" : "cdcl";
+      d += ";opt=" + std::to_string(static_cast<int>(e.optimization));
+      d += ";strategy=" + exact::to_string(e.strategy);
+      d += ";subsets=" + std::to_string(e.use_subsets ? 1 : 0);
+      d += ";budget_ms=" + std::to_string(e.budget.count());
+      d += ";swap_cost=" + std::to_string(e.costs.swap_cost);
+      d += ";reverse_cost=" + std::to_string(e.costs.reverse_cost);
+      d += ";verify=" + std::to_string(e.verify ? 1 : 0);
+      d += ";deep_verify_max=" + std::to_string(e.deep_verify_max_qubits);
+      return d;
+    }
+    case Method::StochasticSwap: {
+      const auto& s = o.stochastic;
+      d += "stochastic;seed=" + std::to_string(s.seed);
+      d += ";trials=" + std::to_string(s.trials);
+      d += ";runs=" + std::to_string(s.runs);
+      d += ";verify=" + std::to_string(s.verify ? 1 : 0);
+      return d;
+    }
+    case Method::AStar: {
+      const auto& a = o.astar;
+      d += "astar;max_expansions=" + std::to_string(a.max_expansions);
+      d += ";verify=" + std::to_string(a.verify ? 1 : 0);
+      return d;
+    }
+    case Method::Sabre: {
+      const auto& s = o.sabre;
+      d += "sabre;rounds=" + std::to_string(s.bidirectional_rounds);
+      d += ";esw=" + format_fixed(s.extended_set_weight, 12);
+      d += ";ess=" + std::to_string(s.extended_set_size);
+      d += ";decay=" + format_fixed(s.decay, 12);
+      d += ";seed=" + std::to_string(s.seed);
+      d += ";verify=" + std::to_string(s.verify ? 1 : 0);
+      return d;
+    }
+  }
+  throw std::invalid_argument("MappingService: bad Method");
+}
+
+/// Cached entries keep the leader's circuit names ("<leader>/mapped"); a
+/// hit from a same-fingerprint, differently-named circuit restamps them so
+/// the caller sees its own name, exactly as a fresh solve would.
+void restamp_names(exact::MappingResult& r, const Circuit& circuit) {
+  r.mapped.set_name(circuit.name() + "/mapped");
+  r.routed_skeleton.set_name(circuit.name() + "/routed-skeleton");
+}
+
+}  // namespace
+
+MappingService::MappingService(std::size_t capacity, SolveFn solve)
+    : capacity_(capacity),
+      solve_(solve ? std::move(solve)
+                   : [](const Circuit& c, const arch::CouplingMap& a, const MapOptions& o) {
+                       return qxmap::map(c, a, o);
+                     }) {}
+
+MappingService& MappingService::instance() {
+  // Touch the executor first so it outlives the service by static-
+  // destruction order: a leader solve draining at exit must find the
+  // executor alive.
+  (void)exact::ShardExecutor::instance();
+  static MappingService service;
+  return service;
+}
+
+std::string MappingService::cache_key(const Circuit& circuit,
+                                      const arch::CouplingMap& architecture,
+                                      const MapOptions& options) {
+  return fingerprint_string(circuit) + "|" + architecture.fingerprint() + "|" +
+         options_digest(options);
+}
+
+exact::MappingResult MappingService::map(const Circuit& circuit,
+                                         const arch::CouplingMap& architecture,
+                                         const MapOptions& options) {
+  const std::string key = cache_key(circuit, architecture, options);
+  std::promise<exact::MappingResult> promise;
+  std::shared_future<exact::MappingResult> join;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.requests;
+    if (const auto it = cache_.find(key); it != cache_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      exact::MappingResult result = it->second.result;
+      result.from_cache = true;
+      restamp_names(result, circuit);
+      return result;
+    }
+    if (const auto it = in_flight_.find(key); it != in_flight_.end()) {
+      ++stats_.coalesced;
+      join = it->second;  // joiner: wait outside the lock
+    } else {
+      ++stats_.misses;
+      in_flight_.emplace(key, promise.get_future().share());
+    }
+  }
+  if (join.valid()) {
+    // Throws the leader's exception if the shared solve failed.
+    exact::MappingResult result = join.get();
+    restamp_names(result, circuit);
+    return result;
+  }
+  return solve_as_leader(key, circuit, architecture, options, std::move(promise));
+}
+
+exact::MappingResult MappingService::solve_as_leader(
+    const std::string& key, const Circuit& circuit, const arch::CouplingMap& architecture,
+    const MapOptions& options, std::promise<exact::MappingResult> promise) {
+  exact::MappingResult result;
+  try {
+    result = solve_(circuit, architecture, options);
+  } catch (...) {
+    {
+      // Remove the registry entry *before* fulfilling the promise: a
+      // request arriving after the failure leads a fresh solve instead of
+      // joining (and re-observing) a dead one. Nothing enters the cache.
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.failures;
+      in_flight_.erase(key);
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.solves;
+    in_flight_.erase(key);
+    if (capacity_ > 0 && cache_.find(key) == cache_.end()) {
+      while (cache_.size() >= capacity_) {
+        ++stats_.evictions;
+        cache_.erase(lru_.back());
+        lru_.pop_back();
+      }
+      lru_.push_front(key);
+      cache_.emplace(key, Entry{result, lru_.begin()});
+    }
+  }
+  promise.set_value(result);
+  return result;
+}
+
+MappingService::Stats MappingService::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t MappingService::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.size();
+}
+
+void MappingService::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  cache_.clear();
+  lru_.clear();
+}
+
+}  // namespace qxmap::api

@@ -14,12 +14,14 @@
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <unordered_map>
 
 #include "arch/distances.hpp"
 #include "arch/subsets.hpp"
 #include "arch/swap_cost_cache.hpp"
 #include "arch/swap_costs.hpp"
 #include "exact/encoder.hpp"
+#include "exact/shard_executor.hpp"
 #include "exact/strategies.hpp"
 #include "exact/swap_synthesis.hpp"
 #include "sim/equivalence.hpp"
@@ -211,8 +213,8 @@ MappingResult map_without_cnots(const Circuit& circuit, const arch::CouplingMap&
   return res;
 }
 
-/// Per-subset outcome collected by the worker pool. Workers write disjoint
-/// slots, so no slot-level synchronisation is needed.
+/// Per-subset outcome collected by the executor tasks. Each task writes its
+/// own slot, so no slot-level synchronisation is needed.
 struct InstanceOutcome {
   reason::Status status = reason::Status::Unknown;
   std::optional<Encoding::Solution> solution;
@@ -242,18 +244,17 @@ bool resolve_toggle(Toggle toggle, const char* env_name) {
   return !(v == "off" || v == "0" || v == "false");
 }
 
-/// Work-stealing pop order for the shared instance queue: hardest-looking
-/// first. The proxy for "hard" is the undirected edge count of the induced
-/// coupling subgraph — sparse subsets need more SWAPs, so their descending
-/// search runs longest; starting them while the shared Eq. (5) bound is
-/// still loose maximises how much of that work later bounds can abort,
-/// while dense subsets finish quickly anywhere and publish tight bounds
-/// early. Deterministic: ties keep subset-index order (stable sort).
-std::vector<std::size_t> steal_schedule(const arch::CouplingMap& cm,
-                                        const std::vector<std::vector<int>>& instances) {
-  std::vector<std::size_t> order(instances.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::vector<int> edges(instances.size(), 0);
+/// Hardness proxy per instance for the work-stealing priority order: the
+/// undirected edge count of the induced coupling subgraph. Sparse subsets
+/// need more SWAPs, so their descending search runs longest; starting them
+/// while the shared Eq. (5) bound is still loose maximises how much of
+/// that work later bounds can abort, while dense subsets finish quickly
+/// anywhere and publish tight bounds early. The ShardExecutor queue orders
+/// tasks by (priority, request, index), so within one request equal-edge
+/// instances keep subset-index order — exactly the old stable sort.
+std::vector<long long> instance_hardness(const arch::CouplingMap& cm,
+                                         const std::vector<std::vector<int>>& instances) {
+  std::vector<long long> edges(instances.size(), 0);
   for (std::size_t i = 0; i < instances.size(); ++i) {
     const auto& subset = instances[i];
     for (std::size_t a = 0; a < subset.size(); ++a) {
@@ -262,9 +263,7 @@ std::vector<std::size_t> steal_schedule(const arch::CouplingMap& cm,
       }
     }
   }
-  std::stable_sort(order.begin(), order.end(),
-                   [&edges](std::size_t a, std::size_t b) { return edges[a] < edges[b]; });
-  return order;
+  return edges;
 }
 
 }  // namespace
@@ -328,16 +327,20 @@ MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
   res.engine_name = reason::make_engine(options.engine)->name();
   res.permutation_points = static_cast<int>(points.size()) + 1;
 
-  // --- Shard the subset instances across a worker pool (Sec. 4.1) --------
+  // --- Shard the subset instances through the process-wide executor ------
   //
   // The full protocol — shard lifecycle, shared-bound memory ordering, the
   // work-stealing pop order, and the determinism argument — is specified in
   // docs/concurrency.md; the comments here are the short version.
   //
-  // Each shard owns its engine (the CDCL solver is not thread-safe) and
-  // pops instances from a shared queue whose order `schedule` fixes
-  // (hardest-first under work stealing, subset-index order otherwise). A
-  // shared atomic bound carries the best model cost found so far: shards
+  // Each instance becomes one task on the shared ShardExecutor (so shards
+  // of concurrent map() calls interleave through a single pool instead of
+  // one pool per call); `options.num_threads` survives as this request's
+  // concurrency cap. Tasks pop in priority order (hardest-first under work
+  // stealing, subset-index order otherwise). Each executing thread owns its
+  // engine (the CDCL solver is not thread-safe), scoped to *this request*
+  // so the bound-source closures below never outlive the atomics they read.
+  // A shared atomic bound carries the best model cost found so far: shards
   // start their Eq. (5) search with objective <= bound enforced, and — with
   // cooperative tightening — keep polling it at engine checkpoints
   // *mid-solve*, aborting branches that can no longer beat the incumbent.
@@ -355,9 +358,12 @@ MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
   constexpr long long kNoBound = std::numeric_limits<long long>::max();
   const bool steal = resolve_toggle(options.work_stealing, "QXMAP_EXACT_STEAL");
   const bool tighten = resolve_toggle(options.cooperative_tightening, "QXMAP_EXACT_TIGHTEN");
-  std::vector<std::size_t> schedule(instances.size());
-  std::iota(schedule.begin(), schedule.end(), std::size_t{0});
-  if (steal && instances.size() > 1) schedule = steal_schedule(cm, instances);
+  std::vector<long long> priorities(instances.size());
+  if (steal && instances.size() > 1) {
+    priorities = instance_hardness(cm, instances);
+  } else {
+    std::iota(priorities.begin(), priorities.end(), 0LL);
+  }
 
   // Warm start: with a single instance under the All strategy, the symbolic
   // formulation can express every swap schedule, so the greedy route's cost
@@ -384,89 +390,103 @@ MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
 
   const std::size_t num_threads = resolve_num_threads(options.num_threads, instances.size());
 
-  std::atomic<std::size_t> next_pos{0};
+  std::atomic<std::size_t> started{0};
   std::atomic<long long> shared_bound{warm_cost};
   std::atomic<long long> zero_index{kNoBound};  // lowest index proving cost 0
   std::atomic<long long> total_polls{0};
   std::atomic<long long> total_tightenings{0};
+  std::atomic<bool> failed{false};
   std::vector<InstanceOutcome> outcomes(instances.size());
   std::mutex error_mutex;
   std::exception_ptr worker_error;
 
-  const auto worker = [&] {
-    // One engine per shard, reused across its instances via the prefix
-    // snapshot. Engine stats are cumulative per engine, so per-instance
-    // contributions are deltas against the last observed counters.
+  // One engine per executing thread, reused across this request's instances
+  // via the prefix snapshot — but owned by *this* stack frame, not the
+  // executor thread: the engines (and the bound-source closures they hold
+  // over `shared_bound`) are destroyed with the request, before the atomics
+  // they capture. Engine stats are cumulative per engine, so per-instance
+  // contributions are deltas against the last observed counters.
+  struct EngineSlot {
     std::unique_ptr<reason::ReasoningEngine> engine;
     long long seen_polls = 0;
     long long seen_tightenings = 0;
+  };
+  std::mutex slots_mutex;
+  std::unordered_map<std::thread::id, EngineSlot> slots;
+
+  const auto solve_instance = [&](std::size_t i) {
+    // Every pop counts toward `started` (skips included) so budget shares
+    // track the queue position exactly like the old shared-counter pops.
+    const std::size_t pos = started.fetch_add(1, std::memory_order_relaxed);
+    if (failed.load(std::memory_order_acquire)) return;
+    if (static_cast<long long>(i) > zero_index.load(std::memory_order_acquire)) return;
     try {
-      for (;;) {
-        const std::size_t pos = next_pos.fetch_add(1, std::memory_order_relaxed);
-        if (pos >= schedule.size()) return;
-        const std::size_t i = schedule[pos];
-        if (static_cast<long long>(i) > zero_index.load(std::memory_order_acquire)) continue;
-        InstanceOutcome& out = outcomes[i];
-        const arch::CouplingMap induced = cm.induced(instances[i]);
-        out.table = arch::SwapCostCache::instance().table(induced);
-        const bool holds_prefix = engine && prefix && engine->reset_to_prefix();
-        if (!holds_prefix) {
-          engine = reason::make_engine(options.engine);
-          seen_polls = 0;
-          seen_tightenings = 0;
-        }
-        engine->set_optimization_mode(options.optimization);
-        std::optional<Encoding> enc;
-        if (prefix) {
-          enc.emplace(*engine, *prefix, induced, *out.table, costs, holds_prefix);
-        } else {
-          enc.emplace(*engine, cnots, n, induced, *out.table, points, costs);
-        }
-        const long long bound = shared_bound.load(std::memory_order_acquire);
-        if (bound != kNoBound) engine->set_upper_bound(bound);
-        if (tighten && instances.size() > 1) {
-          // Live view of the shared bound: the engine re-tightens its GTE /
-          // PB constraint whenever a sibling publishes a cheaper model.
-          // Pointless with a single instance (no sibling can publish), and
-          // skipping it there spares the engine its checkpoint overhead —
-          // the Z3 backend in particular trades contiguous search time for
-          // poll opportunities (see Z3Engine::kPollInterval).
-          engine->set_bound_source([&shared_bound] {
-            return shared_bound.load(std::memory_order_acquire);
-          });
-        }
-        // This instance's share of the remaining budget: the time left to
-        // the shared deadline, divided by the rounds of instances the pool
-        // still has to absorb (this one included).
-        const std::size_t rounds = (schedule.size() - pos + num_threads - 1) / num_threads;
-        const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
-            overall_deadline - Clock::now());
-        const auto share = std::chrono::milliseconds(
-            std::max<long long>(1, left.count() / static_cast<long long>(rounds)));
-        const reason::Outcome outcome = engine->minimize(share);
-        total_polls.fetch_add(engine->stats().bound_polls - seen_polls,
-                              std::memory_order_relaxed);
-        total_tightenings.fetch_add(engine->stats().bound_tightenings - seen_tightenings,
-                                    std::memory_order_relaxed);
-        seen_polls = engine->stats().bound_polls;
-        seen_tightenings = engine->stats().bound_tightenings;
-        out.status = outcome.status;
-        if (outcome.status != reason::Status::Optimal &&
-            outcome.status != reason::Status::Feasible) {
-          continue;
-        }
-        out.solution = enc->decode();
-        const long long cost = out.solution->cost_f;
-        long long cur = shared_bound.load(std::memory_order_acquire);
-        while (cost < cur &&
-               !shared_bound.compare_exchange_weak(cur, cost, std::memory_order_acq_rel)) {
-        }
-        if (cost == 0) {
-          long long zi = zero_index.load(std::memory_order_acquire);
-          const auto me = static_cast<long long>(i);
-          while (me < zi &&
-                 !zero_index.compare_exchange_weak(zi, me, std::memory_order_acq_rel)) {
-          }
+      EngineSlot* slot = nullptr;
+      {
+        const std::lock_guard<std::mutex> guard(slots_mutex);
+        // Pointers into an unordered_map stay valid across rehash.
+        slot = &slots[std::this_thread::get_id()];
+      }
+      InstanceOutcome& out = outcomes[i];
+      const arch::CouplingMap induced = cm.induced(instances[i]);
+      out.table = arch::SwapCostCache::instance().table(induced);
+      const bool holds_prefix = slot->engine && prefix && slot->engine->reset_to_prefix();
+      if (!holds_prefix) {
+        slot->engine = reason::make_engine(options.engine);
+        slot->seen_polls = 0;
+        slot->seen_tightenings = 0;
+      }
+      reason::ReasoningEngine& engine = *slot->engine;
+      engine.set_optimization_mode(options.optimization);
+      std::optional<Encoding> enc;
+      if (prefix) {
+        enc.emplace(engine, *prefix, induced, *out.table, costs, holds_prefix);
+      } else {
+        enc.emplace(engine, cnots, n, induced, *out.table, points, costs);
+      }
+      const long long bound = shared_bound.load(std::memory_order_acquire);
+      if (bound != kNoBound) engine.set_upper_bound(bound);
+      if (tighten && instances.size() > 1) {
+        // Live view of the shared bound: the engine re-tightens its GTE /
+        // PB constraint whenever a sibling publishes a cheaper model.
+        // Pointless with a single instance (no sibling can publish), and
+        // skipping it there spares the engine its checkpoint overhead —
+        // the Z3 backend in particular trades contiguous search time for
+        // poll opportunities (see Z3Engine::kPollInterval).
+        engine.set_bound_source([&shared_bound] {
+          return shared_bound.load(std::memory_order_acquire);
+        });
+      }
+      // This instance's share of the remaining budget: the time left to
+      // the shared deadline, divided by the rounds of instances this
+      // request still has to absorb (this one included).
+      const std::size_t rounds = (instances.size() - pos + num_threads - 1) / num_threads;
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          overall_deadline - Clock::now());
+      const auto share = std::chrono::milliseconds(
+          std::max<long long>(1, left.count() / static_cast<long long>(rounds)));
+      const reason::Outcome outcome = engine.minimize(share);
+      total_polls.fetch_add(engine.stats().bound_polls - slot->seen_polls,
+                            std::memory_order_relaxed);
+      total_tightenings.fetch_add(engine.stats().bound_tightenings - slot->seen_tightenings,
+                                  std::memory_order_relaxed);
+      slot->seen_polls = engine.stats().bound_polls;
+      slot->seen_tightenings = engine.stats().bound_tightenings;
+      out.status = outcome.status;
+      if (outcome.status != reason::Status::Optimal &&
+          outcome.status != reason::Status::Feasible) {
+        return;
+      }
+      out.solution = enc->decode();
+      const long long cost = out.solution->cost_f;
+      long long cur = shared_bound.load(std::memory_order_acquire);
+      while (cost < cur &&
+             !shared_bound.compare_exchange_weak(cur, cost, std::memory_order_acq_rel)) {
+      }
+      if (cost == 0) {
+        long long zi = zero_index.load(std::memory_order_acquire);
+        const auto me = static_cast<long long>(i);
+        while (me < zi && !zero_index.compare_exchange_weak(zi, me, std::memory_order_acq_rel)) {
         }
       }
     } catch (...) {
@@ -474,20 +494,14 @@ MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
         const std::lock_guard<std::mutex> guard(error_mutex);
         if (!worker_error) worker_error = std::current_exception();
       }
-      // Drain the queue so the other workers stop promptly instead of
-      // solving instances whose results the rethrow below will discard.
-      next_pos.store(schedule.size(), std::memory_order_relaxed);
+      // Make the remaining tasks no-ops so siblings stop promptly instead
+      // of solving instances whose results the rethrow below will discard.
+      failed.store(true, std::memory_order_release);
     }
   };
 
-  if (num_threads <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(num_threads);
-    for (std::size_t t = 0; t < num_threads; ++t) pool.emplace_back(worker);
-    for (auto& th : pool) th.join();
-  }
+  ShardExecutor& executor = ShardExecutor::instance();
+  executor.run_to_completion(executor.submit(solve_instance, priorities, num_threads));
   if (worker_error) std::rethrow_exception(worker_error);
   res.bound_polls = total_polls.load(std::memory_order_relaxed);
   res.bound_tightenings = total_tightenings.load(std::memory_order_relaxed);

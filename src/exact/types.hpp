@@ -50,13 +50,17 @@ struct ExactOptions {
   /// Sec. 4.1: solve one instance per connected n-subset of physical qubits
   /// instead of one instance over all m.
   bool use_subsets = false;
-  /// Worker threads sharding the subset instances (0 = hardware
-  /// concurrency). Each shard owns its reasoning engine — the CDCL solver
-  /// is not thread-safe — and publishes its best model cost to a shared
-  /// bound that lets every other shard strengthen its Eq. (5) upper bound.
-  /// The reduction is deterministic (lowest cost, then lowest subset index),
-  /// so every thread count yields bit-identical results as long as the
-  /// solver budget does not expire mid-search. See docs/concurrency.md.
+  /// This request's shard-concurrency cap on the process-wide executor
+  /// (exact/shard_executor.hpp): at most this many of the request's subset
+  /// instances solve simultaneously (0 = hardware concurrency). The
+  /// executor grows its pool so an explicit cap is honoured even on fewer
+  /// cores, like the per-call pools it replaced. Each executing thread owns
+  /// its reasoning engine — the CDCL solver is not thread-safe — and
+  /// publishes its best model cost to a shared bound that lets every other
+  /// shard strengthen its Eq. (5) upper bound. The reduction is
+  /// deterministic (lowest cost, then lowest subset index), so every cap
+  /// yields bit-identical results as long as the solver budget does not
+  /// expire mid-search. See docs/concurrency.md.
   int num_threads = 0;
   /// Work-stealing pop order for the shared instance queue: hardest-looking
   /// instances (sparsest induced coupling subgraph — they need the most
@@ -120,6 +124,11 @@ struct MappingResult {
   std::string engine_name;
   bool verified = false;
   std::string verify_message;
+  bool from_cache = false;  ///< true iff api::MappingService served this result
+                            ///< from its LRU cache instead of solving; always
+                            ///< false on results returned by the mappers
+                            ///< themselves (and on dedup-joined results, which
+                            ///< share the leader's fresh solve)
 };
 
 }  // namespace qxmap::exact

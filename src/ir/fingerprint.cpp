@@ -1,0 +1,109 @@
+#include "ir/fingerprint.hpp"
+
+#include <cstddef>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/strings.hpp"
+
+namespace qxmap {
+
+namespace {
+
+/// FNV-1a, 64-bit. Not cryptographic — the threat model is accidental
+/// collision between benchmark circuits, not adversarial input.
+class Fnv1a {
+ public:
+  void byte(std::uint8_t b) noexcept {
+    hash_ ^= b;
+    hash_ *= 0x100000001b3ULL;
+  }
+  void bytes(std::string_view s) noexcept {
+    for (const char c : s) byte(static_cast<std::uint8_t>(c));
+  }
+  /// Little-endian fixed-width integer; the width keeps adjacent fields
+  /// from aliasing by concatenation.
+  void u32(std::uint32_t v) noexcept {
+    for (int i = 0; i < 4; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+// Field tags: every variable-content field is introduced by a distinct tag
+// byte so that, e.g., a condition can never byte-alias a parameter list.
+enum Tag : std::uint8_t {
+  kGate = 0x01,
+  kParams = 0x02,
+  kCondition = 0x03,
+  kClassicalBit = 0x04,
+};
+
+}  // namespace
+
+std::uint64_t fingerprint(const Circuit& c) {
+  Fnv1a h;
+  h.bytes("qxmap-circuit-v1");
+  h.u32(static_cast<std::uint32_t>(c.num_qubits()));
+
+  // Classical registers are identified by order of first appearance in the
+  // gate stream (guards and measure destinations share one namespace, as
+  // they do in the QASM source), so register *names* never reach the hash.
+  std::unordered_map<std::string, std::uint32_t> creg_ids;
+  const auto creg_id = [&creg_ids](const std::string& name) {
+    const auto [it, inserted] =
+        creg_ids.emplace(name, static_cast<std::uint32_t>(creg_ids.size()));
+    (void)inserted;
+    return it->second;
+  };
+
+  for (const auto& g : c) {
+    h.byte(kGate);
+    h.byte(static_cast<std::uint8_t>(g.kind));
+    // +1 keeps the -1 "no control" sentinel in unsigned range.
+    h.u32(static_cast<std::uint32_t>(g.target + 1));
+    h.u32(static_cast<std::uint32_t>(g.control + 1));
+    if (!g.params.empty()) {
+      h.byte(kParams);
+      h.u32(static_cast<std::uint32_t>(g.params.size()));
+      for (const double p : g.params) {
+        // The writer's own rendering (12 fixed decimals) is the canonical
+        // form: one text round-trip is a fixed point of format→parse→format,
+        // so parse(write(c)) hashes identically to c. This also hashes -0.0
+        // and anything within half an ulp of the printed decimal the same
+        // way the written file would.
+        h.bytes(format_fixed(p, 12));
+        h.byte(0);  // string terminator: params cannot run together
+      }
+    }
+    if (g.condition) {
+      h.byte(kCondition);
+      h.u32(creg_id(g.condition->creg));
+      h.u32(static_cast<std::uint32_t>(g.condition->width));
+      h.u64(g.condition->value);
+    }
+    if (g.cbit) {
+      h.byte(kClassicalBit);
+      h.u32(creg_id(g.cbit->creg));
+      h.u32(static_cast<std::uint32_t>(g.cbit->bit));
+    }
+  }
+  return h.value();
+}
+
+std::string fingerprint_string(const Circuit& c) {
+  const std::uint64_t fp = fingerprint(c);
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out = "c";
+  out += std::to_string(c.num_qubits());
+  out += ':';
+  for (int i = 60; i >= 0; i -= 4) out.push_back(kHex[(fp >> i) & 0xF]);
+  return out;
+}
+
+}  // namespace qxmap

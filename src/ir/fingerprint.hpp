@@ -1,0 +1,47 @@
+/// \file fingerprint.hpp
+/// Canonical content fingerprint of a circuit's gate stream.
+///
+/// `fingerprint(c)` is a 64-bit hash over exactly the information the
+/// mappers consume: the qubit count and the ordered gate stream (kind,
+/// operands, angle parameters, classical guard, classical wiring). It is
+/// the circuit-side cache key of the mapping service (api/service.hpp),
+/// pairing with `arch::CouplingMap::fingerprint()` the way the swaps(π)
+/// tables of `arch::SwapCostCache` are keyed on the architecture side.
+///
+/// Canonicalisation — two circuits that map identically hash identically:
+///  * the circuit *name* is excluded (like the coupling-map fingerprint);
+///  * classical register *names* are replaced by their order of first
+///    appearance in the gate stream, so renaming a creg (and the qreg
+///    renames the front-end already flattens away) never changes the hash;
+///  * angle parameters are hashed at the QASM writer's 12-fixed-decimal
+///    precision, so `parse(write(c))` — which re-reads the printed decimals
+///    — fingerprints identically to `c`. Parameters closer than 5e-13 are
+///    deliberately identified: the writer would emit the same text for
+///    both, so no downstream consumer can tell them apart.
+///
+/// Everything else is significant: inserting, removing, reordering or
+/// retargeting a gate, nudging a parameter beyond writer precision,
+/// changing a guard's register/width/value or a measurement's classical
+/// bit, and adding idle qubit lines all change the fingerprint. The hash
+/// is FNV-1a over a field-tagged byte serialisation, so adjacent fields
+/// cannot alias by concatenation.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/circuit.hpp"
+
+namespace qxmap {
+
+/// 64-bit canonical content hash of `c` (see file comment for what is and
+/// is not significant).
+[[nodiscard]] std::uint64_t fingerprint(const Circuit& c);
+
+/// The fingerprint as a fixed-width key string "c<n>:<16 hex digits>",
+/// e.g. "c5:9e1c7a0b44d2f310" — the qubit count is redundant with the hash
+/// but makes keys self-describing in logs and cache dumps.
+[[nodiscard]] std::string fingerprint_string(const Circuit& c);
+
+}  // namespace qxmap

@@ -1,13 +1,21 @@
 /// Property-style sweeps over common/permutation and common/gf2: algebraic
 /// identities (compose/invert, rank/from_rank round-trips, GF(2) rank
 /// invariants) checked over many seeded random instances via common/rng —
-/// plus a seeded random-circuit sweep asserting the parallel exact mapper
-/// agrees with its serial run on every built-in architecture.
+/// plus the circuit-fingerprint properties (ir/fingerprint.hpp: QASM
+/// round-trip and register-renaming stability, mutation sensitivity,
+/// collision-freedom over the corpus) and a seeded random-circuit sweep
+/// asserting the parallel exact mapper agrees with its serial run on every
+/// built-in architecture.
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <numeric>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "arch/architectures.hpp"
@@ -16,6 +24,9 @@
 #include "common/permutation.hpp"
 #include "common/rng.hpp"
 #include "exact/exact_mapper.hpp"
+#include "ir/fingerprint.hpp"
+#include "qasm/parser.hpp"
+#include "qasm/writer.hpp"
 
 namespace qxmap {
 namespace {
@@ -205,6 +216,221 @@ TEST(Gf2Properties, RankMatchesNumberOfIndependentRowsByConstruction) {
     }
     EXPECT_EQ(m.rank(), k);
     EXPECT_EQ(m.invertible(), k == n);
+  }
+}
+
+// --- Circuit fingerprint properties (ir/fingerprint.hpp) -----------------
+
+std::string corpus_path(const std::string& file) {
+  return std::string(QXMAP_SOURCE_DIR) + "/tests/qasm_corpus/" + file;
+}
+
+constexpr const char* kCorpusFiles[] = {
+    "teleport.qasm",        "adder_majority.qasm", "qft4.qasm",         "qec_bitflip.qasm",
+    "expr_param_gates.qasm", "pairwise_entangle.qasm", "swap_routing.qasm",
+};
+
+/// Circuits whose gate streams differ must fingerprint differently; this
+/// rebuilds `c` with one surgical edit applied by `edit(gates)`.
+Circuit rebuilt(const Circuit& c, int num_qubits,
+                const std::function<void(std::vector<Gate>&)>& edit) {
+  std::vector<Gate> gates(c.begin(), c.end());
+  edit(gates);
+  Circuit out(num_qubits, c.name());
+  for (auto& g : gates) out.append(std::move(g));
+  return out;
+}
+
+TEST(FingerprintProperties, StableUnderQasmRoundTrip) {
+  // parse → write → parse is the canonical text round-trip: parameters are
+  // re-read at the writer's 12-decimal precision, which the fingerprint
+  // hashes at, so the hash must survive any number of round trips.
+  for (const auto* file : kCorpusFiles) {
+    SCOPED_TRACE(file);
+    const Circuit c = qasm::parse_file(corpus_path(file));
+    const Circuit once = qasm::parse(qasm::write(c), c.name());
+    const Circuit twice = qasm::parse(qasm::write(once), c.name());
+    EXPECT_EQ(fingerprint(once), fingerprint(c));
+    EXPECT_EQ(fingerprint(twice), fingerprint(c));
+  }
+  for (const auto seed : kSeeds) {
+    const Circuit c = bench::random_circuit(4, 6, 5, seed, "fp-rt");
+    const Circuit back = qasm::parse(qasm::write(c), c.name());
+    EXPECT_EQ(fingerprint(back), fingerprint(c)) << "seed " << seed;
+  }
+}
+
+TEST(FingerprintProperties, CircuitNameIsNotSignificant) {
+  for (const auto seed : kSeeds) {
+    Circuit a = bench::random_circuit(4, 4, 4, seed, "one-name");
+    Circuit b = a;
+    b.set_name("an entirely different name");
+    EXPECT_EQ(fingerprint(a), fingerprint(b));
+  }
+}
+
+TEST(FingerprintProperties, StableUnderClassicalRegisterRenaming) {
+  // Same wiring, cregs renamed "c"/"flags" -> "result"/"syndrome": the
+  // fingerprint identifies registers by first appearance, not by name.
+  const auto build = [](const std::string& r1, const std::string& r2) {
+    Circuit c(3, "rename");
+    c.h(0);
+    c.append(Gate::measure(0, r1, 0));
+    Gate guarded = Gate::single(OpKind::X, 1);
+    guarded.condition = Condition{r1, 2, 1};
+    c.append(guarded);
+    c.append(Gate::measure(1, r2, 1));
+    Gate guarded2 = Gate::cnot(1, 2);
+    guarded2.condition = Condition{r2, 2, 2};
+    c.append(guarded2);
+    return c;
+  };
+  EXPECT_EQ(fingerprint(build("c", "flags")), fingerprint(build("result", "syndrome")));
+  // But *merging* two registers into one changes the id sequence.
+  EXPECT_NE(fingerprint(build("c", "flags")), fingerprint(build("c", "c")));
+  // Exchanging the two names wholesale is itself just a renaming (ids are
+  // positional), so it must be identified, not distinguished.
+  EXPECT_EQ(fingerprint(build("c", "flags")), fingerprint(build("flags", "c")));
+}
+
+TEST(FingerprintProperties, EveryGateMutationChangesTheFingerprint) {
+  for (const auto seed : kSeeds) {
+    const int n = 4;
+    const Circuit c = bench::random_circuit(n, 5, 4, seed, "fp-mut");
+    const std::uint64_t fp = fingerprint(c);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+
+    // Drop a gate.
+    EXPECT_NE(fingerprint(rebuilt(c, n, [](auto& g) { g.pop_back(); })), fp);
+    // Insert a gate.
+    EXPECT_NE(fingerprint(rebuilt(c, n,
+                                  [](auto& g) { g.push_back(Gate::single(OpKind::H, 0)); })),
+              fp);
+    // Retarget the first single-qubit gate.
+    EXPECT_NE(fingerprint(rebuilt(c, n,
+                                  [n](auto& g) {
+                                    for (auto& gate : g) {
+                                      if (gate.is_single_qubit()) {
+                                        gate.target = (gate.target + 1) % n;
+                                        return;
+                                      }
+                                    }
+                                  })),
+              fp);
+    // Flip a gate kind.
+    EXPECT_NE(fingerprint(rebuilt(c, n,
+                                  [](auto& g) {
+                                    for (auto& gate : g) {
+                                      if (gate.is_single_qubit()) {
+                                        gate.kind =
+                                            gate.kind == OpKind::H ? OpKind::X : OpKind::H;
+                                        return;
+                                      }
+                                    }
+                                  })),
+              fp);
+    // Reverse a CNOT.
+    EXPECT_NE(fingerprint(rebuilt(c, n,
+                                  [](auto& g) {
+                                    for (auto& gate : g) {
+                                      if (gate.is_cnot()) {
+                                        std::swap(gate.control, gate.target);
+                                        return;
+                                      }
+                                    }
+                                  })),
+              fp);
+    // Reorder two adjacent distinct gates.
+    Circuit reordered = rebuilt(c, n, [](auto& g) {
+      for (std::size_t i = 0; i + 1 < g.size(); ++i) {
+        if (!(g[i] == g[i + 1])) {
+          std::swap(g[i], g[i + 1]);
+          return;
+        }
+      }
+    });
+    EXPECT_NE(fingerprint(reordered), fp);
+    // An idle qubit line widens the register and must be significant.
+    EXPECT_NE(fingerprint(rebuilt(c, n + 1, [](auto&) {})), fp);
+  }
+}
+
+TEST(FingerprintProperties, ParameterEditsBeyondWriterPrecisionAreSignificant) {
+  Circuit base(1, "fp-param");
+  base.append(Gate::single(OpKind::Rz, 0, {0.5}));
+  Circuit nudged(1, "fp-param");
+  nudged.append(Gate::single(OpKind::Rz, 0, {0.5 + 1e-6}));
+  EXPECT_NE(fingerprint(base), fingerprint(nudged));
+  // Below the writer's 12-decimal resolution the two circuits serialise to
+  // the same QASM text, so they are deliberately identified.
+  Circuit sub_ulp(1, "fp-param");
+  sub_ulp.append(Gate::single(OpKind::Rz, 0, {0.5 + 1e-14}));
+  EXPECT_EQ(fingerprint(base), fingerprint(sub_ulp));
+}
+
+TEST(FingerprintProperties, ConditionAndClassicalWiringAreSignificant) {
+  Circuit base(2, "fp-cls");
+  Gate guarded = Gate::single(OpKind::X, 1);
+  guarded.condition = Condition{"c", 2, 1};
+  base.append(guarded);
+  base.append(Gate::measure(0, "c", 0));
+  const std::uint64_t fp = fingerprint(base);
+
+  Circuit value = base;
+  EXPECT_NE(fingerprint(rebuilt(value, 2,
+                                [](auto& g) { g[0].condition->value = 3; })),
+            fp);
+  EXPECT_NE(fingerprint(rebuilt(base, 2, [](auto& g) { g[0].condition->width = 3; })), fp);
+  EXPECT_NE(fingerprint(rebuilt(base, 2, [](auto& g) { g[0].condition.reset(); })), fp);
+  EXPECT_NE(fingerprint(rebuilt(base, 2, [](auto& g) { g[1].cbit->bit = 1; })), fp);
+}
+
+TEST(FingerprintProperties, NoCollisionsAcrossCorpusAndRandomSweep) {
+  // Distinct gate streams must get distinct fingerprints across the whole
+  // qasm corpus, a seeded random sweep, and every prefix of each — a few
+  // hundred near-identical circuits, exactly the collision-prone shape a
+  // service cache would see.
+  std::map<std::uint64_t, std::string> seen;  // fp -> canonical stream
+  const auto canonical = [](const Circuit& c) {
+    std::string s = std::to_string(c.num_qubits());
+    for (const auto& g : c) {
+      s += '|';
+      s += g.to_string();
+    }
+    return s;
+  };
+  const auto check = [&](const Circuit& c) {
+    const auto [it, inserted] = seen.emplace(fingerprint(c), canonical(c));
+    if (!inserted) {
+      EXPECT_EQ(it->second, canonical(c)) << "fingerprint collision";
+    }
+  };
+  for (const auto* file : kCorpusFiles) {
+    const Circuit c = qasm::parse_file(corpus_path(file));
+    check(c);
+    for (std::size_t k = 0; k < c.size(); ++k) {
+      Circuit prefix(c.num_qubits(), c.name());
+      for (std::size_t i = 0; i < k; ++i) prefix.append(c.gate(i));
+      check(prefix);
+    }
+  }
+  for (const auto seed : kSeeds) {
+    for (int q = 2; q <= 5; ++q) {
+      const Circuit c = bench::random_circuit(q, 4, 4, seed, "fp-sweep");
+      check(c);
+    }
+  }
+  EXPECT_GT(seen.size(), 100u);
+}
+
+TEST(FingerprintProperties, StringFormIsSelfDescribingAndStable) {
+  const Circuit c = bench::random_circuit(5, 3, 3, 17, "fp-str");
+  const std::string s = fingerprint_string(c);
+  ASSERT_EQ(s.size(), std::string("c5:").size() + 16);
+  EXPECT_EQ(s.substr(0, 3), "c5:");
+  EXPECT_EQ(s, fingerprint_string(c));  // pure function of content
+  for (const char ch : s.substr(3)) {
+    EXPECT_TRUE(std::isxdigit(static_cast<unsigned char>(ch))) << s;
   }
 }
 
