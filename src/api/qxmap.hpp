@@ -42,6 +42,7 @@
 #include "exact/exact_mapper.hpp"
 #include "exact/types.hpp"
 #include "heuristic/astar_mapper.hpp"
+#include "heuristic/layer_weight_mapper.hpp"
 #include "heuristic/sabre_mapper.hpp"
 #include "heuristic/stochastic_swap.hpp"
 #include "ir/circuit.hpp"
@@ -56,6 +57,8 @@ enum class Method {
   StochasticSwap,  ///< Qiskit 0.4-style randomized baseline ("IBM [12]")
   AStar,           ///< Zulehner-style layer A* baseline ([22])
   Sabre,           ///< SABRE-style lookahead baseline ([13])
+  LayerWeight,     ///< HAIL/TANGO-style layer-weight iterative heuristic —
+                   ///< the large-architecture escape hatch (heavy-hex 27+)
 };
 
 /// Combined options; only the block matching `method` is consulted.
@@ -65,6 +68,7 @@ struct MapOptions {
   heuristic::StochasticSwapOptions stochastic;
   heuristic::AStarOptions astar;
   heuristic::SabreOptions sabre;
+  heuristic::LayerWeightOptions layer_weight;
 };
 
 /// Maps `circuit` onto `architecture`. See exact::MappingResult for the

@@ -18,7 +18,27 @@ namespace {
 /// Excluded by contract (docs/concurrency.md — they change wall time, never
 /// results): exact.num_threads, exact.work_stealing,
 /// exact.cooperative_tightening.
-std::string options_digest(const MapOptions& o) {
+/// Cost-model segment shared by every method block. The objective always
+/// participates; the ErrorWeighted inputs (fallback rates, scale, and the
+/// architecture's calibration fingerprint) only when that objective is
+/// active — under GateCount they cannot affect results, and hashing them
+/// would needlessly split entries.
+std::string cost_model_digest(const exact::CostModel& c, const arch::CouplingMap& architecture) {
+  std::string d;
+  d += ";objective=" + exact::to_string(c.objective);
+  d += ";swap_cost=" + std::to_string(c.swap_cost);
+  d += ";reverse_cost=" + std::to_string(c.reverse_cost);
+  if (c.objective == exact::CostObjective::ErrorWeighted) {
+    d += ";cx_err=" + format_fixed(c.cnot_error, 12);
+    d += ";1q_err=" + format_fixed(c.single_qubit_error, 12);
+    d += ";err_scale=" + std::to_string(c.error_scale);
+    d += ";noise=";
+    d += architecture.noise_fingerprint().empty() ? "-" : architecture.noise_fingerprint();
+  }
+  return d;
+}
+
+std::string options_digest(const MapOptions& o, const arch::CouplingMap& architecture) {
   std::string d;
   switch (o.method) {
     case Method::Exact: {
@@ -34,8 +54,7 @@ std::string options_digest(const MapOptions& o) {
       d += ";strategy=" + exact::to_string(e.strategy);
       d += ";subsets=" + std::to_string(e.use_subsets ? 1 : 0);
       d += ";budget_ms=" + std::to_string(e.budget.count());
-      d += ";swap_cost=" + std::to_string(e.costs.swap_cost);
-      d += ";reverse_cost=" + std::to_string(e.costs.reverse_cost);
+      d += cost_model_digest(e.costs, architecture);
       d += ";verify=" + std::to_string(e.verify ? 1 : 0);
       d += ";deep_verify_max=" + std::to_string(e.deep_verify_max_qubits);
       return d;
@@ -45,12 +64,14 @@ std::string options_digest(const MapOptions& o) {
       d += "stochastic;seed=" + std::to_string(s.seed);
       d += ";trials=" + std::to_string(s.trials);
       d += ";runs=" + std::to_string(s.runs);
+      d += cost_model_digest(s.costs, architecture);
       d += ";verify=" + std::to_string(s.verify ? 1 : 0);
       return d;
     }
     case Method::AStar: {
       const auto& a = o.astar;
       d += "astar;max_expansions=" + std::to_string(a.max_expansions);
+      d += cost_model_digest(a.costs, architecture);
       d += ";verify=" + std::to_string(a.verify ? 1 : 0);
       return d;
     }
@@ -61,7 +82,18 @@ std::string options_digest(const MapOptions& o) {
       d += ";ess=" + std::to_string(s.extended_set_size);
       d += ";decay=" + format_fixed(s.decay, 12);
       d += ";seed=" + std::to_string(s.seed);
+      d += cost_model_digest(s.costs, architecture);
       d += ";verify=" + std::to_string(s.verify ? 1 : 0);
+      return d;
+    }
+    case Method::LayerWeight: {
+      const auto& l = o.layer_weight;
+      d += "layerweight;iterations=" + std::to_string(l.iterations);
+      d += ";lookahead=" + std::to_string(l.lookahead_layers);
+      d += ";decay=" + format_fixed(l.decay, 12);
+      d += ";seed=" + std::to_string(l.seed);
+      d += cost_model_digest(l.costs, architecture);
+      d += ";verify=" + std::to_string(l.verify ? 1 : 0);
       return d;
     }
   }
@@ -98,7 +130,7 @@ std::string MappingService::cache_key(const Circuit& circuit,
                                       const arch::CouplingMap& architecture,
                                       const MapOptions& options) {
   return fingerprint_string(circuit) + "|" + architecture.fingerprint() + "|" +
-         options_digest(options);
+         options_digest(options, architecture);
 }
 
 exact::MappingResult MappingService::map(const Circuit& circuit,

@@ -46,6 +46,93 @@ CouplingMap ibm_tokyo() {
   return CouplingMap(20, std::move(edges), "ibmq_tokyo");
 }
 
+namespace {
+
+/// Emits both directions for every undirected coupling.
+CouplingMap bidirected(int m, const std::vector<std::pair<int, int>>& und, std::string name) {
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(und.size() * 2);
+  for (const auto& [a, b] : und) {
+    edges.emplace_back(a, b);
+    edges.emplace_back(b, a);
+  }
+  return CouplingMap(m, std::move(edges), std::move(name));
+}
+
+/// Heavy-hex lattice builder: horizontal qubit rows joined by single bridge
+/// qubits. Row r occupies ids [start, start+len) where start accumulates row
+/// lengths plus the bridge qubits of the preceding gaps; gap g places one
+/// bridge qubit per column pair (top_cols[g][i] in row g, bot_cols[g][i] in
+/// row g+1). This is the published IBM numbering for the Hummingbird/Eagle
+/// families (row-major with interleaved bridge blocks), so qubit ids match
+/// the vendor diagrams.
+CouplingMap heavy_hex(const std::vector<int>& row_len,
+                      const std::vector<std::vector<int>>& top_cols,
+                      const std::vector<std::vector<int>>& bot_cols, std::string name) {
+  const std::size_t rows = row_len.size();
+  std::vector<int> row_start(rows);
+  int next = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    row_start[r] = next;
+    next += row_len[r];
+    if (r + 1 < rows) next += static_cast<int>(top_cols[r].size());
+  }
+  const int total = next;
+  std::vector<std::pair<int, int>> und;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (int i = 0; i + 1 < row_len[r]; ++i) {
+      und.emplace_back(row_start[r] + i, row_start[r] + i + 1);
+    }
+  }
+  for (std::size_t g = 0; g + 1 < rows; ++g) {
+    const int bridge_start = row_start[g] + row_len[g];
+    for (std::size_t i = 0; i < top_cols[g].size(); ++i) {
+      const int bridge = bridge_start + static_cast<int>(i);
+      und.emplace_back(row_start[g] + top_cols[g][i], bridge);
+      und.emplace_back(bridge, row_start[g + 1] + bot_cols[g][i]);
+    }
+  }
+  return bidirected(total, und, std::move(name));
+}
+
+}  // namespace
+
+CouplingMap ibm_hex27() {
+  // Falcon r5.11 (e.g. ibmq_mumbai), IBM's published 27-qubit numbering.
+  return bidirected(27,
+                    {{0, 1},   {1, 2},   {1, 4},   {2, 3},   {3, 5},   {4, 7},   {5, 8},
+                     {6, 7},   {7, 10},  {8, 9},   {8, 11},  {10, 12}, {11, 14}, {12, 13},
+                     {12, 15}, {13, 14}, {14, 16}, {15, 18}, {16, 19}, {17, 18}, {18, 21},
+                     {19, 20}, {19, 22}, {21, 23}, {22, 25}, {23, 24}, {24, 25}, {25, 26}},
+                    "ibm_hex27");
+}
+
+CouplingMap ibm_hex65() {
+  // Hummingbird r2 (e.g. ibmq_manhattan): 5 rows of 10/11/11/11/10 qubits.
+  return heavy_hex({10, 11, 11, 11, 10},
+                   {{0, 4, 8}, {2, 6, 10}, {0, 4, 8}, {2, 6, 10}},
+                   {{0, 4, 8}, {2, 6, 10}, {0, 4, 8}, {1, 5, 9}},
+                   "ibm_hex65");
+}
+
+CouplingMap ibm_hex127() {
+  // Eagle r3 (e.g. ibm_washington): 7 rows of 14/15×5/14 qubits.
+  return heavy_hex({14, 15, 15, 15, 15, 15, 14},
+                   {{0, 4, 8, 12},
+                    {2, 6, 10, 14},
+                    {0, 4, 8, 12},
+                    {2, 6, 10, 14},
+                    {0, 4, 8, 12},
+                    {2, 6, 10, 14}},
+                   {{0, 4, 8, 12},
+                    {2, 6, 10, 14},
+                    {0, 4, 8, 12},
+                    {2, 6, 10, 14},
+                    {0, 4, 8, 12},
+                    {1, 5, 9, 13}},
+                   "ibm_hex127");
+}
+
 CouplingMap linear(int m) {
   std::vector<std::pair<int, int>> edges;
   for (int i = 0; i + 1 < m; ++i) edges.emplace_back(i, i + 1);
@@ -96,6 +183,13 @@ CouplingMap by_name(const std::string& name) {
   if (n == "qx4" || n == "ibmqx4" || n == "tenerife") return ibm_qx4();
   if (n == "qx5" || n == "ibmqx5" || n == "rueschlikon") return ibm_qx5();
   if (n == "tokyo" || n == "ibmq_tokyo") return ibm_tokyo();
+  if (n == "hex27" || n == "ibm_hex27" || n == "falcon" || n == "mumbai") return ibm_hex27();
+  if (n == "hex65" || n == "ibm_hex65" || n == "hummingbird" || n == "manhattan") {
+    return ibm_hex65();
+  }
+  if (n == "hex127" || n == "ibm_hex127" || n == "eagle" || n == "washington") {
+    return ibm_hex127();
+  }
   for (const auto& [prefix, maker] :
        std::vector<std::pair<std::string, CouplingMap (*)(int)>>{
            {"linear", &linear}, {"ring", &ring}, {"clique", &clique}}) {
@@ -109,6 +203,8 @@ CouplingMap by_name(const std::string& name) {
   throw std::invalid_argument("unknown architecture: " + name);
 }
 
-std::vector<std::string> known_names() { return {"qx2", "qx4", "qx5", "tokyo"}; }
+std::vector<std::string> known_names() {
+  return {"qx2", "qx4", "qx5", "tokyo", "hex27", "hex65", "hex127"};
+}
 
 }  // namespace qxmap::arch

@@ -27,6 +27,17 @@ namespace qxmap::arch {
 /// IBM Q20 "Tokyo" (20 qubits, bidirected couplings).
 [[nodiscard]] CouplingMap ibm_tokyo();
 
+/// IBM heavy-hex Falcon layout (27 qubits, bidirected, e.g. ibmq_mumbai).
+[[nodiscard]] CouplingMap ibm_hex27();
+
+/// IBM heavy-hex Hummingbird layout (65 qubits, bidirected,
+/// e.g. ibmq_manhattan).
+[[nodiscard]] CouplingMap ibm_hex65();
+
+/// IBM heavy-hex Eagle layout (127 qubits, bidirected,
+/// e.g. ibm_washington).
+[[nodiscard]] CouplingMap ibm_hex127();
+
 /// Directed line 0 -> 1 -> … -> m-1.
 [[nodiscard]] CouplingMap linear(int m);
 
@@ -40,8 +51,8 @@ namespace qxmap::arch {
 [[nodiscard]] CouplingMap clique(int m);
 
 /// Looks up an architecture by name ("qx2", "qx4", "qx5", "tokyo",
-/// "linear<m>", "ring<m>", "clique<m>"). \throws std::invalid_argument for
-/// unknown names.
+/// "hex27", "hex65", "hex127", "linear<m>", "ring<m>", "clique<m>").
+/// \throws std::invalid_argument for unknown names.
 [[nodiscard]] CouplingMap by_name(const std::string& name);
 
 /// Names accepted by by_name for the fixed architectures.

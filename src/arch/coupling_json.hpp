@@ -1,0 +1,75 @@
+/// \file coupling_json.hpp
+/// JSON front-end for user-defined coupling maps.
+///
+/// The schema (full reference with examples in docs/architectures.md):
+///
+/// ```json
+/// {
+///   "name": "my-device",                 // optional
+///   "qubits": 5,                         // required, positive integer
+///   "directed": false,                   // optional, default false
+///   "edges": [                           // required, non-empty
+///     [0, 1],                            // plain pair form
+///     {"control": 1, "target": 2, "error": 0.021}
+///   ],
+///   "single_qubit_errors": [0.001, ...], // optional, one entry per qubit
+///   "readout_errors":      [0.04, ...]   // optional, one entry per qubit
+/// }
+/// ```
+///
+/// With `"directed": false` (the default) each edge is installed in both
+/// directions (and a per-edge `error` applies to both); with `true` the pairs
+/// are taken verbatim as (control, target). Error rates are probabilities in
+/// [0, 1) and surface on `CouplingMap::error_rates()` /
+/// `noise_fingerprint()`.
+///
+/// The loader is strict: unknown fields, out-of-range qubit indices,
+/// self-loops, duplicate edges, and rates outside [0, 1) are all rejected
+/// with a CouplingJsonError that names the offending JSON path (e.g.
+/// "edges[3].error") and carries the 1-based line/column plus a caret
+/// excerpt, in the same style as the QASM front-end's ParseError.
+
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "arch/coupling_map.hpp"
+
+namespace qxmap::arch {
+
+/// Error raised on malformed JSON or schema violations. what() shows
+/// `coupling-map error at [file:]line:column: message` plus the offending
+/// source line with a caret under the error column.
+class CouplingJsonError : public std::runtime_error {
+ public:
+  CouplingJsonError(const std::string& message, int line, int column,
+                    const std::string& excerpt = {}, const std::string& file = {})
+      : std::runtime_error("coupling-map error at " + (file.empty() ? "" : file + ":") +
+                           std::to_string(line) + ':' + std::to_string(column) + ": " + message +
+                           (excerpt.empty() ? "" : "\n" + excerpt)),
+        line_(line),
+        column_(column) {}
+
+  [[nodiscard]] int line() const noexcept { return line_; }
+  [[nodiscard]] int column() const noexcept { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+/// Parses `text` against the schema above. `fallback_name` names the map
+/// when the document has no "name" field; `file` labels diagnostics.
+/// \throws CouplingJsonError
+[[nodiscard]] CouplingMap load_coupling_json(std::string_view text,
+                                             std::string fallback_name = {},
+                                             const std::string& file = {});
+
+/// Reads `path` and forwards to load_coupling_json (diagnostics carry the
+/// path; the fallback name is the file stem).
+/// \throws CouplingJsonError, std::runtime_error when the file is unreadable
+[[nodiscard]] CouplingMap load_coupling_json_file(const std::string& path);
+
+}  // namespace qxmap::arch

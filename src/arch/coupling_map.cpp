@@ -4,6 +4,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "common/strings.hpp"
+
 namespace qxmap::arch {
 
 CouplingMap::CouplingMap(int num_physical, std::vector<std::pair<int, int>> edges,
@@ -87,6 +89,81 @@ bool CouplingMap::has_triangle() const {
     }
   }
   return false;
+}
+
+namespace {
+
+bool valid_rate(double r) { return r >= 0.0 && r < 1.0; }
+
+void check_per_qubit(const std::vector<double>& v, int m, const char* what) {
+  if (!v.empty() && v.size() != static_cast<std::size_t>(m)) {
+    throw std::invalid_argument(std::string("CouplingMap::set_error_rates: ") + what +
+                                " must be empty or have one entry per physical qubit");
+  }
+  for (const double r : v) {
+    if (!valid_rate(r)) {
+      throw std::invalid_argument(std::string("CouplingMap::set_error_rates: ") + what +
+                                  " rate outside [0, 1)");
+    }
+  }
+}
+
+}  // namespace
+
+void CouplingMap::set_error_rates(ErrorRates rates) {
+  for (const auto& [edge, rate] : rates.cnot) {
+    if (!allows(edge.first, edge.second)) {
+      throw std::invalid_argument("CouplingMap::set_error_rates: cnot rate for (" +
+                                  std::to_string(edge.first) + "," +
+                                  std::to_string(edge.second) + ") which is not an edge");
+    }
+    if (!valid_rate(rate)) {
+      throw std::invalid_argument("CouplingMap::set_error_rates: cnot rate outside [0, 1)");
+    }
+  }
+  check_per_qubit(rates.single_qubit, m_, "single_qubit");
+  check_per_qubit(rates.readout, m_, "readout");
+  rates_ = std::move(rates);
+
+  noise_fingerprint_.clear();
+  if (rates_.empty()) return;
+  // Same append()-only construction as fingerprint() (GCC 12 -Wrestrict).
+  noise_fingerprint_ += "cx:";
+  for (const auto& [edge, rate] : rates_.cnot) {
+    if (noise_fingerprint_.back() != ':') noise_fingerprint_ += ';';
+    noise_fingerprint_ += std::to_string(edge.first);
+    noise_fingerprint_ += '>';
+    noise_fingerprint_ += std::to_string(edge.second);
+    noise_fingerprint_ += '=';
+    noise_fingerprint_ += format_fixed(rate, 9);
+  }
+  const auto append_vec = [this](const std::vector<double>& vec, const char* tag) {
+    if (vec.empty()) return;
+    noise_fingerprint_ += tag;
+    for (std::size_t i = 0; i < vec.size(); ++i) {
+      if (i != 0) noise_fingerprint_ += ';';
+      noise_fingerprint_ += format_fixed(vec[i], 9);
+    }
+  };
+  append_vec(rates_.single_qubit, "|1q:");
+  append_vec(rates_.readout, "|ro:");
+}
+
+double CouplingMap::mean_cnot_error(double fallback) const {
+  if (rates_.cnot.empty() || edges_.empty()) return fallback;
+  double sum = 0.0;
+  for (const auto& [c, t] : edges_) {
+    const auto it = rates_.cnot.find({c, t});
+    sum += it != rates_.cnot.end() ? it->second : fallback;
+  }
+  return sum / static_cast<double>(edges_.size());
+}
+
+double CouplingMap::mean_single_qubit_error(double fallback) const {
+  if (rates_.single_qubit.empty()) return fallback;
+  double sum = 0.0;
+  for (const double r : rates_.single_qubit) sum += r;
+  return sum / static_cast<double>(rates_.single_qubit.size());
 }
 
 CouplingMap CouplingMap::induced(const std::vector<int>& subset) const {

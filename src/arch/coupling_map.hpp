@@ -7,11 +7,31 @@
 
 #pragma once
 
+#include <map>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 namespace qxmap::arch {
+
+/// Optional per-device calibration data attached to a coupling map (set by
+/// the JSON loader or `CouplingMap::set_error_rates`). All rates are error
+/// probabilities in [0, 1). Empty containers mean "no data" — consumers fall
+/// back to their own defaults (see exact::CostModel, sim::NoiseModel).
+struct ErrorRates {
+  /// Per directed edge (control, target) → CNOT error rate. Keys must be
+  /// edges of the owning map.
+  std::map<std::pair<int, int>, double> cnot;
+  /// Per physical qubit; empty or exactly num_physical() entries.
+  std::vector<double> single_qubit;
+  /// Per physical qubit; empty or exactly num_physical() entries.
+  std::vector<double> readout;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return cnot.empty() && single_qubit.empty() && readout.empty();
+  }
+};
 
 /// Immutable directed graph over `num_physical()` qubits.
 class CouplingMap {
@@ -62,7 +82,44 @@ class CouplingMap {
 
   /// Coupling map induced by `subset` (sorted, distinct), with qubits
   /// renumbered 0 … subset.size()-1 in subset order. Directions preserved.
+  /// Error rates are not carried over.
   [[nodiscard]] CouplingMap induced(const std::vector<int>& subset) const;
+
+  /// Parses a coupling map from the JSON schema documented in
+  /// docs/architectures.md (qubit count, directed/undirected edge list,
+  /// optional per-edge / per-qubit error rates). `fallback_name` is used when
+  /// the document carries no "name" field.
+  /// \throws CouplingJsonError (arch/coupling_json.hpp) with line/column and
+  ///         a caret excerpt on malformed input or schema violations.
+  [[nodiscard]] static CouplingMap from_json(std::string_view text,
+                                             std::string fallback_name = {});
+
+  /// Reads `path` and forwards to from_json. Diagnostics carry the file name.
+  [[nodiscard]] static CouplingMap from_json_file(const std::string& path);
+
+  /// Attaches calibration data. Validates that every cnot key is a directed
+  /// edge of this map, that per-qubit vectors are empty or length
+  /// num_physical(), and that every rate lies in [0, 1).
+  /// \throws std::invalid_argument on violation.
+  void set_error_rates(ErrorRates rates);
+
+  [[nodiscard]] const ErrorRates& error_rates() const noexcept { return rates_; }
+  [[nodiscard]] bool has_error_rates() const noexcept { return !rates_.empty(); }
+
+  /// Mean CNOT error over all directed edges, using `fallback` for edges
+  /// without calibration data. Returns `fallback` when no edge data exists.
+  [[nodiscard]] double mean_cnot_error(double fallback) const;
+
+  /// Mean single-qubit error over all qubits; `fallback` when no data.
+  [[nodiscard]] double mean_single_qubit_error(double fallback) const;
+
+  /// Canonical rendering of the attached error rates, or "" when none. Keyed
+  /// *separately* from fingerprint(): routing tables depend only on the graph,
+  /// so SwapCostCache keeps sharing entries across differently-calibrated
+  /// devices, while noise-aware result caches append this string.
+  [[nodiscard]] const std::string& noise_fingerprint() const noexcept {
+    return noise_fingerprint_;
+  }
 
  private:
   int m_;
@@ -71,6 +128,8 @@ class CouplingMap {
   std::vector<std::pair<int, int>> edges_;
   std::vector<std::pair<int, int>> undirected_;
   std::vector<std::vector<int>> neighbours_;
+  ErrorRates rates_;
+  std::string noise_fingerprint_;
 };
 
 }  // namespace qxmap::arch

@@ -133,6 +133,42 @@ Circuit structured_circuit(int num_qubits, int num_single, int num_cnot, std::ui
   return c;
 }
 
+Circuit su4_random_circuit(int num_qubits, int num_layers, std::uint64_t seed,
+                           std::string name) {
+  if (num_qubits < 2) throw std::invalid_argument("su4_random_circuit: need >= 2 qubits");
+  if (num_layers < 0) throw std::invalid_argument("su4_random_circuit: negative layer count");
+  Rng rng(seed);
+  Circuit c(num_qubits, std::move(name));
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  const auto angle = [&rng] { return kTwoPi * rng.next_double(); };
+  const auto u3 = [&](int q) {
+    c.append(Gate::single(OpKind::U3, q, {angle(), angle(), angle()}));
+  };
+  std::vector<int> order(static_cast<std::size_t>(num_qubits));
+  for (int q = 0; q < num_qubits; ++q) order[static_cast<std::size_t>(q)] = q;
+  for (int layer = 0; layer < num_layers; ++layer) {
+    rng.shuffle(order);
+    int p = 0;
+    for (; p + 1 < num_qubits; p += 2) {
+      const int a = order[static_cast<std::size_t>(p)];
+      const int b = order[static_cast<std::size_t>(p + 1)];
+      // Vatan–Williams SU(4) block: 3 CNOTs + 7 parameterised singles.
+      u3(a);
+      u3(b);
+      c.cnot(b, a);
+      c.append(Gate::single(OpKind::Rz, a, {angle()}));
+      c.append(Gate::single(OpKind::Ry, b, {angle()}));
+      c.cnot(a, b);
+      c.append(Gate::single(OpKind::Ry, b, {angle()}));
+      c.cnot(b, a);
+      u3(a);
+      u3(b);
+    }
+    if (p < num_qubits) u3(order[static_cast<std::size_t>(p)]);
+  }
+  return c;
+}
+
 Circuit layered_cnot_circuit(int num_qubits, int num_layers, std::uint64_t seed,
                              std::string name) {
   if (num_qubits < 2) throw std::invalid_argument("layered_cnot_circuit: need >= 2 qubits");

@@ -27,6 +27,20 @@ namespace qxmap::bench {
 [[nodiscard]] Circuit layered_cnot_circuit(int num_qubits, int num_layers, std::uint64_t seed,
                                            std::string name = {});
 
+/// SU(4) random benchmark in the style of Zulehner/Wille ("Compiling SU(4)
+/// Quantum Circuits to IBM QX Architectures", see PAPERS.md): `num_layers`
+/// layers, each pairing the qubits by a fresh random permutation and
+/// applying one random two-qubit SU(4) block per adjacent pair. A block is
+/// the 3-CNOT Vatan–Williams realisation — U3 on both qubits, CX, Rz/Ry,
+/// CX, Ry, CX, U3 on both — with all 15 angles drawn uniformly from
+/// [0, 2π); an odd qubit left unpaired receives a lone random U3. The
+/// workload is maximally generic (every block is entangling, pairings
+/// ignore locality), which is exactly what makes it a mapper stress test.
+/// Deterministic per seed; emits plain IR that the QASM writer round-trips
+/// bit-identically at its 12-decimal precision.
+[[nodiscard]] Circuit su4_random_circuit(int num_qubits, int num_layers, std::uint64_t seed,
+                                         std::string name = {});
+
 /// Reversible-netlist-shaped circuit with exactly `num_single` single-qubit
 /// gates and `num_cnot` CNOTs: as much of the budget as a random draw
 /// allows is spent on Toffoli-style blocks (the 15-gate CCX network: 6

@@ -1,0 +1,68 @@
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "arch/coupling_map.hpp"
+#include "exact/swap_synthesis.hpp"
+#include "exact/types.hpp"
+
+namespace qxmap::exact {
+
+std::string to_string(CostObjective o) {
+  switch (o) {
+    case CostObjective::GateCount: return "gate_count";
+    case CostObjective::ErrorWeighted: return "error_weighted";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Scaled -log10 reliability of a gate sequence with `cnots` CNOTs and
+/// `singles` single-qubit gates, clamped to a positive integer so the
+/// solver's "every permutation change costs something" invariant holds even
+/// for near-perfect devices.
+int error_weight(int cnots, int singles, double cnot_error, double single_error, int scale) {
+  const double log_loss = -(static_cast<double>(cnots) * std::log10(1.0 - cnot_error) +
+                            static_cast<double>(singles) * std::log10(1.0 - single_error));
+  const long long w = std::llround(static_cast<double>(scale) * log_loss);
+  return static_cast<int>(std::max(1LL, w));
+}
+
+}  // namespace
+
+CostModel CostModel::resolved(const arch::CouplingMap& cm) const {
+  CostModel r = *this;
+  switch (objective) {
+    case CostObjective::GateCount:
+      if (r.swap_cost <= 0) r.swap_cost = swap_gate_cost(cm);
+      return r;
+    case CostObjective::ErrorWeighted: {
+      if (error_scale <= 0) {
+        throw std::invalid_argument("CostModel::resolved: error_scale must be positive");
+      }
+      const double ce = cm.mean_cnot_error(cnot_error);
+      const double se = cm.mean_single_qubit_error(single_qubit_error);
+      if (!(ce >= 0.0) || ce >= 1.0 || !(se >= 0.0) || se >= 1.0) {
+        throw std::invalid_argument("CostModel::resolved: error rates must lie in [0, 1)");
+      }
+      // Fig. 3 constructs: a SWAP is 3 CNOTs plus 4 H on one-directional
+      // architectures (3 CNOTs when bidirected); a reversal is 4 H.
+      const int swap_h = swap_gate_cost(cm) == 7 ? 4 : 0;
+      r.swap_cost = error_weight(3, swap_h, ce, se, error_scale);
+      r.reverse_cost = error_weight(0, 4, ce, se, error_scale);
+      return r;
+    }
+  }
+  throw std::logic_error("CostModel::resolved: unknown objective");
+}
+
+long long CostModel::result_cost(int swaps, int reversed) const {
+  if (swap_cost <= 0) {
+    throw std::logic_error("CostModel::result_cost: model not resolved (swap_cost <= 0)");
+  }
+  return static_cast<long long>(swap_cost) * swaps +
+         static_cast<long long>(reverse_cost) * reversed;
+}
+
+}  // namespace qxmap::exact

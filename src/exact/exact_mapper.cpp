@@ -287,10 +287,13 @@ MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
   for (const auto& g : circuit) {
     if (g.is_cnot()) cnots.push_back(g);
   }
-  if (cnots.empty()) return map_without_cnots(circuit, cm);
+  if (cnots.empty()) {
+    MappingResult trivial = map_without_cnots(circuit, cm);
+    trivial.objective = to_string(options.costs.objective);
+    return trivial;
+  }
 
-  CostModel costs = options.costs;
-  if (costs.swap_cost <= 0) costs.swap_cost = swap_gate_cost(cm);
+  const CostModel costs = options.costs.resolved(cm);
 
   const auto points = permutation_points(cnots, options.strategy, cm);
 
@@ -326,6 +329,7 @@ MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
   // Z3 support, make_engine(EngineKind::Z3) degrades to the CDCL backend.
   res.engine_name = reason::make_engine(options.engine)->name();
   res.permutation_points = static_cast<int>(points.size()) + 1;
+  res.objective = to_string(costs.objective);
 
   // --- Shard the subset instances through the process-wide executor ------
   //
@@ -372,8 +376,9 @@ MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
   long long warm_cost = kNoBound;
   if (instances.size() == 1 && options.strategy == PermutationStrategy::All) {
     warm = greedy_route(circuit, cm);
-    warm_cost = static_cast<long long>(warm->mapped.size()) -
-                static_cast<long long>(circuit.size());
+    // The bound lives in resolved objective units, not emitted-gate units —
+    // they differ under ErrorWeighted and under explicit weight overrides.
+    warm_cost = costs.result_cost(warm->swaps, warm->reversed);
   }
 
   // Shared encoding prefix (Sec. 4.1): every subset instance of an n-qubit
@@ -546,7 +551,9 @@ MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
       res.final_layout = std::move(warm->final_layout);
       res.swaps_inserted = warm->swaps;
       res.cnots_reversed = warm->reversed;
-      res.cost_f = warm_cost;
+      res.cost_f = static_cast<long long>(res.mapped.size()) -
+                   static_cast<long long>(circuit.size());
+      res.objective_cost = warm_cost;
       res.status = reason::Status::Feasible;
       if (options.verify) {
         const bool gf2_ok =
@@ -598,11 +605,14 @@ MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
   res.swaps_inserted = rec.swaps;
   res.cnots_reversed = rec.reversed;
   res.cost_f = static_cast<long long>(res.mapped.size()) - static_cast<long long>(circuit.size());
+  res.objective_cost = best->solution.cost_f;
   res.status = (any_feasible_not_optimal || any_unknown) ? reason::Status::Feasible
                                                          : reason::Status::Optimal;
 
-  // Consistency: the emitted overhead must equal the model's objective.
-  if (res.cost_f != best->solution.cost_f) {
+  // Consistency: the emitted insertions must reproduce the model's objective
+  // under the resolved weights (gate units and objective units coincide only
+  // for GateCount with derived weights).
+  if (costs.result_cost(res.swaps_inserted, res.cnots_reversed) != best->solution.cost_f) {
     throw std::logic_error("map_exact: emitted gate overhead disagrees with model cost");
   }
 

@@ -10,6 +10,10 @@
 #include "ir/circuit.hpp"
 #include "reason/engine.hpp"
 
+namespace qxmap::arch {
+class CouplingMap;
+}
+
 namespace qxmap::exact {
 
 /// Where re-mapping permutations are allowed (Sec. 4.2).
@@ -28,13 +32,53 @@ enum class PermutationStrategy {
 /// enables), so CI can exercise both schedulers without code changes.
 enum class Toggle { Auto, On, Off };
 
-/// Cost model of Sec. 2.2 (Fig. 3): SWAP = 7 elementary operations,
-/// direction switch = 4 H gates. `swap_cost` defaults to -1, meaning
-/// "derive from the architecture" (7 when any coupling is one-directional,
-/// 3 when every coupling is bidirected and SWAP decomposes into 3 CNOTs).
+/// What the integer objective weights represent.
+enum class CostObjective {
+  GateCount,      ///< the paper's Eq. (5): added elementary operations
+  ErrorWeighted,  ///< scaled -log10 success probability of the added gates
+};
+
+[[nodiscard]] std::string to_string(CostObjective o);
+
+/// Cost model of Sec. 2.2 (Fig. 3), generalised with a pluggable objective.
+///
+/// Under `GateCount` a SWAP costs 7 elementary operations (3 when every
+/// coupling is bidirected and the SWAP decomposes into 3 CNOTs) and a
+/// direction switch costs 4 H gates. `swap_cost` defaults to -1, meaning
+/// "derive from the architecture".
+///
+/// Under `ErrorWeighted` the weights instead measure the reliability lost by
+/// the inserted gates: weight = round(error_scale · -log10 Π (1 - eᵢ)) over
+/// the elementary gates of the construct (3 CNOTs + 4 H for a one-directional
+/// SWAP, 3 CNOTs for a bidirected one, 4 H for a reversal), clamped to ≥ 1.
+/// -log10 is additive across gates, so minimising the summed integer weights
+/// minimises the added failure probability. The CNOT/single-qubit rates come
+/// from the architecture's calibration data (`CouplingMap::error_rates()`,
+/// mean over edges/qubits) when present, else from the scalar defaults below
+/// (which match sim::NoiseModel).
+///
+/// All solver plumbing (encoder objective, DP reference, heuristic scoring,
+/// shared bounds) consumes a *resolved* model — concrete positive integer
+/// weights — produced by `resolved()`.
 struct CostModel {
+  CostObjective objective = CostObjective::GateCount;
   int swap_cost = -1;
   int reverse_cost = 4;
+  /// ErrorWeighted fallbacks when the architecture has no calibration data.
+  double cnot_error = 2e-2;
+  double single_qubit_error = 1e-3;
+  /// ErrorWeighted resolution of the -log10 scale; larger = finer rounding.
+  int error_scale = 1000;
+
+  /// Returns a copy with concrete integer `swap_cost`/`reverse_cost` for
+  /// `cm` per the objective (GateCount keeps explicit overrides).
+  /// \throws std::invalid_argument on rates outside [0,1) or a non-positive
+  ///         error_scale.
+  [[nodiscard]] CostModel resolved(const arch::CouplingMap& cm) const;
+
+  /// Objective value of a result with the given insertion counts.
+  /// \throws std::logic_error when called on an unresolved model.
+  [[nodiscard]] long long result_cost(int swaps, int reversed) const;
 };
 
 /// Options for the exact mapper.
@@ -103,6 +147,12 @@ struct MappingResult {
   std::vector<int> initial_layout;  ///< logical j -> physical qubit before gate 1
   std::vector<int> final_layout;    ///< logical j -> physical qubit at the end
   long long cost_f = 0;             ///< added cost F (Eq. 5) = |mapped| - |original|
+  /// The optimised objective: equals swap_cost·swaps + reverse_cost·reversed
+  /// under the resolved cost model. Under CostObjective::GateCount with
+  /// default weights this coincides with cost_f; under ErrorWeighted it is
+  /// the scaled -log10 success-probability loss of the inserted gates.
+  long long objective_cost = 0;
+  std::string objective = "gate_count";  ///< to_string(CostObjective) of the request
   int swaps_inserted = 0;
   int cnots_reversed = 0;
   reason::Status status = reason::Status::Unknown;

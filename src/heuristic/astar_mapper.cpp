@@ -22,7 +22,8 @@ using Clock = std::chrono::steady_clock;
 std::vector<std::pair<int, int>> astar_route(const std::vector<std::pair<int, int>>& pairs,
                                              const std::vector<int>& start_layout,
                                              const arch::CouplingMap& cm,
-                                             const arch::DistanceMatrix& dist, int max_expansions) {
+                                             const arch::DistanceMatrix& dist, int max_expansions,
+                                             long long swap_cost) {
   struct Node {
     long long f;
     long long g;
@@ -37,7 +38,8 @@ std::vector<std::pair<int, int>> astar_route(const std::vector<std::pair<int, in
       const int pc = lay[static_cast<std::size_t>(qc)];
       const int pt = lay[static_cast<std::size_t>(qt)];
       if (!cm.coupled(pc, pt)) {
-        h += 7LL * (dist.hops(pc, pt) - 1);
+        // Admissible: at least hops-1 SWAPs are still needed for this pair.
+        h += swap_cost * (dist.hops(pc, pt) - 1);
       }
     }
     return h;
@@ -65,7 +67,7 @@ std::vector<std::pair<int, int>> astar_route(const std::vector<std::pair<int, in
     if (++expansions > max_expansions) break;
     for (const auto& [a, b] : cm.undirected_edges()) {
       Node next = cur;
-      next.g += 7;
+      next.g += swap_cost;
       for (auto& p : next.layout) {
         if (p == a) {
           p = b;
@@ -103,9 +105,11 @@ exact::MappingResult map_astar(const Circuit& circuit, const arch::CouplingMap& 
 
   const auto dist_handle = arch::SwapCostCache::instance().distances(cm);
   const arch::DistanceMatrix& dist = *dist_handle;
+  const exact::CostModel costs = options.costs.resolved(cm);
 
   exact::MappingResult res;
   res.engine_name = "astar";
+  res.objective = exact::to_string(costs.objective);
   res.status = reason::Status::Feasible;
   res.mapped = Circuit(m, circuit.name() + "/mapped");
   res.routed_skeleton = Circuit(m, circuit.name() + "/routed-skeleton");
@@ -122,7 +126,7 @@ exact::MappingResult map_astar(const Circuit& circuit, const arch::CouplingMap& 
     }
     if (!pairs.empty()) {
       for (const auto& [a, b] :
-           astar_route(pairs, layout, cm, dist, options.max_expansions)) {
+           astar_route(pairs, layout, cm, dist, options.max_expansions, costs.swap_cost)) {
         exact::append_swap_realisation(res.mapped, cm, a, b);
         res.routed_skeleton.swap(a, b);
         ++res.swaps_inserted;
@@ -155,6 +159,7 @@ exact::MappingResult map_astar(const Circuit& circuit, const arch::CouplingMap& 
   }
   res.final_layout = layout;
   res.cost_f = static_cast<long long>(res.mapped.size()) - static_cast<long long>(circuit.size());
+  res.objective_cost = costs.result_cost(res.swaps_inserted, res.cnots_reversed);
 
   if (options.verify) {
     const bool gf2_ok = sim::implements_skeleton(circuit.cnot_skeleton(), res.routed_skeleton,

@@ -21,6 +21,10 @@ namespace qxmap::heuristic {
 /// Options for the A* mapper.
 struct AStarOptions {
   int max_expansions = 500000;  ///< search-node budget per layer
+  /// Objective weights (resolved against the architecture): the per-layer
+  /// search expands SWAPs at the resolved swap cost and reports
+  /// MappingResult::objective_cost in the same units.
+  exact::CostModel costs;
   bool verify = true;           ///< GF(2)-verify the routed skeleton
 };
 

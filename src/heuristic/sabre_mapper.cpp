@@ -251,6 +251,7 @@ exact::MappingResult map_sabre(const Circuit& circuit, const arch::CouplingMap& 
 
   const auto dist_handle = arch::SwapCostCache::instance().distances(cm);
   const arch::DistanceMatrix& dist = *dist_handle;
+  const exact::CostModel costs = options.costs.resolved(cm);
   Rng rng(options.seed);
   const Circuit rev = reversed(circuit);
 
@@ -275,6 +276,8 @@ exact::MappingResult map_sabre(const Circuit& circuit, const arch::CouplingMap& 
   res.swaps_inserted = final_pass.swaps;
   res.cnots_reversed = final_pass.reversed;
   res.cost_f = static_cast<long long>(res.mapped.size()) - static_cast<long long>(circuit.size());
+  res.objective = exact::to_string(costs.objective);
+  res.objective_cost = costs.result_cost(res.swaps_inserted, res.cnots_reversed);
 
   if (options.verify) {
     const bool gf2_ok = sim::implements_skeleton(circuit.cnot_skeleton(), res.routed_skeleton,

@@ -26,6 +26,10 @@ struct SabreOptions {
   int extended_set_size = 20;       ///< how many future CNOTs the lookahead sees
   double decay = 0.001;             ///< per-use decay added to a qubit's swap score
   std::uint64_t seed = 1;           ///< tie-breaking randomness
+  /// Objective weights (resolved against the architecture); reported via
+  /// MappingResult::objective_cost. Routing decisions are distance-driven
+  /// and unaffected.
+  exact::CostModel costs;
   bool verify = true;               ///< GF(2)-verify the routed skeleton
 };
 

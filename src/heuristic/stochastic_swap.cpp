@@ -217,6 +217,7 @@ exact::MappingResult map_stochastic_swap(const Circuit& circuit, const arch::Cou
 
   const auto dist_handle = arch::SwapCostCache::instance().distances(cm);
   const arch::DistanceMatrix& dist = *dist_handle;
+  const exact::CostModel costs = options.costs.resolved(cm);
   const auto layers = asap_layers(circuit);
 
   std::optional<RunState> best;
@@ -238,7 +239,10 @@ exact::MappingResult map_stochastic_swap(const Circuit& circuit, const arch::Cou
       for (const std::size_t gi : layer) gates.push_back(circuit.gate(gi));
       process_group(st, gates, cm, dist, rng, options.trials);
     }
-    if (!best || st.mapped.size() < best->mapped.size()) {
+    // Best-of-runs selection under the requested objective (ties keep the
+    // earlier run, so single-run results are unchanged).
+    if (!best || costs.result_cost(st.swaps, st.reversed) <
+                     costs.result_cost(best->swaps, best->reversed)) {
       best = std::move(st);
       best_initial = initial;
     }
@@ -254,6 +258,8 @@ exact::MappingResult map_stochastic_swap(const Circuit& circuit, const arch::Cou
   res.swaps_inserted = best->swaps;
   res.cnots_reversed = best->reversed;
   res.cost_f = static_cast<long long>(res.mapped.size()) - static_cast<long long>(circuit.size());
+  res.objective = exact::to_string(costs.objective);
+  res.objective_cost = costs.result_cost(res.swaps_inserted, res.cnots_reversed);
   res.instances_solved = options.runs;
 
   if (options.verify) {

@@ -29,6 +29,9 @@ struct StochasticSwapOptions {
   std::uint64_t seed = 1;  ///< RNG stream seed (deterministic per seed)
   int trials = 20;         ///< randomized trials per blocked layer
   int runs = 1;            ///< independent end-to-end runs; best kept
+  /// Objective weights (resolved against the architecture); reported via
+  /// MappingResult::objective_cost and used to pick the best of `runs`.
+  exact::CostModel costs;
   bool verify = true;      ///< GF(2)-verify the routed skeleton
 };
 

@@ -3,7 +3,23 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "arch/coupling_map.hpp"
+
 namespace qxmap::sim {
+
+NoiseModel noise_model_for(const arch::CouplingMap& cm, const NoiseModel& defaults) {
+  NoiseModel model = defaults;
+  const arch::ErrorRates& rates = cm.error_rates();
+  model.cnot_error_overrides = rates.cnot;
+  model.cnot_error = cm.mean_cnot_error(defaults.cnot_error);
+  model.single_qubit_error = cm.mean_single_qubit_error(defaults.single_qubit_error);
+  if (!rates.readout.empty()) {
+    double sum = 0.0;
+    for (const double r : rates.readout) sum += r;
+    model.readout_error = sum / static_cast<double>(rates.readout.size());
+  }
+  return model;
+}
 
 double NoiseModel::gate_error(const Gate& g) const {
   switch (g.kind) {

@@ -16,6 +16,10 @@
 
 #include "ir/circuit.hpp"
 
+namespace qxmap::arch {
+class CouplingMap;
+}
+
 namespace qxmap::sim {
 
 /// Error-rate model. Defaults approximate the published IBM QX4
@@ -32,6 +36,16 @@ struct NoiseModel {
   /// Error probability charged for one gate (barriers are free).
   [[nodiscard]] double gate_error(const Gate& g) const;
 };
+
+/// NoiseModel populated from the architecture's calibration data
+/// (`CouplingMap::error_rates()`, as attached by the JSON loader): per-edge
+/// CNOT rates become cnot_error_overrides, the scalar rates become the mean
+/// of the per-qubit arrays. Fields without calibration data keep the values
+/// from `defaults`. This is the same data exact::CostModel::resolved() folds
+/// into the ErrorWeighted objective, so "optimize error-weighted cost" and
+/// "score by success probability" agree on what the device looks like.
+[[nodiscard]] NoiseModel noise_model_for(const arch::CouplingMap& cm,
+                                         const NoiseModel& defaults = {});
 
 /// Success probability Π(1 - ε_g) over all gates of `c`. SWAP pseudo-gates
 /// are charged as their 7-gate decomposition would be (3 CNOTs + 4 H).

@@ -35,6 +35,19 @@ TEST(Api, AStarMethodDispatch) {
   EXPECT_TRUE(exact::satisfies_coupling(res.mapped, arch::ibm_qx4()));
 }
 
+TEST(Api, SabreAndLayerWeightMethodDispatch) {
+  const Circuit c = bench::paper_example_circuit();
+  MapOptions sabre;
+  sabre.method = Method::Sabre;
+  EXPECT_EQ(map(c, arch::ibm_qx4(), sabre).engine_name, "sabre");
+  MapOptions lw;
+  lw.method = Method::LayerWeight;
+  const auto res = map(c, arch::ibm_qx4(), lw);
+  EXPECT_EQ(res.engine_name, "layer-weight");
+  EXPECT_TRUE(exact::satisfies_coupling(res.mapped, arch::ibm_qx4()));
+  EXPECT_TRUE(res.verified) << res.verify_message;
+}
+
 TEST(Api, QasmInQasmOut) {
   // The facade exposes the QASM front-end directly.
   const Circuit c = qasm::parse(R"(

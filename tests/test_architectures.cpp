@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace qxmap {
 namespace {
 
@@ -51,6 +53,65 @@ TEST(Architectures, LinearRingGridClique) {
   EXPECT_FALSE(g.coupled(0, 4));
   const auto k = arch::clique(4);
   EXPECT_EQ(k.edges().size(), 12u);
+}
+
+TEST(Architectures, HeavyHexFamilyShapes) {
+  // IBM's heavy-hex lattices at the three published scales. Expected
+  // undirected edge counts follow from the row/bridge construction.
+  const struct {
+    arch::CouplingMap cm;
+    int qubits;
+    std::size_t undirected;
+  } cases[] = {
+      {arch::ibm_hex27(), 27, 28},
+      {arch::ibm_hex65(), 65, 72},
+      {arch::ibm_hex127(), 127, 144},
+  };
+  for (const auto& [cm, qubits, undirected] : cases) {
+    SCOPED_TRACE(cm.name());
+    EXPECT_EQ(cm.num_physical(), qubits);
+    EXPECT_EQ(cm.undirected_edges().size(), undirected);
+    EXPECT_TRUE(cm.is_connected());
+    EXPECT_FALSE(cm.has_triangle());  // heavy-hex is triangle-free
+    // Bidirected: every coupling works both ways.
+    for (const auto& [a, b] : cm.edges()) EXPECT_TRUE(cm.allows(b, a));
+    // The defining degree bound of the heavy-hex topology.
+    for (int q = 0; q < qubits; ++q) {
+      EXPECT_LE(cm.neighbours(q).size(), 3u) << "qubit " << q;
+    }
+  }
+}
+
+TEST(Architectures, Hex27MatchesFalconSpotChecks) {
+  // Vendor numbering (ibmq_mumbai et al.): 0-1-2-3 top row, bridges 4/5.
+  const auto cm = arch::ibm_hex27();
+  EXPECT_TRUE(cm.coupled(0, 1));
+  EXPECT_TRUE(cm.coupled(1, 4));
+  EXPECT_TRUE(cm.coupled(4, 7));
+  EXPECT_TRUE(cm.coupled(3, 5));
+  EXPECT_TRUE(cm.coupled(5, 8));
+  EXPECT_TRUE(cm.coupled(25, 26));
+  EXPECT_FALSE(cm.coupled(0, 2));
+  EXPECT_FALSE(cm.coupled(4, 5));
+}
+
+TEST(Architectures, HeavyHexByNameAliases) {
+  EXPECT_EQ(arch::by_name("hex27").num_physical(), 27);
+  EXPECT_EQ(arch::by_name("falcon").num_physical(), 27);
+  EXPECT_EQ(arch::by_name("mumbai").num_physical(), 27);
+  EXPECT_EQ(arch::by_name("hex65").num_physical(), 65);
+  EXPECT_EQ(arch::by_name("hummingbird").num_physical(), 65);
+  EXPECT_EQ(arch::by_name("manhattan").num_physical(), 65);
+  EXPECT_EQ(arch::by_name("hex127").num_physical(), 127);
+  EXPECT_EQ(arch::by_name("eagle").num_physical(), 127);
+  EXPECT_EQ(arch::by_name("washington").num_physical(), 127);
+}
+
+TEST(Architectures, KnownNamesIncludeHeavyHex) {
+  const auto names = arch::known_names();
+  for (const char* want : {"hex27", "hex65", "hex127"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), want), names.end()) << want;
+  }
 }
 
 TEST(Architectures, ByNameLookups) {

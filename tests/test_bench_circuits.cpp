@@ -3,6 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
+#include "ir/fingerprint.hpp"
+#include "qasm/parser.hpp"
+#include "qasm/writer.hpp"
+
 namespace qxmap {
 namespace {
 
@@ -43,6 +49,56 @@ TEST(Generators, LayeredCircuitShape) {
   const Circuit c = bench::layered_cnot_circuit(6, 4, 9);
   EXPECT_EQ(c.counts().cnot, 4 * 3);
   EXPECT_THROW(bench::layered_cnot_circuit(1, 2, 0), std::invalid_argument);
+}
+
+TEST(Su4Generator, StructureCountsAreExact) {
+  // Each layer pairs floor(n/2) disjoint qubit pairs, each realised as a
+  // 3-CNOT SU(4) block; an odd qubit count leaves one qubit with a lone u3.
+  for (const auto& [n, layers] : {std::pair{4, 3}, std::pair{5, 2}, std::pair{27, 4}}) {
+    const Circuit c = bench::su4_random_circuit(n, layers, 11, "su4-shape");
+    EXPECT_EQ(c.num_qubits(), n);
+    EXPECT_EQ(c.counts().cnot, 3 * (n / 2) * layers) << "n=" << n;
+    EXPECT_EQ(c.counts().swap, 0);
+    EXPECT_EQ(c.name(), "su4-shape");
+  }
+  EXPECT_EQ(bench::su4_random_circuit(3, 2, 1).size(),
+            bench::su4_random_circuit(3, 2, 2).size());  // size is seed-free
+}
+
+TEST(Su4Generator, DeterministicPerSeedBitIdentical) {
+  // Same seed ⇒ bit-identical gate stream (and hence fingerprint) across
+  // two invocations — the property the result cache and the cross-repo
+  // reproducibility story both lean on.
+  const Circuit a = bench::su4_random_circuit(5, 3, 42, "su4-det");
+  const Circuit b = bench::su4_random_circuit(5, 3, 42, "su4-det");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+  EXPECT_NE(fingerprint(a), fingerprint(bench::su4_random_circuit(5, 3, 43, "su4-det")));
+}
+
+TEST(Su4Generator, FingerprintSurvivesQasmRoundTrip) {
+  // Angles are drawn as raw doubles; the generator must stay within the
+  // QASM writer's 12-decimal precision so parse(write(c)) re-reads the
+  // exact same parameters the fingerprint hashed.
+  for (const std::uint64_t seed : {1u, 7u, 99u}) {
+    const Circuit c = bench::su4_random_circuit(4, 2, seed, "su4-rt");
+    const Circuit back = qasm::parse(qasm::write(c), c.name());
+    EXPECT_EQ(fingerprint(back), fingerprint(c)) << "seed " << seed;
+  }
+}
+
+TEST(Su4Generator, NoFingerprintCollisionOver64Seeds) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    seen.insert(fingerprint(bench::su4_random_circuit(5, 2, seed, "su4-sweep")));
+  }
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(Su4Generator, Validation) {
+  EXPECT_THROW(bench::su4_random_circuit(1, 2, 1), std::invalid_argument);
+  EXPECT_THROW(bench::su4_random_circuit(4, -1, 1), std::invalid_argument);
+  EXPECT_NO_THROW(bench::su4_random_circuit(2, 0, 1));
 }
 
 TEST(Table1Suite, HasAll25Benchmarks) {

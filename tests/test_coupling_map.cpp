@@ -90,5 +90,43 @@ TEST(CouplingMap, InducedOfAllQubitsKeepsEverything) {
   EXPECT_EQ(sub.edges(), cm.edges());
 }
 
+TEST(CouplingMap, ErrorRatesValidation) {
+  CouplingMap cm(2, {{0, 1}});
+  arch::ErrorRates ok;
+  ok.cnot[{0, 1}] = 0.02;
+  EXPECT_NO_THROW(cm.set_error_rates(ok));
+  EXPECT_TRUE(cm.has_error_rates());
+
+  arch::ErrorRates bad_edge;
+  bad_edge.cnot[{1, 0}] = 0.02;  // not an allowed direction
+  EXPECT_THROW(cm.set_error_rates(bad_edge), std::invalid_argument);
+  arch::ErrorRates bad_rate;
+  bad_rate.cnot[{0, 1}] = 1.0;  // outside [0, 1)
+  EXPECT_THROW(cm.set_error_rates(bad_rate), std::invalid_argument);
+  arch::ErrorRates bad_len;
+  bad_len.single_qubit = {0.001};  // needs one entry per qubit
+  EXPECT_THROW(cm.set_error_rates(bad_len), std::invalid_argument);
+}
+
+TEST(CouplingMap, NoiseFingerprintSeparatesCalibrations) {
+  // Structural fingerprint deliberately ignores calibration (it keys the
+  // SwapCostTable cache); the noise fingerprint captures it.
+  CouplingMap a(2, {{0, 1}});
+  CouplingMap b(2, {{0, 1}});
+  EXPECT_TRUE(a.noise_fingerprint().empty());
+  arch::ErrorRates ra;
+  ra.cnot[{0, 1}] = 0.02;
+  a.set_error_rates(ra);
+  arch::ErrorRates rb;
+  rb.cnot[{0, 1}] = 0.03;
+  b.set_error_rates(rb);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_NE(a.noise_fingerprint(), b.noise_fingerprint());
+  EXPECT_FALSE(a.noise_fingerprint().empty());
+  // Mean helpers fall back when no calibration covers the quantity.
+  EXPECT_DOUBLE_EQ(a.mean_cnot_error(0.9), 0.02);
+  EXPECT_DOUBLE_EQ(a.mean_single_qubit_error(0.9), 0.9);
+}
+
 }  // namespace
 }  // namespace qxmap

@@ -11,7 +11,9 @@
 #include "exact/exact_mapper.hpp"
 #include "exact/reference_search.hpp"
 #include "exact/strategies.hpp"
+#include "exact/swap_synthesis.hpp"
 #include "heuristic/astar_mapper.hpp"
+#include "heuristic/layer_weight_mapper.hpp"
 #include "heuristic/sabre_mapper.hpp"
 #include "heuristic/stochastic_swap.hpp"
 #include "sim/equivalence.hpp"
@@ -164,6 +166,112 @@ TEST_P(HeuristicFloor, NoHeuristicBeatsTheCertifiedMinimum) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, HeuristicFloor, ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+// ---------------------------------------------------------------------
+// SU(4) sweep: every heuristic (including the layer-weight mapper) vs.
+// the certified DP floor, under BOTH cost objectives.
+// ---------------------------------------------------------------------
+
+struct Su4Case {
+  std::uint64_t seed;
+  int num_qubits;
+  exact::CostObjective objective;
+};
+
+class Su4CrossValidation : public ::testing::TestWithParam<Su4Case> {};
+
+TEST_P(Su4CrossValidation, EveryHeuristicIsLegalEquivalentAndAboveTheFloor) {
+  const auto& param = GetParam();
+  const Circuit c = bench::su4_random_circuit(param.num_qubits, 2, param.seed, "su4-xval");
+  const auto cm = arch::ibm_qx4();
+
+  std::vector<Gate> cnots;
+  for (const auto& g : c) {
+    if (g.is_cnot()) cnots.push_back(g);
+  }
+  std::vector<std::size_t> pts;
+  for (std::size_t k = 1; k < cnots.size(); ++k) pts.push_back(k);
+  exact::CostModel costs;
+  costs.objective = param.objective;
+  const exact::CostModel resolved = costs.resolved(cm);
+  const auto ref =
+      exact::minimal_cost_reference(cnots, param.num_qubits, cm, pts, resolved);
+  ASSERT_TRUE(ref.feasible);
+
+  const auto check = [&](const exact::MappingResult& res, const char* who) {
+    SCOPED_TRACE(who);
+    EXPECT_EQ(res.status, Status::Feasible);
+    EXPECT_TRUE(exact::satisfies_coupling(res.mapped, cm));
+    EXPECT_TRUE(res.verified) << res.verify_message;
+    EXPECT_EQ(res.objective, exact::to_string(param.objective));
+    const auto eq = sim::check_mapped_circuit(c, res.mapped, res.initial_layout,
+                                              res.final_layout);
+    EXPECT_TRUE(eq.equivalent) << eq.message;
+    // No heuristic may beat the certified optimum in its own currency.
+    EXPECT_GE(res.objective_cost, ref.cost_f);
+  };
+
+  heuristic::StochasticSwapOptions sopt;
+  sopt.seed = param.seed;
+  sopt.costs = costs;
+  check(heuristic::map_stochastic_swap(c, cm, sopt), "stochastic");
+  heuristic::AStarOptions aopt;
+  aopt.costs = costs;
+  check(heuristic::map_astar(c, cm, aopt), "astar");
+  heuristic::SabreOptions bopt;
+  bopt.costs = costs;
+  check(heuristic::map_sabre(c, cm, bopt), "sabre");
+  heuristic::LayerWeightOptions lopt;
+  lopt.seed = param.seed;
+  lopt.costs = costs;
+  check(heuristic::map_layer_weight(c, cm, lopt), "layer-weight");
+}
+
+std::vector<Su4Case> su4_cases() {
+  std::vector<Su4Case> cases;
+  for (const std::uint64_t seed : {101u, 202u, 303u}) {
+    for (const int nq : {4, 5}) {
+      for (const auto objective :
+           {exact::CostObjective::GateCount, exact::CostObjective::ErrorWeighted}) {
+        cases.push_back({seed, nq, objective});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Su4CrossValidation, ::testing::ValuesIn(su4_cases()));
+
+TEST(Su4CrossValidation, ExactErrorWeightedMatchesTheReference) {
+  // The symbolic mapper and the DP must also agree when the objective is
+  // error-weighted: same restriction (all permutation points), same resolved
+  // weights, same optimum.
+  const Circuit c = bench::su4_random_circuit(4, 1, 404, "su4-exact-ew");
+  const auto cm = arch::ibm_qx4();
+  std::vector<Gate> cnots;
+  for (const auto& g : c) {
+    if (g.is_cnot()) cnots.push_back(g);
+  }
+  exact::ExactOptions opt;
+  opt.engine = EngineKind::Cdcl;
+  opt.strategy = exact::PermutationStrategy::All;
+  opt.costs.objective = exact::CostObjective::ErrorWeighted;
+  opt.budget = std::chrono::milliseconds(60000);
+  const auto pts = exact::permutation_points(cnots, opt.strategy, cm);
+  const exact::CostModel resolved = opt.costs.resolved(cm);
+  const auto ref = exact::minimal_cost_reference(cnots, 4, cm, pts, resolved);
+  ASSERT_TRUE(ref.feasible);
+  const auto res = exact::map_exact(c, cm, opt);
+  ASSERT_EQ(res.status, Status::Optimal);
+  // objective_cost is in resolved error-weighted units — the DP's currency.
+  // cost_f stays the paper's Eq. (5) gate count (added gates), so it is NOT
+  // compared against the error-weighted floor.
+  EXPECT_EQ(res.objective_cost, ref.cost_f);
+  EXPECT_EQ(res.objective, "error_weighted");
+  EXPECT_EQ(res.cost_f,
+            static_cast<long long>(res.mapped.size()) - static_cast<long long>(c.size()));
+  EXPECT_TRUE(res.verified) << res.verify_message;
+}
 
 // ---------------------------------------------------------------------
 // Failure injection: tampered results must fail verification.

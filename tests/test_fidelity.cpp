@@ -4,6 +4,9 @@
 
 #include <cmath>
 
+#include "arch/architectures.hpp"
+#include "arch/coupling_map.hpp"
+
 namespace qxmap {
 namespace {
 
@@ -87,6 +90,32 @@ TEST(Fidelity, LogAndLinearAgree) {
     c.cnot(i % 3, (i + 1) % 3);
   }
   EXPECT_NEAR(std::pow(10.0, sim::log10_success(c)), sim::success_probability(c), 1e-12);
+}
+
+TEST(Fidelity, NoiseModelForReadsArchitectureCalibration) {
+  auto cm = arch::CouplingMap(2, {{0, 1}, {1, 0}}, "calib");
+  arch::ErrorRates rates;
+  rates.cnot[{0, 1}] = 0.03;
+  rates.cnot[{1, 0}] = 0.05;
+  rates.single_qubit = {0.001, 0.003};
+  rates.readout = {0.02, 0.06};
+  cm.set_error_rates(rates);
+
+  NoiseModel defaults;
+  defaults.cnot_error = 0.5;  // must be displaced by the calibration means
+  const NoiseModel model = sim::noise_model_for(cm, defaults);
+  EXPECT_DOUBLE_EQ(model.cnot_error, 0.04);
+  EXPECT_DOUBLE_EQ(model.single_qubit_error, 0.002);
+  EXPECT_DOUBLE_EQ(model.readout_error, 0.04);
+  ASSERT_EQ(model.cnot_error_overrides.size(), 2u);
+  EXPECT_DOUBLE_EQ(model.cnot_error_overrides.at({0, 1}), 0.03);
+  EXPECT_DOUBLE_EQ(model.cnot_error_overrides.at({1, 0}), 0.05);
+
+  // A map without calibration keeps the caller's defaults untouched.
+  const NoiseModel bare = sim::noise_model_for(arch::ibm_qx4(), defaults);
+  EXPECT_DOUBLE_EQ(bare.cnot_error, defaults.cnot_error);
+  EXPECT_DOUBLE_EQ(bare.readout_error, defaults.readout_error);
+  EXPECT_TRUE(bare.cnot_error_overrides.empty());
 }
 
 TEST(Fidelity, InvalidErrorRatesRejected) {

@@ -437,10 +437,15 @@ TEST(FingerprintProperties, StringFormIsSelfDescribingAndStable) {
 TEST(ExactParallelProperties, SerialAndParallelAgreeOnEveryBuiltInArchitecture) {
   // Subset mode needs n < m, and the induced instances stay tabulable
   // (n <= 8) even on the 16/20-qubit machines, so a 3-qubit skeleton
-  // exercises every built-in coupling map.
+  // exercises every built-in coupling map. The heavy-hex machines have
+  // hundreds of connected 3-subsets each — one seed keeps the sweep quick
+  // while still covering the subset shard scheduler at that scale.
   for (const auto& name : arch::known_names()) {
     const auto cm = arch::by_name(name);
-    for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const std::vector<std::uint64_t> seeds =
+        cm.num_physical() > 20 ? std::vector<std::uint64_t>{1}
+                               : std::vector<std::uint64_t>{1, 2, 3};
+    for (const std::uint64_t seed : seeds) {
       const Circuit c = bench::random_cnot_circuit(3, 4, seed, "sweep/" + name);
       exact::ExactOptions opt;
       opt.engine = reason::EngineKind::Cdcl;
@@ -460,6 +465,56 @@ TEST(ExactParallelProperties, SerialAndParallelAgreeOnEveryBuiltInArchitecture) 
       EXPECT_EQ(parallel.mapped, serial.mapped) << name << " seed " << seed;
       EXPECT_TRUE(serial.verified) << serial.verify_message;
     }
+  }
+}
+
+// --- JSON-loaded architectures in the sweep (arch/coupling_json.hpp) -----
+
+constexpr const char* kStar5Json = R"({
+  "name": "star5",
+  "qubits": 5,
+  "directed": false,
+  "edges": [[0, 1], [0, 2], [0, 3], [0, 4]]
+})";
+
+TEST(ArchitectureProperties, FingerprintDistinguishesJsonFromBuiltins) {
+  // A JSON-loaded 5-qubit star must not alias any built-in (or synthetic)
+  // 5-qubit architecture in caches keyed by CouplingMap::fingerprint().
+  const auto star = arch::CouplingMap::from_json(kStar5Json);
+  ASSERT_EQ(star.num_physical(), 5);
+  const arch::CouplingMap rivals[] = {arch::ibm_qx2(), arch::ibm_qx4(),
+                                      arch::linear(5), arch::ring(5),
+                                      arch::clique(5)};
+  for (const auto& rival : rivals) {
+    ASSERT_EQ(rival.num_physical(), 5);
+    EXPECT_NE(star.fingerprint(), rival.fingerprint()) << rival.name();
+  }
+  // Same structure loaded twice fingerprints identically — the name and the
+  // error rates are deliberately not part of the structural fingerprint.
+  auto renamed = arch::CouplingMap::from_json(kStar5Json, "other-name");
+  arch::ErrorRates rates;
+  rates.cnot[{0, 1}] = 0.05;
+  renamed.set_error_rates(rates);
+  EXPECT_EQ(star.fingerprint(), renamed.fingerprint());
+  EXPECT_NE(star.noise_fingerprint(), renamed.noise_fingerprint());
+}
+
+TEST(ExactParallelProperties, SerialAndParallelAgreeOnJsonLoadedArchitecture) {
+  const auto cm = arch::CouplingMap::from_json(kStar5Json);
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const Circuit c = bench::random_cnot_circuit(3, 4, seed, "sweep/star5");
+    exact::ExactOptions opt;
+    opt.engine = reason::EngineKind::Cdcl;
+    opt.use_subsets = true;
+    opt.budget = std::chrono::milliseconds(60000);
+    opt.num_threads = 1;
+    const auto serial = exact::map_exact(c, cm, opt);
+    ASSERT_EQ(serial.status, reason::Status::Optimal) << "seed " << seed;
+    opt.num_threads = 4;
+    const auto parallel = exact::map_exact(c, cm, opt);
+    EXPECT_EQ(parallel.cost_f, serial.cost_f) << "seed " << seed;
+    EXPECT_EQ(parallel.mapped, serial.mapped) << "seed " << seed;
+    EXPECT_TRUE(serial.verified) << serial.verify_message;
   }
 }
 

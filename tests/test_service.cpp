@@ -16,6 +16,7 @@
 
 #include "api/service.hpp"
 #include "arch/architectures.hpp"
+#include "arch/coupling_json.hpp"
 #include "bench_circuits/generators.hpp"
 
 namespace qxmap {
@@ -183,6 +184,87 @@ TEST(MappingServiceKey, CircuitNameDoesNotForkEntries) {
   const auto cm = arch::ibm_qx4();
   EXPECT_EQ(MappingService::cache_key(small_circuit("x"), cm, exact_options()),
             MappingService::cache_key(small_circuit("y"), cm, exact_options()));
+}
+
+TEST(MappingServiceKey, CostObjectiveForksEntriesForEveryMethod) {
+  // Regression: a gate-count result must never be replayed for an
+  // error-weighted request (or vice versa) — for ANY mapping method.
+  const Circuit c = small_circuit("svc-objective");
+  const auto cm = arch::ibm_qx4();
+  for (const Method method : {Method::Exact, Method::StochasticSwap, Method::AStar,
+                              Method::Sabre, Method::LayerWeight}) {
+    MapOptions gate = exact_options();
+    gate.method = method;
+    MapOptions weighted = gate;
+    switch (method) {
+      case Method::Exact:
+        weighted.exact.costs.objective = exact::CostObjective::ErrorWeighted;
+        break;
+      case Method::StochasticSwap:
+        weighted.stochastic.costs.objective = exact::CostObjective::ErrorWeighted;
+        break;
+      case Method::AStar:
+        weighted.astar.costs.objective = exact::CostObjective::ErrorWeighted;
+        break;
+      case Method::Sabre:
+        weighted.sabre.costs.objective = exact::CostObjective::ErrorWeighted;
+        break;
+      case Method::LayerWeight:
+        weighted.layer_weight.costs.objective = exact::CostObjective::ErrorWeighted;
+        break;
+    }
+    EXPECT_NE(MappingService::cache_key(c, cm, gate),
+              MappingService::cache_key(c, cm, weighted))
+        << "method " << static_cast<int>(method);
+  }
+}
+
+TEST(MappingServiceKey, ErrorWeightedKeysSeeTheArchitectureCalibration) {
+  // Two JSON maps with identical structure but different calibration share
+  // a structural fingerprint — under ErrorWeighted the noise fingerprint
+  // must fork the cache key anyway; under GateCount it must NOT (the rates
+  // are irrelevant to the solve, so the entries should be shared).
+  const auto quiet = arch::CouplingMap::from_json(
+      R"({"qubits": 3, "edges": [{"control": 0, "target": 1, "error": 0.01}, [1, 2]]})");
+  const auto noisy = arch::CouplingMap::from_json(
+      R"({"qubits": 3, "edges": [{"control": 0, "target": 1, "error": 0.08}, [1, 2]]})");
+  ASSERT_EQ(quiet.fingerprint(), noisy.fingerprint());
+  const Circuit c = small_circuit("svc-calibration");
+
+  MapOptions gate = exact_options();
+  EXPECT_EQ(MappingService::cache_key(c, quiet, gate),
+            MappingService::cache_key(c, noisy, gate));
+
+  MapOptions weighted = exact_options();
+  weighted.exact.costs.objective = exact::CostObjective::ErrorWeighted;
+  EXPECT_NE(MappingService::cache_key(c, quiet, weighted),
+            MappingService::cache_key(c, noisy, weighted));
+}
+
+TEST(MappingServiceKey, CostObjectiveForksBehaviorallyNotJustTextually) {
+  // End to end with a counting solver: one request per objective must mean
+  // two solves, never a replay.
+  std::atomic<int> calls{0};
+  MappingService service(4, [&](const Circuit& c, const arch::CouplingMap&, const MapOptions&) {
+    ++calls;
+    MappingResult r;
+    r.mapped = Circuit(5, c.name() + "/mapped");
+    r.routed_skeleton = Circuit(5, c.name() + "/routed-skeleton");
+    r.status = reason::Status::Optimal;
+    return r;
+  });
+  const Circuit c = small_circuit("svc-objective-e2e");
+  const auto cm = arch::ibm_qx4();
+  MapOptions gate = exact_options();
+  MapOptions weighted = exact_options();
+  weighted.exact.costs.objective = exact::CostObjective::ErrorWeighted;
+  EXPECT_FALSE(service.map(c, cm, gate).from_cache);
+  EXPECT_FALSE(service.map(c, cm, weighted).from_cache);
+  EXPECT_EQ(calls.load(), 2);
+  // Each objective replays from its own entry afterwards.
+  EXPECT_TRUE(service.map(c, cm, gate).from_cache);
+  EXPECT_TRUE(service.map(c, cm, weighted).from_cache);
+  EXPECT_EQ(calls.load(), 2);
 }
 
 // --- In-flight deduplication --------------------------------------------
