@@ -7,9 +7,12 @@
 /// Usage: bench_service [--smoke] [--rows N] [--repeat N] [--budget-ms N]
 ///                      [--min-speedup X]
 ///   --smoke         CI mode: assert that (a) the warm pass spawns zero
-///                   shard work on the executor (pure cache traffic) and
+///                   shard work on the executor (pure cache traffic),
 ///                   (b) warm median latency beats cold median by
-///                   --min-speedup; exit 1 otherwise
+///                   --min-speedup, and (c) tracing stays disabled with
+///                   zero trace events recorded during the warm loop —
+///                   the speedup floor doubles as the disabled-overhead
+///                   gate (docs/observability.md); exit 1 otherwise
 ///   --rows N        how many of the smallest Table-1 rows to replay
 ///                   (default 6)
 ///   --repeat N      warm requests per row (default 5)
@@ -31,6 +34,7 @@
 #include "arch/architectures.hpp"
 #include "bench_circuits/table1_suite.hpp"
 #include "exact/shard_executor.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -96,6 +100,14 @@ int main(int argc, char** argv) {
       rows.resize(static_cast<std::size_t>(args.rows));
     }
 
+    // Disabled-overhead gate: the latency numbers below measure the
+    // instrumented hot path with tracing off, so force the disabled mode
+    // regardless of QXMAP_TRACE and verify nothing gets recorded. A span
+    // leak here would show up twice — a nonzero event delta and a warm
+    // median too slow for the --min-speedup floor.
+    obs::TraceRecorder::set_enabled(false);
+    const std::uint64_t trace_events_before = obs::TraceRecorder::instance().event_count();
+
     const auto cm = arch::ibm_qx4();
     MapOptions options;
     options.exact.use_subsets = true;
@@ -154,7 +166,14 @@ int main(int argc, char** argv) {
                 << args.min_speedup << "x\n";
       return 1;
     }
-    if (args.smoke) std::cout << "bench_service: smoke OK\n";
+    const std::uint64_t trace_events =
+        obs::TraceRecorder::instance().event_count() - trace_events_before;
+    if (args.smoke && trace_events != 0) {
+      std::cerr << "bench_service: FAIL — disabled-mode tracing recorded " << trace_events
+                << " events (expected 0)\n";
+      return 1;
+    }
+    if (args.smoke) std::cout << "bench_service: smoke OK (trace disabled, 0 events)\n";
     return 0;
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n";

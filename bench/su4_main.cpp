@@ -3,7 +3,7 @@
 /// coupling map → layer-weight heuristic, end to end.
 ///
 /// Usage: bench_su4 [--smoke] [--sweep] [--arch NAME] [--layers N]
-///                  [--seed N] [--budget-ms N]
+///                  [--seed N] [--budget-ms N] [--json PATH]
 ///   --smoke       CI mode: a seeded SU(4) instance over the full
 ///                 architecture (default hex27, 27 qubits) must map via the
 ///                 layer-weight heuristic within --budget-ms, with a
@@ -18,18 +18,23 @@
 ///   --seed N      generator seed (default 7)
 ///   --budget-ms N smoke wall-clock budget (default 60000 — generous so the
 ///                 TSan matrix entry passes; the real run is milliseconds)
+///   --json PATH   write the smoke rows as JSON with the shared environment
+///                 meta header (bench/bench_meta.hpp: threads, Z3 on/off,
+///                 build type, budget)
 ///
 /// Like bench_sat_smoke this is a plain CLI — no Google Benchmark
 /// dependency — so the test build can register it in the quick gate.
 
 #include <chrono>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "arch/architectures.hpp"
 #include "bench_circuits/generators.hpp"
+#include "bench_meta.hpp"
 #include "common/strings.hpp"
 #include "exact/swap_synthesis.hpp"
 #include "heuristic/layer_weight_mapper.hpp"
@@ -47,6 +52,7 @@ struct Args {
   int layers = 3;
   std::uint64_t seed = 7;
   long long budget_ms = 60000;
+  std::string json_path;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -69,6 +75,8 @@ Args parse_args(int argc, char** argv) {
       a.seed = static_cast<std::uint64_t>(std::stoull(next()));
     } else if (arg == "--budget-ms") {
       a.budget_ms = std::stoll(next());
+    } else if (arg == "--json") {
+      a.json_path = next();
     } else {
       throw std::runtime_error("bench_su4: unknown argument " + arg);
     }
@@ -120,6 +128,14 @@ int run_smoke(const Args& args) {
             << cm.num_physical() << " qubits)\n";
   bool ok = true;
   double total_ms = 0.0;
+  struct JsonRow {
+    std::string objective;
+    int swaps = 0;
+    int reversed = 0;
+    long long objective_cost = 0;
+    double wall_ms = 0.0;
+  };
+  std::vector<JsonRow> json_rows;
   for (const auto objective :
        {exact::CostObjective::GateCount, exact::CostObjective::ErrorWeighted}) {
     double ms = 0.0;
@@ -131,6 +147,32 @@ int run_smoke(const Args& args) {
               << pad_left(std::to_string(res.cnots_reversed), 4) << ", objective_cost "
               << pad_left(std::to_string(res.objective_cost), 7) << ", "
               << format_fixed(ms, 1) << " ms\n";
+    json_rows.push_back({exact::to_string(objective), res.swaps_inserted, res.cnots_reversed,
+                         res.objective_cost, ms});
+  }
+  if (!args.json_path.empty()) {
+    std::ofstream out(args.json_path);
+    if (!out) {
+      std::cout << "FAIL: cannot open " << args.json_path << " for writing\n";
+      ok = false;
+    } else {
+      out << "{\n"
+          << "  \"schema\": \"qxmap-su4-smoke-v1\",\n"
+          << "  \"arch\": \"" << cm.name() << "\",\n"
+          << "  \"layers\": " << args.layers << ",\n"
+          << "  \"seed\": " << args.seed << ",\n";
+      bench::write_meta_json(out, args.budget_ms);
+      out << ",\n  \"rows\": [\n";
+      for (std::size_t i = 0; i < json_rows.size(); ++i) {
+        const auto& r = json_rows[i];
+        out << "    {\"objective\": \"" << r.objective << "\", \"swaps\": " << r.swaps
+            << ", \"reversed\": " << r.reversed << ", \"objective_cost\": " << r.objective_cost
+            << ", \"wall_ms\": " << format_fixed(r.wall_ms, 1) << '}'
+            << (i + 1 < json_rows.size() ? "," : "") << '\n';
+      }
+      out << "  ]\n}\n";
+      std::cout << "wrote " << args.json_path << " (" << json_rows.size() << " rows)\n";
+    }
   }
   if (total_ms > static_cast<double>(args.budget_ms)) {
     std::cout << "FAIL: " << format_fixed(total_ms, 1) << " ms exceeds the --budget-ms "

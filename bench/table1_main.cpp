@@ -25,7 +25,8 @@
 /// `--json PATH` additionally writes the tracked performance baseline
 /// (BENCH_table1.json at the repo root): one row per benchmark with the
 /// Sec. 4.1 subsets configuration — row schema {circuit, arch, cost,
-/// wall_ms, proven}, under top-level {schema, method, engine, budget_ms}.
+/// wall_ms, proven}, under top-level {schema, method, engine, budget_ms,
+/// meta} (meta: environment header, see bench/bench_meta.hpp).
 
 #include <cstring>
 #include <fstream>
@@ -36,6 +37,7 @@
 
 #include "api/qxmap.hpp"
 #include "arch/swap_costs.hpp"
+#include "bench_meta.hpp"
 #include "bench_circuits/table1_suite.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
@@ -231,7 +233,11 @@ int main(int argc, char** argv) {
         << "  \"schema\": \"qxmap-table1-baseline-v1\",\n"
         << "  \"method\": \"exact + subsets (Sec. 4.1)\",\n"
         << "  \"engine\": \"" << reason::to_string(cfg.engine) << "\",\n"
-        << "  \"budget_ms\": " << cfg.budget_ms << ",\n"
+        << "  \"budget_ms\": " << cfg.budget_ms << ",\n";
+    // Informational environment header; top-level fields above stay first
+    // so bench_sat_smoke's first-occurrence scanner keeps finding them.
+    bench::write_meta_json(out, cfg.budget_ms);
+    out << ",\n"
         << "  \"rows\": [\n";
     for (std::size_t i = 0; i < json_rows.size(); ++i) {
       const auto& r = json_rows[i];

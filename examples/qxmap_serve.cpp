@@ -5,11 +5,20 @@
 /// the result cache, or joined an in-flight duplicate — plus the service
 /// and executor counters at the end.
 ///
-/// Usage: example_qxmap_serve [--arch NAME] [--budget-ms N] [file.qasm ...]
+/// Usage: example_qxmap_serve [--arch NAME] [--budget-ms N]
+///                            [--trace out.json] [--metrics] [file.qasm ...]
 /// With no files, a demo batch of Table-1-style circuits (each repeated)
 /// shows cache hits live. Duplicate inputs cost one solve total.
+///
+/// Observability (docs/observability.md):
+///   --trace out.json  enable span tracing for the batch and write a
+///                     Chrome-trace JSON (load in chrome://tracing or
+///                     Perfetto) with request → shard → solve nesting
+///   --metrics         print the Prometheus text exposition of the
+///                     process-wide metrics registry after the batch
 
 #include <chrono>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -17,6 +26,8 @@
 #include "api/service.hpp"
 #include "bench_circuits/generators.hpp"
 #include "exact/shard_executor.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -53,6 +64,8 @@ int main(int argc, char** argv) {
   try {
     std::string arch_name = "qx4";
     long long budget_ms = 30000;
+    std::string trace_path;
+    bool print_metrics = false;
     std::vector<std::string> files;
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -60,9 +73,18 @@ int main(int argc, char** argv) {
         arch_name = argv[++i];
       } else if (arg == "--budget-ms" && i + 1 < argc) {
         budget_ms = std::stoll(argv[++i]);
+      } else if (arg == "--trace" && i + 1 < argc) {
+        trace_path = argv[++i];
+      } else if (arg == "--metrics") {
+        print_metrics = true;
       } else {
         files.push_back(arg);
       }
+    }
+
+    if (!trace_path.empty()) {
+      obs::TraceRecorder::set_enabled(true);
+      obs::TraceRecorder::instance().clear();
     }
 
     const arch::CouplingMap cm = arch::by_name(arch_name);
@@ -83,6 +105,9 @@ int main(int argc, char** argv) {
                 << status_name(result.status) << ", " << result.engine_name << ")"
                 << (result.from_cache ? " [cache hit]" : " [solved]") << " in "
                 << result.seconds << " s\n";
+      if (!result.trace_summary.empty()) {
+        std::cout << result.trace_summary;
+      }
     }
 
     const auto stats = service.stats();
@@ -93,6 +118,21 @@ int main(int argc, char** argv) {
               << "executor: " << exec.tasks_executed << " shard tasks across "
               << exec.requests << " requests on " << exact::ShardExecutor::instance().num_threads()
               << " workers\n";
+
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path);
+      if (!out) {
+        std::cerr << "qxmap_serve: cannot write trace to " << trace_path << "\n";
+        return 1;
+      }
+      obs::TraceRecorder::instance().write_chrome_json(out);
+      std::cout << "trace: " << obs::TraceRecorder::instance().event_count() << " events -> "
+                << trace_path << "\n";
+    }
+    if (print_metrics) {
+      std::cout << "\n";
+      obs::MetricsRegistry::instance().write_prometheus(std::cout);
+    }
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "qxmap_serve: " << e.what() << "\n";

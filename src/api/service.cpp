@@ -6,11 +6,41 @@
 #include "common/strings.hpp"
 #include "exact/shard_executor.hpp"
 #include "ir/fingerprint.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "reason/engine.hpp"
 
 namespace qxmap::api {
 
 namespace {
+
+// Registry handles for the service counters (docs/observability.md). The
+// mutex-protected Stats struct remains the API-visible snapshot; these feed
+// the Prometheus/JSON exports.
+struct ServiceMetrics {
+  obs::Counter& requests;
+  obs::Counter& hits;
+  obs::Counter& coalesced;
+  obs::Counter& misses;
+  obs::Counter& solves;
+  obs::Counter& failures;
+  obs::Counter& evictions;
+
+  static ServiceMetrics& get() {
+    auto& reg = obs::MetricsRegistry::instance();
+    static ServiceMetrics m{
+        reg.counter("qxmap_service_requests_total", "MappingService::map() calls"),
+        reg.counter("qxmap_service_cache_hits_total", "Requests served from the result cache"),
+        reg.counter("qxmap_service_dedup_joins_total",
+                    "Requests coalesced onto an in-flight identical solve"),
+        reg.counter("qxmap_service_cache_misses_total", "Requests that led a fresh solve"),
+        reg.counter("qxmap_service_solves_total", "Leader solves completed successfully"),
+        reg.counter("qxmap_service_failures_total", "Leader solves that threw"),
+        reg.counter("qxmap_service_cache_evictions_total", "LRU evictions from the result cache"),
+    };
+    return m;
+  }
+};
 
 /// Digest of every result-affecting option of the *active* method block.
 /// Textual on purpose: keys show up verbatim in logs and cache dumps, and a
@@ -136,6 +166,11 @@ std::string MappingService::cache_key(const Circuit& circuit,
 exact::MappingResult MappingService::map(const Circuit& circuit,
                                          const arch::CouplingMap& architecture,
                                          const MapOptions& options) {
+  obs::Span span("service.map", "service");
+  span.attr("circuit", circuit.name());
+  span.attr("arch", architecture.name());
+  ServiceMetrics& metrics = ServiceMetrics::get();
+  metrics.requests.inc();
   const std::string key = cache_key(circuit, architecture, options);
   std::promise<exact::MappingResult> promise;
   std::shared_future<exact::MappingResult> join;
@@ -144,6 +179,8 @@ exact::MappingResult MappingService::map(const Circuit& circuit,
     ++stats_.requests;
     if (const auto it = cache_.find(key); it != cache_.end()) {
       ++stats_.hits;
+      metrics.hits.inc();
+      obs::Span hit("service.cache_hit", "service");
       lru_.splice(lru_.begin(), lru_, it->second.lru_it);
       exact::MappingResult result = it->second.result;
       result.from_cache = true;
@@ -152,13 +189,16 @@ exact::MappingResult MappingService::map(const Circuit& circuit,
     }
     if (const auto it = in_flight_.find(key); it != in_flight_.end()) {
       ++stats_.coalesced;
+      metrics.coalesced.inc();
       join = it->second;  // joiner: wait outside the lock
     } else {
       ++stats_.misses;
+      metrics.misses.inc();
       in_flight_.emplace(key, promise.get_future().share());
     }
   }
   if (join.valid()) {
+    obs::Span wait("service.dedup_join", "service");
     // Throws the leader's exception if the shared solve failed.
     exact::MappingResult result = join.get();
     restamp_names(result, circuit);
@@ -171,6 +211,7 @@ exact::MappingResult MappingService::solve_as_leader(
     const std::string& key, const Circuit& circuit, const arch::CouplingMap& architecture,
     const MapOptions& options, std::promise<exact::MappingResult> promise) {
   exact::MappingResult result;
+  obs::Span span("service.solve", "service");
   try {
     result = solve_(circuit, architecture, options);
   } catch (...) {
@@ -180,6 +221,7 @@ exact::MappingResult MappingService::solve_as_leader(
       // joining (and re-observing) a dead one. Nothing enters the cache.
       const std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.failures;
+      ServiceMetrics::get().failures.inc();
       in_flight_.erase(key);
     }
     promise.set_exception(std::current_exception());
@@ -188,10 +230,12 @@ exact::MappingResult MappingService::solve_as_leader(
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.solves;
+    ServiceMetrics::get().solves.inc();
     in_flight_.erase(key);
     if (capacity_ > 0 && cache_.find(key) == cache_.end()) {
       while (cache_.size() >= capacity_) {
         ++stats_.evictions;
+        ServiceMetrics::get().evictions.inc();
         cache_.erase(lru_.back());
         lru_.pop_back();
       }

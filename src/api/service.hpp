@@ -63,6 +63,13 @@ class MappingService {
                                          const MapOptions&)>;
 
   /// Lifetime counters (snapshot; all monotone).
+  ///
+  /// \deprecated The same tallies are published to the process-wide
+  /// `obs::MetricsRegistry` as `qxmap_service_*_total` counters
+  /// (docs/observability.md), which is the preferred surface for
+  /// monitoring: one registry, one export format, no per-subsystem
+  /// snapshot structs. This struct stays for programmatic assertions
+  /// (tests, bench gates) but grows no new fields.
   struct Stats {
     std::uint64_t requests = 0;   ///< map() calls
     std::uint64_t hits = 0;       ///< served from the result cache

@@ -32,6 +32,7 @@ void SwapCostCache::LruStore<Value>::evict_to(std::size_t capacity) {
     entries.erase(lru.back());
     lru.pop_back();
     ++stats.evictions;
+    if (m_evictions != nullptr) m_evictions->inc();
   }
 }
 
@@ -43,9 +44,11 @@ std::shared_ptr<const Value> SwapCostCache::get(LruStore<Value>& store, const Co
     const std::lock_guard<std::mutex> lock(mutex_);
     if (auto hit = store.find_and_touch(key)) {
       ++store.stats.hits;
+      if (store.m_hits != nullptr) store.m_hits->inc();
       return hit;
     }
     ++store.stats.misses;
+    if (store.m_misses != nullptr) store.m_misses->inc();
   }
   // Build outside the lock: an O(m!) BFS must not serialize unrelated keys.
   auto built = std::make_shared<const Value>(build(cm));
@@ -53,7 +56,24 @@ std::shared_ptr<const Value> SwapCostCache::get(LruStore<Value>& store, const Co
   return store.insert_or_adopt(key, std::move(built), capacity_);
 }
 
-SwapCostCache::SwapCostCache(std::size_t capacity) : capacity_(std::max<std::size_t>(1, capacity)) {}
+SwapCostCache::SwapCostCache(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {
+  // Registry counters are process-lifetime instruments: every SwapCostCache
+  // (the singleton and any test-local instance) feeds the same tallies.
+  auto& reg = obs::MetricsRegistry::instance();
+  tables_.m_hits = &reg.counter("qxmap_swap_cost_cache_table_hits_total",
+                                "swaps(pi) table cache hits");
+  tables_.m_misses = &reg.counter("qxmap_swap_cost_cache_table_misses_total",
+                                  "swaps(pi) table cache misses (table built)");
+  tables_.m_evictions = &reg.counter("qxmap_swap_cost_cache_table_evictions_total",
+                                     "swaps(pi) table LRU evictions");
+  distances_.m_hits = &reg.counter("qxmap_swap_cost_cache_distance_hits_total",
+                                   "Distance-matrix cache hits");
+  distances_.m_misses = &reg.counter("qxmap_swap_cost_cache_distance_misses_total",
+                                     "Distance-matrix cache misses (matrix built)");
+  distances_.m_evictions = &reg.counter("qxmap_swap_cost_cache_distance_evictions_total",
+                                        "Distance-matrix LRU evictions");
+}
 
 SwapCostCache& SwapCostCache::instance() {
   static SwapCostCache cache;
@@ -70,8 +90,14 @@ std::shared_ptr<const DistanceMatrix> SwapCostCache::distances(const CouplingMap
 
 void SwapCostCache::clear() {
   const std::lock_guard<std::mutex> lock(mutex_);
-  tables_ = {};
-  distances_ = {};
+  // Drop entries and snapshot stats but keep the registry wiring: the
+  // qxmap_* counters are process-lifetime tallies and survive a clear().
+  tables_.lru.clear();
+  tables_.entries.clear();
+  tables_.stats = {};
+  distances_.lru.clear();
+  distances_.entries.clear();
+  distances_.stats = {};
 }
 
 void SwapCostCache::set_capacity(std::size_t capacity) {

@@ -35,6 +35,7 @@
 #include "arch/coupling_map.hpp"
 #include "arch/distances.hpp"
 #include "arch/swap_costs.hpp"
+#include "obs/metrics.hpp"
 
 namespace qxmap::arch {
 
@@ -44,6 +45,10 @@ class SwapCostCache {
   static constexpr std::size_t kDefaultCapacity = 64;
 
   /// Hit/miss/eviction counters of one store (snapshot).
+  ///
+  /// \deprecated Also published as `qxmap_swap_cost_cache_{table,distance}_*`
+  /// counters on `obs::MetricsRegistry` (docs/observability.md) — prefer
+  /// those for monitoring; this snapshot stays for test assertions.
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
@@ -87,6 +92,11 @@ class SwapCostCache {
     std::list<std::string> lru;  // front = most recently used
     std::unordered_map<std::string, Entry> entries;
     Stats stats;
+    // Registry twins of `stats`, wired up in the SwapCostCache constructor
+    // (null only if registration were skipped; never in practice).
+    obs::Counter* m_hits = nullptr;
+    obs::Counter* m_misses = nullptr;
+    obs::Counter* m_evictions = nullptr;
 
     // All three run under the owning cache's mutex.
     std::shared_ptr<const Value> find_and_touch(const std::string& key);

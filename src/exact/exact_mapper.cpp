@@ -24,6 +24,8 @@
 #include "exact/shard_executor.hpp"
 #include "exact/strategies.hpp"
 #include "exact/swap_synthesis.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/equivalence.hpp"
 #include "sim/linear_reversible.hpp"
 
@@ -252,6 +254,48 @@ bool resolve_toggle(Toggle toggle, const char* env_name) {
 /// anywhere and publish tight bounds early. The ShardExecutor queue orders
 /// tasks by (priority, request, index), so within one request equal-edge
 /// instances keep subset-index order — exactly the old stable sort.
+/// Accumulates per-phase wall time for MappingResult::trace_summary. Only
+/// populated while tracing is enabled (checked once, at map_exact entry);
+/// shard-side phases sum across threads, so encode/solve can exceed the
+/// request's wall time under parallelism.
+struct PhaseTimes {
+  bool active = false;
+  std::atomic<std::uint64_t> encode_ns{0};
+  std::atomic<std::uint64_t> solve_ns{0};
+  std::uint64_t subsets_ns = 0;
+  std::uint64_t warm_start_ns = 0;
+  std::uint64_t prefix_ns = 0;
+  std::uint64_t canonical_ns = 0;
+  std::uint64_t reconstruct_ns = 0;
+  std::uint64_t verify_ns = 0;
+
+  [[nodiscard]] std::string table(std::uint64_t total_ns) const {
+    const auto line = [](std::string name, std::uint64_t ns) {
+      name.resize(18, ' ');
+      const std::uint64_t tenth_ms = ns / 100000;
+      return name + std::to_string(tenth_ms / 10) + "." + std::to_string(tenth_ms % 10) +
+             " ms\n";
+    };
+    std::string out;
+    out += line("subsets", subsets_ns);
+    out += line("warm_start", warm_start_ns);
+    out += line("prefix", prefix_ns);
+    out += line("encode*", encode_ns.load(std::memory_order_relaxed));
+    out += line("solve*", solve_ns.load(std::memory_order_relaxed));
+    out += line("canonical_resolve", canonical_ns);
+    out += line("reconstruct", reconstruct_ns);
+    out += line("verify", verify_ns);
+    out += line("total", total_ns);
+    out += "(* summed across shard threads)\n";
+    return out;
+  }
+};
+
+std::uint64_t elapsed_ns(Clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - since).count());
+}
+
 std::vector<long long> instance_hardness(const arch::CouplingMap& cm,
                                          const std::vector<std::vector<int>>& instances) {
   std::vector<long long> edges(instances.size(), 0);
@@ -282,6 +326,17 @@ MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
     return map_exact(circuit.with_swaps_expanded(), cm, options);
   }
 
+  obs::Span map_span("exact.map", "exact");
+  map_span.attr("circuit", circuit.name());
+  map_span.attr("arch", cm.name());
+  static obs::Counter& maps_total = obs::MetricsRegistry::instance().counter(
+      "qxmap_exact_maps_total", "map_exact calls reaching the solver pipeline");
+  maps_total.inc();
+  // Phase timing for MappingResult::trace_summary; decided once so a
+  // mid-request set_enabled flip cannot produce a half-filled table.
+  PhaseTimes phases;
+  phases.active = obs::TraceRecorder::enabled();
+
   // CNOT skeleton.
   std::vector<Gate> cnots;
   for (const auto& g : circuit) {
@@ -298,9 +353,12 @@ MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
   const auto points = permutation_points(cnots, options.strategy, cm);
 
   // Instance list (Sec. 4.1).
+  const auto subsets_t0 = Clock::now();
   std::vector<std::vector<int>> instances;
   if (options.use_subsets && n < m) {
+    obs::Span span("exact.subsets", "exact");
     instances = arch::connected_subsets(cm, n);
+    span.attr("count", instances.size());
     if (instances.empty()) {
       throw std::invalid_argument("map_exact: no connected subset of the required size");
     }
@@ -313,6 +371,8 @@ MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
     for (int i = 0; i < m; ++i) all[static_cast<std::size_t>(i)] = i;
     instances.push_back(std::move(all));
   }
+  if (phases.active) phases.subsets_ns = elapsed_ns(subsets_t0);
+  map_span.attr("instances", instances.size());
 
   // Budget: one shared deadline for the whole instance sweep. Each shard
   // grants its next instance an equal share of the time still left (divided
@@ -375,10 +435,14 @@ MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
   std::optional<Reconstruction> warm;
   long long warm_cost = kNoBound;
   if (instances.size() == 1 && options.strategy == PermutationStrategy::All) {
+    const auto t0 = Clock::now();
+    obs::Span span("exact.warm_start", "exact");
     warm = greedy_route(circuit, cm);
     // The bound lives in resolved objective units, not emitted-gate units —
     // they differ under ErrorWeighted and under explicit weight overrides.
     warm_cost = costs.result_cost(warm->swaps, warm->reversed);
+    span.attr("cost", warm_cost);
+    if (phases.active) phases.warm_start_ns = elapsed_ns(t0);
   }
 
   // Shared encoding prefix (Sec. 4.1): every subset instance of an n-qubit
@@ -390,7 +454,10 @@ MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
   // skipping the per-instance constraint derivation).
   std::optional<Encoding::Prefix> prefix;
   if (instances.size() > 1) {
+    const auto t0 = Clock::now();
+    obs::Span span("exact.prefix", "exact");
     prefix.emplace(Encoding::build_prefix(cnots, n, n, points));
+    if (phases.active) phases.prefix_ns = elapsed_ns(t0);
   }
 
   const std::size_t num_threads = resolve_num_threads(options.num_threads, instances.size());
@@ -425,6 +492,8 @@ MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
     const std::size_t pos = started.fetch_add(1, std::memory_order_relaxed);
     if (failed.load(std::memory_order_acquire)) return;
     if (static_cast<long long>(i) > zero_index.load(std::memory_order_acquire)) return;
+    obs::Span shard_span("exact.shard", "exact");
+    shard_span.attr("instance", i);
     try {
       EngineSlot* slot = nullptr;
       {
@@ -444,10 +513,18 @@ MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
       reason::ReasoningEngine& engine = *slot->engine;
       engine.set_optimization_mode(options.optimization);
       std::optional<Encoding> enc;
-      if (prefix) {
-        enc.emplace(engine, *prefix, induced, *out.table, costs, holds_prefix);
-      } else {
-        enc.emplace(engine, cnots, n, induced, *out.table, points, costs);
+      {
+        const auto t0 = Clock::now();
+        obs::Span span("exact.encode", "exact");
+        span.attr("prefix_reused", holds_prefix);
+        if (prefix) {
+          enc.emplace(engine, *prefix, induced, *out.table, costs, holds_prefix);
+        } else {
+          enc.emplace(engine, cnots, n, induced, *out.table, points, costs);
+        }
+        if (phases.active) {
+          phases.encode_ns.fetch_add(elapsed_ns(t0), std::memory_order_relaxed);
+        }
       }
       const long long bound = shared_bound.load(std::memory_order_acquire);
       if (bound != kNoBound) engine.set_upper_bound(bound);
@@ -470,7 +547,17 @@ MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
           overall_deadline - Clock::now());
       const auto share = std::chrono::milliseconds(
           std::max<long long>(1, left.count() / static_cast<long long>(rounds)));
-      const reason::Outcome outcome = engine.minimize(share);
+      const auto solve_t0 = Clock::now();
+      reason::Outcome outcome;
+      {
+        obs::Span span("exact.solve", "exact");
+        span.attr("budget_ms", static_cast<long long>(share.count()));
+        outcome = engine.minimize(share);
+        span.attr("status", reason::to_string(outcome.status));
+      }
+      if (phases.active) {
+        phases.solve_ns.fetch_add(elapsed_ns(solve_t0), std::memory_order_relaxed);
+      }
       total_polls.fetch_add(engine.stats().bound_polls - slot->seen_polls,
                             std::memory_order_relaxed);
       total_tightenings.fetch_add(engine.stats().bound_tightenings - slot->seen_tightenings,
@@ -510,6 +597,9 @@ MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
   if (worker_error) std::rethrow_exception(worker_error);
   res.bound_polls = total_polls.load(std::memory_order_relaxed);
   res.bound_tightenings = total_tightenings.load(std::memory_order_relaxed);
+  static obs::Counter& instances_total = obs::MetricsRegistry::instance().counter(
+      "qxmap_exact_instances_solved_total", "Subset-instance shard tasks run to a verdict");
+  instances_total.inc(static_cast<std::uint64_t>(started.load(std::memory_order_relaxed)));
 
   // --- Deterministic reduction -------------------------------------------
   // Truncate at the first zero-cost subset (everything after it was either
@@ -564,10 +654,12 @@ MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
                              "; warm-start fallback (engine found no model in budget)";
       }
       res.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+      if (phases.active) res.trace_summary = phases.table(elapsed_ns(start));
       return res;
     }
     res.status = any_unknown ? reason::Status::Unknown : reason::Status::Unsat;
     res.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+    if (phases.active) res.trace_summary = phases.table(elapsed_ns(start));
     return res;
   }
 
@@ -580,13 +672,17 @@ MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
   // bit-identical at every thread count. The bounded re-solve is cheap: a
   // model of cost C* is known to exist and nothing below it does.
   if (instances.size() > 1) {
+    const auto t0 = Clock::now();
+    obs::Span span("exact.canonical_resolve", "exact");
     const long long canonical = best->solution.cost_f;
+    span.attr("cost", canonical);
     const arch::CouplingMap induced = cm.induced(best->subset);
     auto engine = reason::make_engine(options.engine);
     engine->set_optimization_mode(options.optimization);
     const Encoding enc(*engine, cnots, n, induced, *best->table, points, costs);
     engine->set_upper_bound(canonical);
     const reason::Outcome outcome = engine->minimize(nominal_share);
+    if (phases.active) phases.canonical_ns = elapsed_ns(t0);
     if (outcome.status == reason::Status::Optimal ||
         outcome.status == reason::Status::Feasible) {
       Encoding::Solution sol = enc.decode();
@@ -597,7 +693,12 @@ MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
     // anyway).
   }
 
-  Reconstruction rec = reconstruct(circuit, cm, *best, points);
+  const auto reconstruct_t0 = Clock::now();
+  Reconstruction rec = [&] {
+    obs::Span span("exact.reconstruct", "exact");
+    return reconstruct(circuit, cm, *best, points);
+  }();
+  if (phases.active) phases.reconstruct_ns = elapsed_ns(reconstruct_t0);
   res.mapped = std::move(rec.mapped);
   res.routed_skeleton = std::move(rec.skeleton);
   res.initial_layout = std::move(rec.initial_layout);
@@ -617,6 +718,8 @@ MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
   }
 
   if (options.verify) {
+    const auto t0 = Clock::now();
+    obs::Span span("exact.verify", "exact");
     const Circuit skeleton_logical = circuit.cnot_skeleton();
     const bool gf2_ok = sim::implements_skeleton(skeleton_logical, res.routed_skeleton,
                                                  res.initial_layout, res.final_layout);
@@ -630,9 +733,12 @@ MappingResult map_exact(const Circuit& circuit, const arch::CouplingMap& cm,
     }
     res.verified = gf2_ok && deep_ok;
     res.verify_message = std::string("gf2: ") + (gf2_ok ? "ok" : "FAILED") + "; " + deep_msg;
+    span.attr("verified", res.verified);
+    if (phases.active) phases.verify_ns = elapsed_ns(t0);
   }
 
   res.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  if (phases.active) res.trace_summary = phases.table(elapsed_ns(start));
   return res;
 }
 

@@ -1,15 +1,60 @@
 #include "exact/shard_executor.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
 
 #include "arch/swap_cost_cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace qxmap::exact {
 
 namespace {
+
+/// Registry handles for the executor (docs/observability.md). The Stats
+/// struct remains the deterministic programmatic snapshot; these add the
+/// queue-wait / run-time distributions that a snapshot cannot carry.
+struct ExecutorMetrics {
+  obs::Counter& requests;
+  obs::Counter& tasks_submitted;
+  obs::Counter& tasks_executed;
+  obs::Counter& tasks_failed;
+  obs::Counter& threads_spawned;
+  obs::Counter& steals;
+  obs::Gauge& queue_depth;
+  obs::Gauge& queue_depth_high_water;
+  obs::Histogram& queue_wait_us;
+  obs::Histogram& task_run_us;
+
+  static ExecutorMetrics& get() {
+    auto& reg = obs::MetricsRegistry::instance();
+    static ExecutorMetrics m{
+        reg.counter("qxmap_executor_requests_total", "Task batches submitted"),
+        reg.counter("qxmap_executor_tasks_submitted_total", "Shard tasks enqueued"),
+        reg.counter("qxmap_executor_tasks_executed_total", "Shard tasks completed"),
+        reg.counter("qxmap_executor_tasks_failed_total", "Shard tasks whose fn threw"),
+        reg.counter("qxmap_executor_threads_spawned_total", "Worker threads ever spawned"),
+        reg.counter("qxmap_executor_steals_total",
+                    "Tasks executed by a thread other than their submitter"),
+        reg.gauge("qxmap_executor_queue_depth", "Tasks queued and not yet started"),
+        reg.gauge("qxmap_executor_queue_depth_high_water",
+                  "Maximum queue depth observed since process start"),
+        reg.histogram("qxmap_executor_queue_wait_us",
+                      "Microseconds between task enqueue and execution start"),
+        reg.histogram("qxmap_executor_task_run_us", "Microseconds spent inside a task fn"),
+    };
+    return m;
+  }
+};
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
 
 std::size_t default_num_threads() {
   if (const char* env = std::getenv("QXMAP_EXECUTOR_THREADS")) {
@@ -26,11 +71,14 @@ std::size_t default_num_threads() {
 }  // namespace
 
 ShardExecutor::ShardExecutor(std::size_t num_threads) {
-  // Shard tasks read the process-wide swaps(π) cache. Touching it here pins
-  // static-destruction order: the cache singleton is constructed before the
-  // executor singleton, so it is destroyed after the executor has drained
-  // and joined every thread that could still reach it.
+  // Shard tasks read the process-wide swaps(π) cache and publish trace
+  // events / metrics. Touching those singletons here pins static-
+  // destruction order: they are constructed before this executor, so they
+  // are destroyed after the executor has drained and joined every thread
+  // that could still reach them (the destructor drain runs tasks too).
   (void)arch::SwapCostCache::instance();
+  (void)obs::TraceRecorder::instance();
+  (void)ExecutorMetrics::get();
   const std::lock_guard<std::mutex> lock(mutex_);
   base_threads_ = num_threads;
   spawn_to(num_threads);
@@ -80,6 +128,9 @@ std::shared_ptr<ShardExecutor::Request> ShardExecutor::submit(
   request->fn = std::move(fn);
   request->cap = std::clamp<std::size_t>(max_concurrency, 1, priorities.size());
   request->remaining = priorities.size();
+  request->submitter = std::this_thread::get_id();
+  ExecutorMetrics& metrics = ExecutorMetrics::get();
+  const std::uint64_t enqueue_ns = steady_ns();
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) {
@@ -87,10 +138,16 @@ std::shared_ptr<ShardExecutor::Request> ShardExecutor::submit(
     }
     request->seq = next_seq_++;
     for (std::size_t i = 0; i < priorities.size(); ++i) {
-      queue_.insert(QueuedTask{priorities[i], request->seq, i, request});
+      queue_.insert(QueuedTask{priorities[i], request->seq, i, enqueue_ns, request});
     }
     ++stats_.requests;
     stats_.tasks_submitted += priorities.size();
+    stats_.queue_depth_high_water =
+        std::max<std::uint64_t>(stats_.queue_depth_high_water, queue_.size());
+    metrics.requests.inc();
+    metrics.tasks_submitted.inc(priorities.size());
+    metrics.queue_depth.set(static_cast<long long>(queue_.size()));
+    metrics.queue_depth_high_water.set_max(static_cast<long long>(queue_.size()));
     // Honour the cap even on fewer cores (the old per-call pools simply
     // spawned cap threads): cap - 1 workers plus the submitting caller,
     // which executes its own tasks inside run_to_completion.
@@ -188,17 +245,37 @@ void ShardExecutor::run_one(Queue::iterator it, std::unique_lock<std::mutex>& lo
   const QueuedTask task = *it;
   queue_.erase(it);
   ++task.request->in_flight;
+  ExecutorMetrics& metrics = ExecutorMetrics::get();
+  metrics.queue_depth.set(static_cast<long long>(queue_.size()));
   lock.unlock();
+  const std::uint64_t start_ns = steady_ns();
+  metrics.queue_wait_us.observe((start_ns - task.enqueue_ns) / 1000);
   std::exception_ptr error;
-  try {
-    task.request->fn(task.index);
-  } catch (...) {
-    error = std::current_exception();
+  {
+    obs::Span span("executor.task", "executor");
+    if (span.active()) {
+      span.attr("request", static_cast<unsigned long long>(task.request->seq));
+      span.attr("index", task.index);
+      span.attr("priority", static_cast<long long>(task.priority));
+      if (std::this_thread::get_id() != task.request->submitter) {
+        obs::Span::instant("executor.steal", "executor");
+      }
+    }
+    if (std::this_thread::get_id() != task.request->submitter) metrics.steals.inc();
+    try {
+      task.request->fn(task.index);
+    } catch (...) {
+      error = std::current_exception();
+    }
   }
+  metrics.task_run_us.observe((steady_ns() - start_ns) / 1000);
+  metrics.tasks_executed.inc();
+  if (error) metrics.tasks_failed.inc();
   lock.lock();
   --task.request->in_flight;
   --task.request->remaining;
   ++stats_.tasks_executed;
+  if (error) ++stats_.tasks_failed;
   if (error && !task.request->error) task.request->error = error;
   // Wakes request waiters, workers blocked on this request's cap, and the
   // drain path. Coarse, but completions are solver-scale events.
@@ -209,6 +286,7 @@ void ShardExecutor::spawn_to(std::size_t target) {
   while (threads_.size() < target) {
     threads_.emplace_back([this] { worker_loop(); });
     ++stats_.threads_spawned;
+    ExecutorMetrics::get().threads_spawned.inc();
   }
 }
 

@@ -60,11 +60,19 @@ class ShardExecutor {
 
   /// Lifetime counters (snapshot). `tasks_executed` is the service smoke
   /// test's "no shard work spawned on a warm hit" witness.
+  ///
+  /// \deprecated New monitoring should read the `qxmap_executor_*` metrics
+  /// on `obs::MetricsRegistry` (docs/observability.md) — the same tallies
+  /// plus queue-wait/run-time histograms that a snapshot struct cannot
+  /// carry. This struct stays for programmatic assertions but grows no new
+  /// consumers.
   struct Stats {
     std::uint64_t requests = 0;
     std::uint64_t tasks_submitted = 0;
     std::uint64_t tasks_executed = 0;
+    std::uint64_t tasks_failed = 0;  ///< executed tasks whose fn threw
     std::uint64_t threads_spawned = 0;
+    std::uint64_t queue_depth_high_water = 0;  ///< max queued (not in-flight) tasks ever
   };
 
   /// Handle to a submitted batch of tasks. Opaque; all state is guarded by
@@ -76,6 +84,7 @@ class ShardExecutor {
     std::size_t remaining = 0;  // tasks not yet finished
     std::size_t in_flight = 0;  // tasks currently executing
     std::uint64_t seq = 0;      // submission order (queue tie-break)
+    std::thread::id submitter;  // trace-only: flags steals (other-thread runs)
     std::exception_ptr error;   // first task exception, if any
   };
 
@@ -126,6 +135,7 @@ class ShardExecutor {
     long long priority;
     std::uint64_t seq;
     std::size_t index;
+    std::uint64_t enqueue_ns;  // steady-clock stamp; feeds the queue-wait histogram
     std::shared_ptr<Request> request;
   };
   struct TaskOrder {

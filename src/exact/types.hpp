@@ -179,6 +179,11 @@ struct MappingResult {
                             ///< false on results returned by the mappers
                             ///< themselves (and on dedup-joined results, which
                             ///< share the leader's fresh solve)
+  std::string trace_summary;  ///< phase → wall-time table ("phase  ms" lines),
+                              ///< populated only while tracing is enabled
+                              ///< (obs::TraceRecorder); empty otherwise.
+                              ///< Timing-dependent — an observability field,
+                              ///< NOT covered by the determinism guarantee
 };
 
 }  // namespace qxmap::exact

@@ -9,6 +9,8 @@
 #include "arch/swap_cost_cache.hpp"
 #include "exact/swap_synthesis.hpp"
 #include "ir/layers.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/equivalence.hpp"
 #include "sim/linear_reversible.hpp"
 
@@ -102,6 +104,12 @@ exact::MappingResult map_astar(const Circuit& circuit, const arch::CouplingMap& 
     // and their elementary gates routed like any others.
     return map_astar(circuit.with_swaps_expanded(), cm, options);
   }
+
+  obs::Span span("heuristic.astar", "heuristic");
+  span.attr("circuit", circuit.name());
+  static obs::Counter& maps_total = obs::MetricsRegistry::instance().counter(
+      "qxmap_heuristic_maps_total", "Heuristic mapper invocations (all algorithms)");
+  maps_total.inc();
 
   const auto dist_handle = arch::SwapCostCache::instance().distances(cm);
   const arch::DistanceMatrix& dist = *dist_handle;

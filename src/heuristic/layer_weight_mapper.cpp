@@ -13,6 +13,8 @@
 #include "common/rng.hpp"
 #include "exact/swap_synthesis.hpp"
 #include "ir/layers.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/linear_reversible.hpp"
 
 namespace qxmap::heuristic {
@@ -173,6 +175,13 @@ exact::MappingResult map_layer_weight(const Circuit& circuit, const arch::Coupli
     return map_layer_weight(circuit.with_swaps_expanded(), cm, options);
   }
 
+  obs::Span span("heuristic.layer_weight", "heuristic");
+  span.attr("circuit", circuit.name());
+  span.attr("iterations", static_cast<long long>(options.iterations));
+  static obs::Counter& maps_total = obs::MetricsRegistry::instance().counter(
+      "qxmap_heuristic_maps_total", "Heuristic mapper invocations (all algorithms)");
+  maps_total.inc();
+
   const auto dist_handle = arch::SwapCostCache::instance().distances(cm);
   const arch::DistanceMatrix& dist = *dist_handle;
   const exact::CostModel costs = options.costs.resolved(cm);
@@ -191,6 +200,8 @@ exact::MappingResult map_layer_weight(const Circuit& circuit, const arch::Coupli
   long long best_cost = 0;
   const std::size_t window = static_cast<std::size_t>(options.lookahead_layers);
   for (int profile = 0; profile < options.iterations; ++profile) {
+    obs::Span iter("heuristic.iteration", "heuristic");
+    iter.attr("profile", static_cast<long long>(profile));
     std::vector<double> w(window);
     w[0] = 1.0;
     for (std::size_t i = 1; i < window; ++i) {
@@ -205,6 +216,7 @@ exact::MappingResult map_layer_weight(const Circuit& circuit, const arch::Coupli
     }
     Route r = route_profile(circuit, cm, dist, layers, layer_pairs, w);
     const long long cost = costs.result_cost(r.swaps, r.reversed);
+    iter.attr("cost", cost);
     if (!best || cost < best_cost) {
       best = std::move(r);
       best_cost = cost;

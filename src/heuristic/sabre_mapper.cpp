@@ -7,6 +7,8 @@
 #include "arch/swap_cost_cache.hpp"
 #include "common/rng.hpp"
 #include "exact/swap_synthesis.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/linear_reversible.hpp"
 
 namespace qxmap::heuristic {
@@ -249,6 +251,13 @@ exact::MappingResult map_sabre(const Circuit& circuit, const arch::CouplingMap& 
     return map_sabre(circuit.with_swaps_expanded(), cm, options);
   }
 
+  obs::Span span("heuristic.sabre", "heuristic");
+  span.attr("circuit", circuit.name());
+  span.attr("bidirectional_rounds", static_cast<long long>(options.bidirectional_rounds));
+  static obs::Counter& maps_total = obs::MetricsRegistry::instance().counter(
+      "qxmap_heuristic_maps_total", "Heuristic mapper invocations (all algorithms)");
+  maps_total.inc();
+
   const auto dist_handle = arch::SwapCostCache::instance().distances(cm);
   const arch::DistanceMatrix& dist = *dist_handle;
   const exact::CostModel costs = options.costs.resolved(cm);
@@ -259,6 +268,8 @@ exact::MappingResult map_sabre(const Circuit& circuit, const arch::CouplingMap& 
   std::vector<int> layout(static_cast<std::size_t>(n));
   for (int j = 0; j < n; ++j) layout[static_cast<std::size_t>(j)] = j;
   for (int round = 0; round < options.bidirectional_rounds; ++round) {
+    obs::Span iter("heuristic.iteration", "heuristic");
+    iter.attr("round", static_cast<long long>(round));
     layout = run_pass(circuit, cm, dist, options, std::move(layout), rng, nullptr, nullptr).layout;
     layout = run_pass(rev, cm, dist, options, std::move(layout), rng, nullptr, nullptr).layout;
   }

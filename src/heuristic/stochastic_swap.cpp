@@ -9,6 +9,8 @@
 #include "common/rng.hpp"
 #include "exact/swap_synthesis.hpp"
 #include "ir/layers.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/equivalence.hpp"
 #include "sim/linear_reversible.hpp"
 
@@ -215,6 +217,13 @@ exact::MappingResult map_stochastic_swap(const Circuit& circuit, const arch::Cou
     throw std::invalid_argument("map_stochastic_swap: trials and runs must be >= 1");
   }
 
+  obs::Span span("heuristic.stochastic_swap", "heuristic");
+  span.attr("circuit", circuit.name());
+  span.attr("runs", static_cast<long long>(options.runs));
+  static obs::Counter& maps_total = obs::MetricsRegistry::instance().counter(
+      "qxmap_heuristic_maps_total", "Heuristic mapper invocations (all algorithms)");
+  maps_total.inc();
+
   const auto dist_handle = arch::SwapCostCache::instance().distances(cm);
   const arch::DistanceMatrix& dist = *dist_handle;
   const exact::CostModel costs = options.costs.resolved(cm);
@@ -224,6 +233,8 @@ exact::MappingResult map_stochastic_swap(const Circuit& circuit, const arch::Cou
   std::vector<int> best_initial;
   Rng rng(options.seed);
   for (int run = 0; run < options.runs; ++run) {
+    obs::Span iter("heuristic.iteration", "heuristic");
+    iter.attr("run", static_cast<long long>(run));
     RunState st{Circuit(m, circuit.name() + "/mapped"),
                 Circuit(m, circuit.name() + "/routed-skeleton"),
                 {},
@@ -239,6 +250,7 @@ exact::MappingResult map_stochastic_swap(const Circuit& circuit, const arch::Cou
       for (const std::size_t gi : layer) gates.push_back(circuit.gate(gi));
       process_group(st, gates, cm, dist, rng, options.trials);
     }
+    iter.attr("cost", costs.result_cost(st.swaps, st.reversed));
     // Best-of-runs selection under the requested objective (ties keep the
     // earlier run, so single-run results are unchanged).
     if (!best || costs.result_cost(st.swaps, st.reversed) <

@@ -1,0 +1,183 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <cctype>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace qxmap::obs {
+
+void Histogram::observe(std::uint64_t v) noexcept {
+  // Bucket i covers (2^(i-1), 2^i]; v == 0 lands in bucket 0 (le 1).
+  std::size_t i = (v <= 1) ? 0 : static_cast<std::size_t>(std::bit_width(v - 1));
+  if (i > kBuckets) i = kBuckets;  // +Inf bucket
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::bucket_bound(std::size_t i) noexcept {
+  if (i >= kBuckets) return UINT64_MAX;
+  return std::uint64_t{1} << i;
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+namespace {
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (std::isalpha(static_cast<unsigned char>(c)) != 0) || c == '_' || c == ':';
+    const bool digit = std::isdigit(static_cast<unsigned char>(c)) != 0;
+    if (!(alpha || (digit && i > 0))) return false;
+  }
+  return true;
+}
+}  // namespace
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_register(const std::string& name,
+                                                          const std::string& help, Kind kind) {
+  if (!valid_metric_name(name)) {
+    throw std::logic_error("MetricsRegistry: invalid metric name '" + name + "'");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& entry : entries_) {
+    if (entry->name == name) {
+      if (entry->kind != kind) {
+        throw std::logic_error("MetricsRegistry: metric '" + name +
+                               "' already registered as a different type");
+      }
+      return *entry;
+    }
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->help = help;
+  entry->kind = kind;
+  switch (kind) {
+    case Kind::kCounter: entry->counter = std::make_unique<Counter>(); break;
+    case Kind::kGauge: entry->gauge = std::make_unique<Gauge>(); break;
+    case Kind::kHistogram: entry->histogram = std::make_unique<Histogram>(); break;
+  }
+  entries_.push_back(std::move(entry));
+  return *entries_.back();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const std::string& help) {
+  return *find_or_register(name, help, Kind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help) {
+  return *find_or_register(name, help, Kind::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, const std::string& help) {
+  return *find_or_register(name, help, Kind::kHistogram).histogram;
+}
+
+void MetricsRegistry::write_prometheus(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& entry : entries_) {
+    os << "# HELP " << entry->name << ' ' << entry->help << '\n';
+    switch (entry->kind) {
+      case Kind::kCounter:
+        os << "# TYPE " << entry->name << " counter\n";
+        os << entry->name << ' ' << entry->counter->value() << '\n';
+        break;
+      case Kind::kGauge:
+        os << "# TYPE " << entry->name << " gauge\n";
+        os << entry->name << ' ' << entry->gauge->value() << '\n';
+        break;
+      case Kind::kHistogram: {
+        os << "# TYPE " << entry->name << " histogram\n";
+        const Histogram& h = *entry->histogram;
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i <= Histogram::kBuckets; ++i) {
+          cumulative += h.bucket_count(i);
+          // 41 lines per histogram is noisy: emit only buckets that change
+          // the cumulative count, plus the mandatory +Inf bucket.
+          if (i == Histogram::kBuckets) {
+            os << entry->name << "_bucket{le=\"+Inf\"} " << cumulative << '\n';
+          } else if (h.bucket_count(i) != 0) {
+            os << entry->name << "_bucket{le=\"" << Histogram::bucket_bound(i) << "\"} "
+               << cumulative << '\n';
+          }
+        }
+        os << entry->name << "_sum " << h.sum() << '\n';
+        os << entry->name << "_count " << h.count() << '\n';
+        break;
+      }
+    }
+  }
+}
+
+std::string MetricsRegistry::prometheus_text() const {
+  std::ostringstream os;
+  write_prometheus(os);
+  return os.str();
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  os << "{";
+  bool first = true;
+  for (const auto& entry : entries_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n  \"" << entry->name << "\": ";
+    switch (entry->kind) {
+      case Kind::kCounter: os << entry->counter->value(); break;
+      case Kind::kGauge: os << entry->gauge->value(); break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry->histogram;
+        os << "{\"count\": " << h.count() << ", \"sum\": " << h.sum() << ", \"buckets\": {";
+        bool first_bucket = true;
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i <= Histogram::kBuckets; ++i) {
+          cumulative += h.bucket_count(i);
+          if (h.bucket_count(i) == 0 && i != Histogram::kBuckets) continue;
+          if (!first_bucket) os << ", ";
+          first_bucket = false;
+          if (i == Histogram::kBuckets) {
+            os << "\"+Inf\": " << cumulative;
+          } else {
+            os << '"' << Histogram::bucket_bound(i) << "\": " << cumulative;
+          }
+        }
+        os << "}}";
+        break;
+      }
+    }
+  }
+  os << "\n}\n";
+}
+
+std::string MetricsRegistry::json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& entry : entries_) {
+    switch (entry->kind) {
+      case Kind::kCounter: entry->counter->value_.store(0, std::memory_order_relaxed); break;
+      case Kind::kGauge: entry->gauge->value_.store(0, std::memory_order_relaxed); break;
+      case Kind::kHistogram: {
+        Histogram& h = *entry->histogram;
+        for (auto& b : h.buckets_) b.store(0, std::memory_order_relaxed);
+        h.sum_.store(0, std::memory_order_relaxed);
+        h.count_.store(0, std::memory_order_relaxed);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace qxmap::obs

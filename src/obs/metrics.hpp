@@ -1,0 +1,152 @@
+/// \file metrics.hpp
+/// Process-wide metrics registry: counters, gauges, and log-scale histograms
+/// with Prometheus-style text exposition and a JSON snapshot.
+///
+/// `MetricsRegistry::instance()` owns every metric by name. Instruments are
+/// registered once (first `counter()` / `gauge()` / `histogram()` call wins;
+/// later calls with the same name return the same instrument) and live for
+/// the whole process, so call sites cache the reference:
+///
+/// ```cpp
+/// static obs::Counter& hits = obs::MetricsRegistry::instance().counter(
+///     "qxmap_service_cache_hits_total", "Result-cache hits in MappingService::map()");
+/// hits.inc();
+/// ```
+///
+/// All updates are relaxed atomics — metrics are monotone tallies, not
+/// synchronisation, and (like traces) sit outside the determinism contract:
+/// counts of scheduling-dependent events (steals, bound tightenings,
+/// queue-wait times) vary run to run even though mapping results do not.
+///
+/// Unlike tracing there is no enable flag: a relaxed `fetch_add` is cheap
+/// enough to run unconditionally, which keeps counters trustworthy (they
+/// cover the whole process lifetime, not just traced windows).
+///
+/// Export: `write_prometheus()` emits the text exposition format
+/// (`# HELP` / `# TYPE`, `_total` counters, cumulative `_bucket{le="..."}`
+/// histogram series); `write_json()` emits one object keyed by metric name.
+/// docs/observability.md lists every metric the library registers.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qxmap::obs {
+
+/// Monotonically increasing event tally.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A value that can go up and down (queue depth, pool size). `set_max` is a
+/// CAS loop for high-water marks.
+class Gauge {
+ public:
+  void set(long long v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(long long d) noexcept { value_.fetch_add(d, std::memory_order_relaxed); }
+  /// Raises the gauge to `v` if it is currently lower (high-water mark).
+  void set_max(long long v) noexcept {
+    long long cur = value_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] long long value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<long long> value_{0};
+};
+
+/// Fixed log-scale (powers-of-two) histogram: bucket i holds observations
+/// with value ≤ 2^i, plus a +Inf overflow bucket. 40 buckets cover 1 ns to
+/// ~18 minutes when observing nanoseconds, with ~2x resolution everywhere —
+/// no per-metric bucket configuration to get wrong.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 40;  // le = 2^0 .. 2^39, then +Inf
+
+  void observe(std::uint64_t v) noexcept;
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  /// Non-cumulative count of bucket i (i == kBuckets → the +Inf bucket).
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Upper bound of bucket i (2^i); i == kBuckets → +Inf (returns UINT64_MAX).
+  [[nodiscard]] static std::uint64_t bucket_bound(std::size_t i) noexcept;
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<std::uint64_t> buckets_[kBuckets + 1]{};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// Process-wide registry. Lookup/registration is mutex-protected; the
+/// returned references are valid for the process lifetime, so hot paths
+/// look a metric up once and update lock-free thereafter.
+class MetricsRegistry {
+ public:
+  [[nodiscard]] static MetricsRegistry& instance();
+
+  /// Returns the counter named `name`, registering it (with `help`) on first
+  /// use. Throws std::logic_error if `name` is already registered as a
+  /// different instrument type or is not a valid Prometheus metric name.
+  [[nodiscard]] Counter& counter(const std::string& name, const std::string& help);
+  [[nodiscard]] Gauge& gauge(const std::string& name, const std::string& help);
+  [[nodiscard]] Histogram& histogram(const std::string& name, const std::string& help);
+
+  /// Prometheus text exposition format, metrics in registration order.
+  void write_prometheus(std::ostream& os) const;
+  [[nodiscard]] std::string prometheus_text() const;
+
+  /// JSON snapshot: {"name": value | {histogram fields}, ...}.
+  void write_json(std::ostream& os) const;
+  [[nodiscard]] std::string json() const;
+
+  /// Zeroes every registered metric (registrations survive). Test-only:
+  /// production code treats metrics as process-lifetime tallies.
+  void reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    std::string name;
+    std::string help;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& find_or_register(const std::string& name, const std::string& help, Kind kind);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_;  // registration order
+};
+
+}  // namespace qxmap::obs

@@ -12,6 +12,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "qasm/expr.hpp"
 #include "qasm/lexer.hpp"
 
@@ -803,12 +805,19 @@ const std::map<std::string, GateDef>& bundled_qelib1_defs() {
 }  // namespace
 
 Circuit parse(std::string_view source, std::string name, const ParseOptions& options) {
+  obs::Span span("qasm.parse", "qasm");
+  span.attr("name", name);
+  static obs::Counter& parses = obs::MetricsRegistry::instance().counter(
+      "qxmap_qasm_parses_total", "OpenQASM sources parsed");
+  parses.inc();
   ParseState state;
   state.options = &options;
   Parser parser(source, name, state);
   parser.run();
   Circuit circuit(state.total_qubits, std::move(name));
   for (auto& g : state.gates) circuit.append(std::move(g));
+  span.attr("gates", circuit.size());
+  span.attr("qubits", static_cast<long long>(circuit.num_qubits()));
   return circuit;
 }
 

@@ -5,6 +5,9 @@
 #include <stdexcept>
 #include <string_view>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace qxmap::reason {
 
 namespace {
@@ -193,7 +196,47 @@ void CdclEngine::poll_and_tighten() {
   if (ext < enforced_) add_cost_bound(ext);
 }
 
+namespace {
+
+/// Registry twins of the cumulative SolverStats / EngineStats counters.
+/// minimize() publishes per-call deltas, so the process-wide totals stay
+/// correct across many engines (one per shard thread).
+struct CdclMetrics {
+  obs::Counter& conflicts;
+  obs::Counter& restarts;
+  obs::Counter& decisions;
+  obs::Counter& propagations;
+  obs::Counter& learned;
+  obs::Counter& learnt_deleted;
+  obs::Counter& bound_polls;
+  obs::Counter& bound_tightenings;
+
+  static CdclMetrics& get() {
+    auto& reg = obs::MetricsRegistry::instance();
+    static CdclMetrics m{
+        reg.counter("qxmap_cdcl_conflicts_total", "CDCL conflicts across all engines"),
+        reg.counter("qxmap_cdcl_restarts_total", "CDCL restarts (glucose policy)"),
+        reg.counter("qxmap_cdcl_decisions_total", "CDCL decisions"),
+        reg.counter("qxmap_cdcl_propagations_total", "CDCL unit propagations"),
+        reg.counter("qxmap_cdcl_learned_total", "Learnt clauses added"),
+        reg.counter("qxmap_cdcl_learnt_deleted_total", "Learnt clauses removed by ReduceDB"),
+        reg.counter("qxmap_engine_bound_polls_total",
+                    "Shared-bound consultations at engine checkpoints"),
+        reg.counter("qxmap_engine_bound_tightenings_total",
+                    "Polls that strictly tightened an engine's external bound"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
 Outcome CdclEngine::minimize(std::chrono::milliseconds budget) {
+  obs::Span span("cdcl.minimize", "cdcl");
+  span.attr("mode", mode_ == OptimizationMode::BinarySearch ? "binary" : "descending");
+  const sat::SolverStats before = solver_.stats();
+  const long long polls_before = stats_.bound_polls;
+  const long long tightenings_before = stats_.bound_tightenings;
   const auto deadline = std::chrono::steady_clock::now() + budget;
   // Known external bound: start with objective <= bound already enforced.
   // Both modes run on solver_, so this single enforcement covers them.
@@ -211,11 +254,30 @@ Outcome CdclEngine::minimize(std::chrono::milliseconds budget) {
   stats_.restarts = static_cast<long long>(ss.restarts);
   stats_.avg_lbd =
       ss.learned > 0 ? static_cast<double>(ss.lbd_sum) / static_cast<double>(ss.learned) : 0.0;
+  CdclMetrics& metrics = CdclMetrics::get();
+  metrics.conflicts.inc(ss.conflicts - before.conflicts);
+  metrics.restarts.inc(ss.restarts - before.restarts);
+  metrics.decisions.inc(ss.decisions - before.decisions);
+  metrics.propagations.inc(ss.propagations - before.propagations);
+  metrics.learned.inc(ss.learned - before.learned);
+  metrics.learnt_deleted.inc(ss.learnt_deleted - before.learnt_deleted);
+  metrics.bound_polls.inc(static_cast<std::uint64_t>(stats_.bound_polls - polls_before));
+  metrics.bound_tightenings.inc(
+      static_cast<std::uint64_t>(stats_.bound_tightenings - tightenings_before));
+  span.attr("status", to_string(out.status));
+  span.attr("cost", out.cost);
+  span.attr("conflicts", static_cast<unsigned long long>(ss.conflicts - before.conflicts));
   return out;
 }
 
 Outcome CdclEngine::minimize_descending(std::chrono::steady_clock::time_point deadline) {
   Outcome out;
+  // Milestone instants (restarts, ReduceDB passes) are detected as solver
+  // stat deltas at conflict boundaries. The flag is sampled once so the
+  // disabled path costs nothing per conflict beyond this captured bool.
+  const bool tracing = obs::TraceRecorder::enabled();
+  std::uint64_t seen_restarts = solver_.stats().restarts;
+  std::uint64_t seen_deleted = solver_.stats().learnt_deleted;
   for (;;) {
     // Between-solve checkpoint: adopt any bound published while the previous
     // solve ran (and guarantee at least one poll per minimize call).
@@ -228,6 +290,18 @@ Outcome CdclEngine::minimize_descending(std::chrono::steady_clock::time_point de
     long long pending = kNoBound;
     int countdown = kPollConflictInterval;
     const auto interrupt = [&]() -> bool {
+      if (tracing) {
+        const sat::SolverStats& ss = solver_.stats();
+        if (ss.restarts != seen_restarts) {
+          obs::Span::instant("cdcl.restart", "cdcl");
+          seen_restarts = ss.restarts;
+        }
+        if (ss.learnt_deleted != seen_deleted) {
+          obs::Span::instant("cdcl.reduce_db", "cdcl",
+                             {{"deleted", std::to_string(ss.learnt_deleted - seen_deleted)}});
+          seen_deleted = ss.learnt_deleted;
+        }
+      }
       if (std::chrono::steady_clock::now() >= deadline) return true;
       if (has_bound_source() && --countdown <= 0) {
         countdown = kPollConflictInterval;
@@ -241,6 +315,9 @@ Outcome CdclEngine::minimize_descending(std::chrono::steady_clock::time_point de
     };
     const sat::SolveResult r = solver_.solve(interrupt);
     if (r == sat::SolveResult::Unknown && pending != kNoBound) {
+      if (obs::TraceRecorder::enabled()) {
+        obs::Span::instant("cdcl.tighten_abort", "cdcl", {{"bound", std::to_string(pending)}});
+      }
       add_cost_bound(pending);
       continue;
     }
@@ -284,7 +361,23 @@ Outcome CdclEngine::minimize_binary(std::chrono::steady_clock::time_point deadli
   Outcome out;
   long long pending = kNoBound;
   int countdown = kPollConflictInterval;
+  // Same milestone detection as the descending loop (see comment there).
+  const bool tracing = obs::TraceRecorder::enabled();
+  std::uint64_t seen_restarts = solver_.stats().restarts;
+  std::uint64_t seen_deleted = solver_.stats().learnt_deleted;
   const auto interrupt = [&]() -> bool {
+    if (tracing) {
+      const sat::SolverStats& ss = solver_.stats();
+      if (ss.restarts != seen_restarts) {
+        obs::Span::instant("cdcl.restart", "cdcl");
+        seen_restarts = ss.restarts;
+      }
+      if (ss.learnt_deleted != seen_deleted) {
+        obs::Span::instant("cdcl.reduce_db", "cdcl",
+                           {{"deleted", std::to_string(ss.learnt_deleted - seen_deleted)}});
+        seen_deleted = ss.learnt_deleted;
+      }
+    }
     if (std::chrono::steady_clock::now() >= deadline) return true;
     if (has_bound_source() && --countdown <= 0) {
       countdown = kPollConflictInterval;
@@ -302,6 +395,9 @@ Outcome CdclEngine::minimize_binary(std::chrono::steady_clock::time_point deadli
     pending = kNoBound;
     const sat::SolveResult first = solver_.solve(interrupt);
     if (first == sat::SolveResult::Unknown && pending != kNoBound) {
+      if (obs::TraceRecorder::enabled()) {
+        obs::Span::instant("cdcl.tighten_abort", "cdcl", {{"bound", std::to_string(pending)}});
+      }
       add_cost_bound(pending);
       continue;
     }
@@ -350,6 +446,9 @@ Outcome CdclEngine::minimize_binary(std::chrono::steady_clock::time_point deadli
     const sat::SolveResult r = solver_.solve(interrupt, {~above->second});
     if (r == sat::SolveResult::Unknown) {
       if (pending != kNoBound) {
+        if (obs::TraceRecorder::enabled()) {
+        obs::Span::instant("cdcl.tighten_abort", "cdcl", {{"bound", std::to_string(pending)}});
+      }
         add_cost_bound(pending);  // window shrinks via cap next iteration
         continue;
       }

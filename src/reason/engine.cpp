@@ -98,6 +98,16 @@ std::string to_string(EngineKind kind) {
   throw std::invalid_argument("to_string: bad EngineKind");
 }
 
+std::string to_string(Status status) {
+  switch (status) {
+    case Status::Optimal: return "optimal";
+    case Status::Feasible: return "feasible";
+    case Status::Unsat: return "unsat";
+    case Status::Unknown: return "unknown";
+  }
+  throw std::invalid_argument("to_string: bad Status");
+}
+
 bool z3_available() {
 #if QXMAP_WITH_Z3
   return true;

@@ -178,6 +178,9 @@ enum class EngineKind { Z3, Cdcl };
 /// Name for reports ("z3" / "cdcl").
 [[nodiscard]] std::string to_string(EngineKind kind);
 
+/// "optimal" / "feasible" / "unsat" / "unknown" — for logs and trace attrs.
+[[nodiscard]] std::string to_string(Status status);
+
 /// True when the library was built with the Z3 backend (QXMAP_WITH_Z3).
 /// When false, make_engine(EngineKind::Z3) degrades to the CDCL backend.
 [[nodiscard]] bool z3_available();

@@ -9,6 +9,9 @@
 
 #include <z3++.h>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace qxmap::reason {
 
 struct Z3Engine::Impl {
@@ -91,6 +94,10 @@ void Z3Engine::set_upper_bound(long long bound) {
 Outcome Z3Engine::minimize(std::chrono::milliseconds budget) {
   using Clock = std::chrono::steady_clock;
   const auto deadline = Clock::now() + budget;
+  obs::Span span("z3.minimize", "z3");
+  span.attr("budget_ms", static_cast<long long>(budget.count()));
+  static obs::Counter& checks_total = obs::MetricsRegistry::instance().counter(
+      "qxmap_z3_checks_total", "Z3 optimize check() calls (sliced re-checks included)");
 
   Outcome out;
   // Each z3::check() restarts the search, so slicing trades contiguous
@@ -107,6 +114,9 @@ Outcome Z3Engine::minimize(std::chrono::milliseconds budget) {
       const long long ext = poll_bound_source();
       if (ext < impl_->applied_bound) {
         ++stats_.bound_tightenings;
+        if (obs::TraceRecorder::enabled()) {
+          obs::Span::instant("z3.tighten", "z3", {{"bound", std::to_string(ext)}});
+        }
         impl_->apply_bound(ext);
         slice_cap = kPollInterval;
       }
@@ -115,6 +125,7 @@ Outcome Z3Engine::minimize(std::chrono::milliseconds budget) {
         std::chrono::duration_cast<std::chrono::milliseconds>(deadline - Clock::now());
     if (remaining.count() <= 0) {
       out.status = Status::Unknown;
+      span.attr("status", to_string(out.status));
       return out;
     }
     const auto slice = has_bound_source() ? std::min(remaining, slice_cap) : remaining;
@@ -124,13 +135,23 @@ Outcome Z3Engine::minimize(std::chrono::milliseconds budget) {
     impl_->opt.set(p);
 
     const auto check_start = Clock::now();
-    const z3::check_result r = impl_->opt.check();
+    checks_total.inc();
+    z3::check_result r;
+    {
+      obs::Span check_span("z3.check", "z3");
+      check_span.attr("slice_ms", static_cast<long long>(slice.count()));
+      r = impl_->opt.check();
+      check_span.attr("result", r == z3::sat      ? "sat"
+                                : r == z3::unsat  ? "unsat"
+                                                  : "unknown");
+    }
     const auto check_elapsed =
         std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - check_start);
     if (r == z3::unsat) {
       // True unsatisfiability or "nothing at or below the asserted bound" —
       // the caller treats both as "cannot beat the incumbent".
       out.status = Status::Unsat;
+      span.attr("status", to_string(out.status));
       return out;
     }
     if (r == z3::unknown) {
@@ -142,6 +163,7 @@ Outcome Z3Engine::minimize(std::chrono::milliseconds budget) {
       const bool gave_up = check_elapsed + std::chrono::milliseconds(50) < slice;
       if (!has_bound_source() || gave_up) {
         out.status = Status::Unknown;
+        span.attr("status", to_string(out.status));
         return out;
       }
       continue;  // slice expired: poll and re-check with the remaining budget
@@ -165,6 +187,8 @@ Outcome Z3Engine::minimize(std::chrono::milliseconds budget) {
     impl_->has_model = true;
     out.status = Status::Optimal;
     out.cost = cost;
+    span.attr("status", to_string(out.status));
+    span.attr("cost", cost);
     return out;
   }
 }

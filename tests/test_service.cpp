@@ -16,6 +16,7 @@
 
 #include "api/service.hpp"
 #include "arch/architectures.hpp"
+#include "obs/trace.hpp"
 #include "arch/coupling_json.hpp"
 #include "bench_circuits/generators.hpp"
 
@@ -76,6 +77,40 @@ TEST(MappingServiceCache, HitIsBitIdenticalToThePopulatingSolve) {
   EXPECT_EQ(stats.hits, 1u);
   EXPECT_EQ(stats.misses, 1u);
   EXPECT_EQ(stats.solves, 1u);
+}
+
+TEST(MappingServiceCache, CachedHitEmitsCacheHitSpanAndNoSolverSpans) {
+  // With tracing on, a warm hit must show up as a `service.cache_hit` span
+  // and must NOT re-enter any solver layer: zero exact.*, cdcl.*, or
+  // executor.* spans may be emitted by the hit.
+  MappingService service(4);
+  const Circuit c = small_circuit("svc-trace-hit");
+  const auto cm = arch::ibm_qx4();
+  (void)service.map(c, cm, exact_options());  // populate the cache untraced
+
+  const bool was_enabled = obs::TraceRecorder::enabled();
+  obs::TraceRecorder::set_enabled(false);
+  obs::TraceRecorder::instance().clear();
+  obs::TraceRecorder::set_enabled(true);
+  const MappingResult hit = service.map(c, cm, exact_options());
+  obs::TraceRecorder::set_enabled(was_enabled);
+
+  EXPECT_TRUE(hit.from_cache);
+  const auto events = obs::TraceRecorder::instance().snapshot();
+  bool saw_request = false;
+  bool saw_cache_hit = false;
+  for (const auto& e : events) {
+    if (e.name == "service.map") saw_request = true;
+    if (e.name == "service.cache_hit") saw_cache_hit = true;
+    const bool solver_span = e.name.rfind("exact.", 0) == 0 ||
+                             e.name.rfind("cdcl.", 0) == 0 ||
+                             e.name.rfind("z3.", 0) == 0 ||
+                             e.name.rfind("executor.", 0) == 0;
+    EXPECT_FALSE(solver_span) << "warm hit emitted solver span " << e.name;
+  }
+  EXPECT_TRUE(saw_request);
+  EXPECT_TRUE(saw_cache_hit);
+  obs::TraceRecorder::instance().clear();
 }
 
 TEST(MappingServiceCache, HitRestampsNamesForTheRequestingCircuit) {

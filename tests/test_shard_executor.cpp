@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "exact/shard_executor.hpp"
+#include "obs/metrics.hpp"
 
 namespace qxmap::exact {
 namespace {
@@ -210,6 +211,65 @@ TEST(ShardExecutorShutdown, ResizeUpAndDownKeepsExecutingCorrectly) {
   EXPECT_EQ(ex.num_threads(), 1u);
   ex.run_to_completion(ex.submit([&](std::size_t) { ++ran; }, ascending(12), 2));
   EXPECT_EQ(ran.load(), 24);
+}
+
+TEST(ShardExecutor, MetricsReconcileWithStats) {
+  // The executor publishes its tallies both through stats() (deprecated,
+  // per-executor) and the process-wide obs::MetricsRegistry (aggregated
+  // across executors). Deltas over one batch must reconcile.
+  auto& reg = obs::MetricsRegistry::instance();
+  obs::Counter& m_requests =
+      reg.counter("qxmap_executor_requests_total", "Task batches submitted");
+  obs::Counter& m_submitted =
+      reg.counter("qxmap_executor_tasks_submitted_total", "Shard tasks enqueued");
+  obs::Counter& m_executed =
+      reg.counter("qxmap_executor_tasks_executed_total", "Shard tasks completed");
+  obs::Counter& m_failed =
+      reg.counter("qxmap_executor_tasks_failed_total", "Shard tasks that threw");
+  obs::Histogram& m_wait =
+      reg.histogram("qxmap_executor_queue_wait_us", "Queue wait per task (µs)");
+  obs::Histogram& m_run = reg.histogram("qxmap_executor_task_run_us", "Run time per task (µs)");
+  obs::Gauge& m_depth = reg.gauge("qxmap_executor_queue_depth", "Queued (not in-flight) tasks");
+
+  const auto requests0 = m_requests.value();
+  const auto submitted0 = m_submitted.value();
+  const auto executed0 = m_executed.value();
+  const auto failed0 = m_failed.value();
+  const auto wait0 = m_wait.count();
+  const auto run0 = m_run.count();
+
+  constexpr std::size_t kTasks = 40;
+  ShardExecutor ex(2);
+  const ShardExecutor::Stats before = ex.stats();
+  std::atomic<int> ran{0};
+  auto req = ex.submit(
+      [&](std::size_t i) {
+        if (i == 7) throw std::runtime_error("planned failure");
+        ++ran;
+      },
+      ascending(kTasks), 3);
+  EXPECT_THROW(ex.run_to_completion(req), std::runtime_error);
+  const ShardExecutor::Stats after = ex.stats();
+
+  // Per-executor stats for this batch.
+  EXPECT_EQ(after.requests - before.requests, 1u);
+  EXPECT_EQ(after.tasks_submitted - before.tasks_submitted, kTasks);
+  EXPECT_EQ(after.tasks_executed - before.tasks_executed, kTasks);
+  EXPECT_EQ(after.tasks_failed - before.tasks_failed, 1u);
+  EXPECT_GE(after.queue_depth_high_water, 1u);
+  EXPECT_LE(after.queue_depth_high_water, kTasks);
+
+  // Registry deltas carry the same tallies (>= because other executors may
+  // run concurrently in this process; == in this single-threaded test).
+  EXPECT_EQ(m_requests.value() - requests0, 1);
+  EXPECT_EQ(m_submitted.value() - submitted0, static_cast<long long>(kTasks));
+  EXPECT_EQ(m_executed.value() - executed0, static_cast<long long>(kTasks));
+  EXPECT_EQ(m_failed.value() - failed0, 1);
+  // Every executed task observed one queue-wait and one run-time sample.
+  EXPECT_EQ(m_wait.count() - wait0, kTasks);
+  EXPECT_EQ(m_run.count() - run0, kTasks);
+  // The queue fully drained.
+  EXPECT_EQ(m_depth.value(), 0);
 }
 
 TEST(ShardExecutorShutdown, ProcessWideInstanceIsUsable) {
